@@ -1,0 +1,104 @@
+// Command replicad runs one service replica over real TCP, the
+// multi-process deployment mode (the paper's prototype likewise spoke raw
+// TCP between all processes, §4).
+//
+// Start a 3-replica key-value service on one machine:
+//
+//	replicad -id 0 -peers 0=:7000,1=:7001,2=:7002 -service kv &
+//	replicad -id 1 -peers 0=:7000,1=:7001,2=:7002 -service kv &
+//	replicad -id 2 -peers 0=:7000,1=:7001,2=:7002 -service kv &
+//
+// Then talk to it with gridclient. Pass -wal to survive crashes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridrep"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "this replica's ID (index into -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port list for all replicas")
+	svcName := flag.String("service", "kv", "service to replicate: kv, broker, sched, noop")
+	wal := flag.String("wal", "", "write-ahead log path (empty = in-memory storage)")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "RNG seed for nondeterministic services")
+	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
+	flag.Parse()
+
+	peers, err := ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := peers[gridrep.NodeID(*id)]; !ok {
+		log.Fatalf("replicad: -id %d not present in -peers", *id)
+	}
+
+	var svc gridrep.Service
+	switch *svcName {
+	case "kv":
+		svc = gridrep.NewKV()
+	case "broker":
+		svc = gridrep.NewBroker(*seed)
+	case "sched":
+		svc = gridrep.NewSched()
+	case "noop":
+		svc = gridrep.NewNoop()
+	default:
+		log.Fatalf("replicad: unknown service %q", *svcName)
+	}
+	srv, err := gridrep.ListenAndServe(gridrep.ServerOptions{
+		ID:                gridrep.NodeID(*id),
+		Peers:             peers,
+		Service:           svc,
+		WALPath:           *wal,
+		HeartbeatInterval: *hb,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replica %d serving %s on %s (peers: %d)\n", *id, *svcName, srv.Addr(), len(peers))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}
+
+// ParsePeers parses "0=host:port,1=host:port,..." into an address book.
+func ParsePeers(s string) (map[gridrep.NodeID]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("replicad: -peers is required")
+	}
+	out := make(map[gridrep.NodeID]string)
+	for _, part := range splitComma(s) {
+		var id uint32
+		var addr string
+		if n, err := fmt.Sscanf(part, "%d=%s", &id, &addr); n != 2 || err != nil {
+			return nil, fmt.Errorf("replicad: bad peer entry %q (want id=host:port)", part)
+		}
+		out[gridrep.NodeID(id)] = addr
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

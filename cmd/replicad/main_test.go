@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"gridrep"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("0=127.0.0.1:7000,1=host:7001,2=:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[gridrep.NodeID]string{
+		0: "127.0.0.1:7000",
+		1: "host:7001",
+		2: ":7002",
+	}
+	if len(peers) != len(want) {
+		t.Fatalf("peers = %v", peers)
+	}
+	for id, addr := range want {
+		if peers[id] != addr {
+			t.Errorf("peers[%v] = %q, want %q", id, peers[id], addr)
+		}
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, in := range []string{"", "nonsense", "x=host:1", "0only"} {
+		if _, err := ParsePeers(in); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", in)
+		}
+	}
+}
+
+func TestSplitComma(t *testing.T) {
+	got := splitComma("a,b,,c,")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitComma = %v", got)
+	}
+	if out := splitComma(""); len(out) != 0 {
+		t.Fatalf("splitComma(\"\") = %v", out)
+	}
+}

@@ -1,0 +1,204 @@
+// Command spacetime regenerates the paper's protocol diagrams — Figure 1
+// (Paxos), Figure 2 (the basic protocol), Figure 3 (X-Paxos), and Figure
+// 4 (T-Paxos) — as ASCII space-time diagrams captured from live
+// executions on the Sysnet network profile.
+//
+//	go run ./cmd/spacetime -fig 3
+//	go run ./cmd/spacetime -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gridrep/internal/cluster"
+	"gridrep/internal/netem"
+	"gridrep/internal/service"
+	"gridrep/internal/trace"
+	"gridrep/internal/wire"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to draw: 1, 2, 3, 4, or all")
+	flag.Parse()
+
+	figs := map[string]func() error{
+		"1": fig1, "2": fig2, "3": fig3, "4": fig4,
+	}
+	run := func(id string) {
+		if err := figs[id](); err != nil {
+			log.Fatalf("figure %s: %v", id, err)
+		}
+	}
+	if *fig == "all" {
+		for _, id := range []string{"1", "2", "3", "4"} {
+			run(id)
+		}
+		return
+	}
+	if _, ok := figs[*fig]; !ok {
+		fmt.Fprintln(os.Stderr, "unknown figure; use 1, 2, 3, 4, or all")
+		os.Exit(2)
+	}
+	run(*fig)
+}
+
+// setup builds an n-replica Sysnet cluster with a collector attached from
+// the very first message.
+func setup(n int) (*cluster.Cluster, *trace.Collector, error) {
+	col := trace.NewCollector()
+	c, err := cluster.New(cluster.Config{
+		N:       n,
+		Profile: netem.Sysnet(),
+		Service: service.KVFactory,
+		Tracer:  col.TransportTracer(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.WaitForLeader(10 * time.Second); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return c, col, nil
+}
+
+func participants(n int, withClient bool) []wire.NodeID {
+	var out []wire.NodeID
+	if withClient {
+		out = append(out, wire.ClientIDBase+1)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, wire.NodeID(i))
+	}
+	return out
+}
+
+func keep(types ...wire.MsgType) func(trace.Event) bool {
+	set := map[wire.MsgType]bool{}
+	for _, t := range types {
+		set[t] = true
+	}
+	return func(ev trace.Event) bool { return set[ev.Type] }
+}
+
+// fig1 reproduces Figure 1: one proposer (P1) carrying out the prepare
+// and accept phases with five acceptors. The prepare phase is the
+// cluster's own cold-start election; the accept phase is triggered by one
+// client write, shown without the client.
+func fig1() error {
+	c, col, err := setup(5)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if _, err := cli.Write(service.KVPut("v", []byte("x"))); err != nil {
+		return err
+	}
+	time.Sleep(20 * time.Millisecond) // let commits land
+	evs := trace.Filter(col.Events(), keep(wire.MsgPrepare, wire.MsgPromise,
+		wire.MsgAccept, wire.MsgAccepted, wire.MsgCommit))
+	fmt.Println("Figure 1. Paxos — prepare phase, then accept phase (P1=r0, five acceptors)")
+	fmt.Println(trace.Render(evs, participants(5, false)))
+	return nil
+}
+
+// fig2 reproduces Figure 2: the basic protocol serving two consecutive
+// client requests — two consensus instances deciding <req, state>.
+func fig2() error {
+	c, col, err := setup(3)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if _, err := cli.Write(service.KVPut("warm", []byte("up"))); err != nil {
+		return err
+	}
+	col.Reset()
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Write(service.KVPut("k", []byte{byte(i)})); err != nil {
+			return err
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	evs := trace.Filter(col.Events(), keep(wire.MsgRequest, wire.MsgReply,
+		wire.MsgAccept, wire.MsgAccepted, wire.MsgCommit))
+	fmt.Println("Figure 2. The basic protocol — two instances (leader=r0)")
+	fmt.Println(trace.Render(evs, participants(3, true)))
+	return nil
+}
+
+// fig3 reproduces Figure 3: X-Paxos serving one read — the client
+// broadcasts, the backups confirm to the leader, the leader replies.
+func fig3() error {
+	c, col, err := setup(3)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if _, err := cli.Write(service.KVPut("k", []byte("v"))); err != nil {
+		return err
+	}
+	col.Reset()
+	if _, err := cli.Read(service.KVGet("k")); err != nil {
+		return err
+	}
+	time.Sleep(10 * time.Millisecond)
+	evs := trace.Filter(col.Events(), keep(wire.MsgRequest, wire.MsgReply, wire.MsgConfirm))
+	fmt.Println("Figure 3. X-Paxos — one read: broadcast, majority confirms, reply")
+	fmt.Println(trace.Render(evs, participants(3, true)))
+	return nil
+}
+
+// fig4 reproduces Figure 4: T-Paxos serving the transaction r1, r2, r3,
+// commit — immediate replies for the three operations, one consensus
+// instance at commit.
+func fig4() error {
+	c, col, err := setup(3)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if _, err := cli.Write(service.KVPut("warm", []byte("up"))); err != nil {
+		return err
+	}
+	col.Reset()
+	tx := cli.Begin()
+	for i := 0; i < 3; i++ {
+		if _, err := tx.Do(service.KVPut(fmt.Sprintf("r%d", i+1), []byte("v"))); err != nil {
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	time.Sleep(20 * time.Millisecond)
+	evs := trace.Filter(col.Events(), keep(wire.MsgRequest, wire.MsgReply,
+		wire.MsgAccept, wire.MsgAccepted, wire.MsgCommit))
+	fmt.Println("Figure 4. T-Paxos — r1, r2, r3, commit (coordination only at commit)")
+	fmt.Println(trace.Render(evs, participants(3, true)))
+	return nil
+}

@@ -1,0 +1,92 @@
+// Transactions: T-Paxos (§3.5) on a replicated key-value store — a
+// banking-style transfer.
+//
+// Operations inside a transaction are answered by the leader immediately
+// with no replica coordination; one consensus instance at commit carries
+// the whole transaction and the resulting state. Conflicting
+// transactions abort via per-key locks.
+//
+//	go run ./examples/transactions
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"gridrep"
+)
+
+func main() {
+	cluster, err := gridrep.NewCluster(gridrep.ClusterOptions{
+		Replicas: 3,
+		Service:  func() gridrep.Service { return gridrep.NewKV() },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.WaitReady(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	cli, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Seed two accounts.
+	if _, err := cli.Write(gridrep.KVAdd("alice", 100)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cli.Write(gridrep.KVAdd("bob", 50)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice=100 bob=50")
+
+	// Transfer 30 from alice to bob atomically. Each Do returns
+	// immediately (T-Paxos fast path); Commit is the only round that
+	// coordinates with the backups.
+	tx := cli.Begin()
+	bal, err := tx.Do(gridrep.KVAdd("alice", -30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n, _ := gridrep.KVInt(bal); n < 0 {
+		fmt.Println("insufficient funds, aborting")
+		tx.Abort()
+		return
+	}
+	if _, err := tx.Do(gridrep.KVAdd("bob", 30)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transferred 30: commit used exactly one consensus instance")
+
+	// A conflicting transaction is wounded by the lock discipline.
+	tx1 := cli.Begin()
+	if _, err := tx1.Do(gridrep.KVAdd("alice", -1)); err != nil {
+		log.Fatal(err)
+	}
+	tx2 := cli.Begin()
+	if _, err := tx2.Do(gridrep.KVAdd("alice", -1)); errors.Is(err, gridrep.ErrAborted) {
+		fmt.Println("conflicting transaction aborted, as §3.5 prescribes")
+	} else if err != nil {
+		log.Fatal(err)
+	}
+	tx1.Abort()
+
+	// Final balances.
+	for _, acct := range []string{"alice", "bob"} {
+		res, err := cli.Read(gridrep.KVGet(acct))
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, _ := gridrep.KVInt(res)
+		fmt.Printf("%s = %d\n", acct, n)
+	}
+}

@@ -1,0 +1,3 @@
+module gridrep
+
+go 1.22

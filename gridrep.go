@@ -1,0 +1,225 @@
+// Package gridrep replicates nondeterministic services on asynchronous
+// (grid-like) environments, implementing the protocol family of
+// "Replicating Nondeterministic Services on Grid Environments"
+// (HPDC 2006):
+//
+//   - the basic protocol — multi-instance Paxos whose decided values are
+//     <request, post-execution state> tuples, so that nondeterministic
+//     execution happens exactly once, on the leader;
+//   - X-Paxos — a majority-confirm fast path for read-only requests; and
+//   - T-Paxos — immediate replies inside client transactions with a
+//     single consensus instance at commit.
+//
+// # Writing a service
+//
+// Implement Service: Execute runs one operation (it may be randomized,
+// consult the clock, or otherwise behave nondeterministically), Snapshot
+// externalizes state, Restore adopts a peer's state. Replicas never
+// re-execute operations; they adopt the leader's state, which is what
+// keeps nondeterministic replicas consistent. Optionally implement
+// Transactional for concurrent T-Paxos transactions; otherwise
+// transactions are serialized automatically.
+//
+// # Deploying
+//
+// NewCluster starts an in-process deployment whose network behaviour
+// comes from a configurable latency profile — ProfileSysnet, ProfileB2P
+// and ProfileWAN reproduce the paper's three evaluation configurations.
+// ListenAndServe / Dial run the same protocol across real TCP sockets
+// for multi-process deployments.
+package gridrep
+
+import (
+	"fmt"
+	"time"
+
+	"gridrep/internal/client"
+	"gridrep/internal/cluster"
+	"gridrep/internal/core"
+	"gridrep/internal/netem"
+	"gridrep/internal/service"
+	"gridrep/internal/storage"
+	"gridrep/internal/wire"
+)
+
+// Core abstractions, re-exported for users outside this module.
+type (
+	// Service is a replicated application; see the package comment.
+	Service = service.Service
+	// Transactional is a Service with native concurrent transactions.
+	Transactional = service.Transactional
+	// Workspace is one open transaction's execution context.
+	Workspace = service.Workspace
+	// ServiceFactory creates one service instance per replica.
+	ServiceFactory = service.Factory
+
+	// NodeID identifies a replica or client process.
+	NodeID = wire.NodeID
+	// Profile is a network latency/loss model configuration.
+	Profile = netem.Profile
+
+	// Client issues requests to the replicated service.
+	Client = client.Client
+	// Txn is an open T-Paxos transaction.
+	Txn = client.Txn
+
+	// StateMode selects the §3.3 state-transfer reduction.
+	StateMode = core.StateMode
+)
+
+// State-transfer modes (§3.3). StateAuto picks the cheapest mode the
+// service supports.
+const (
+	StateAuto   = core.StateModeAuto
+	StateFull   = core.StateModeFull
+	StateDelta  = core.StateModeDelta
+	StateReplay = core.StateModeReplay
+)
+
+// Client errors, re-exported.
+var (
+	// ErrAborted reports a transaction killed by a conflict or leader
+	// switch.
+	ErrAborted = client.ErrAborted
+	// ErrTimeout reports that no leader answered within the deadline.
+	ErrTimeout = client.ErrTimeout
+)
+
+// Service toolkit: the nondeterministic services shipped with the
+// library (see DESIGN.md §2 and the paper's §2 motivating examples).
+var (
+	// NewKV returns a replicated key-value store with native
+	// transactions (per-key locks).
+	NewKV = service.NewKV
+	// NewBroker returns the randomized grid resource broker of §2.
+	NewBroker = service.NewBroker
+	// NewSched returns the FCFS-with-priorities grid scheduler of §2.
+	NewSched = service.NewSched
+	// NewNoop returns the paper's empty benchmark service.
+	NewNoop = service.NewNoop
+
+	// Key-value operation builders and reply parsers.
+	KVPut    = service.KVPut
+	KVGet    = service.KVGet
+	KVDelete = service.KVDelete
+	KVAdd    = service.KVAdd
+	KVReply  = service.KVReply
+	KVInt    = service.KVInt
+
+	// Broker operation builders.
+	BrokerRegister  = service.BrokerRegister
+	BrokerRequest   = service.BrokerRequest
+	BrokerRelease   = service.BrokerRelease
+	BrokerList      = service.BrokerList
+	BrokerSelection = service.BrokerSelection
+
+	// Scheduler operation builders.
+	SchedSubmit   = service.SchedSubmit
+	SchedDispatch = service.SchedDispatch
+	SchedComplete = service.SchedComplete
+	SchedStatus   = service.SchedStatus
+)
+
+// Network profiles reproducing the paper's evaluation configurations.
+var (
+	// ProfileSysnet models the UCSD Sysnet cluster (§4, config 1).
+	ProfileSysnet = netem.Sysnet
+	// ProfileB2P models clients at Berkeley with replicas at Princeton
+	// (§4, config 2).
+	ProfileB2P = netem.B2P
+	// ProfileWAN models the wide-area spread with the leader at UIUC
+	// (§4, config 3); pass the replica hosted at the leader site.
+	ProfileWAN = netem.WAN
+	// ProfileLoopback is a near-zero-latency profile for tests.
+	ProfileLoopback = netem.Loopback
+)
+
+// ClusterOptions configures an in-process deployment.
+type ClusterOptions struct {
+	// Replicas is the replica count (default 3, tolerating one crash —
+	// the paper's configuration).
+	Replicas int
+	// Service creates each replica's service (default: the noop
+	// benchmark service).
+	Service ServiceFactory
+	// Profile selects the network model (default ProfileLoopback()).
+	Profile Profile
+	// Seed drives the network model's randomness.
+	Seed int64
+	// DataDir, when non-empty, gives each replica a file-backed
+	// write-ahead log under it; empty means in-memory stable storage.
+	DataDir string
+	// ClientDeadline bounds each client operation (default 30s).
+	ClientDeadline time.Duration
+	// StateMode selects how proposals carry service state (default
+	// StateAuto).
+	StateMode StateMode
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster starts an in-process replicated service.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	cfg := cluster.Config{
+		N:              opts.Replicas,
+		Service:        opts.Service,
+		Profile:        opts.Profile,
+		Seed:           opts.Seed,
+		ClientDeadline: opts.ClientDeadline,
+		StateMode:      opts.StateMode,
+	}
+	if opts.DataDir != "" {
+		cfg.Stores = make(map[wire.NodeID]storage.Store)
+		n := opts.Replicas
+		if n == 0 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			st, err := storage.OpenFile(walPath(opts.DataDir, i))
+			if err != nil {
+				return nil, err
+			}
+			cfg.Stores[wire.NodeID(i)] = st
+		}
+	}
+	inner, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+func walPath(dir string, i int) string {
+	return fmt.Sprintf("%s/replica-%d.wal", dir, i)
+}
+
+// NewClient attaches a client to the cluster.
+func (c *Cluster) NewClient() (*Client, error) { return c.inner.NewClient() }
+
+// WaitReady blocks until a leader is active and ready to serve.
+func (c *Cluster) WaitReady(timeout time.Duration) error {
+	_, err := c.inner.WaitForLeader(timeout)
+	return err
+}
+
+// Leader returns the active leader, if any.
+func (c *Cluster) Leader() (NodeID, bool) { return c.inner.Leader() }
+
+// Crash fails a replica (stop + drop all its traffic).
+func (c *Cluster) Crash(id NodeID) { c.inner.Crash(id) }
+
+// Restart recovers a crashed replica from its stable storage.
+func (c *Cluster) Restart(id NodeID) error { return c.inner.Restart(id) }
+
+// SuspectLeader forces a leader switch without a crash (§3.6).
+func (c *Cluster) SuspectLeader() { c.inner.SuspectLeader() }
+
+// Close stops the cluster.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// Internal returns the underlying harness for advanced use (failure
+// injection, benchmarks).
+func (c *Cluster) Internal() *cluster.Cluster { return c.inner }

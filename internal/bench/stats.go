@@ -1,0 +1,120 @@
+// Package bench measures the replicated service the way the paper's
+// evaluation does (§4): request response time (RRT) with 99% confidence
+// intervals, closed-loop service throughput with c concurrent clients
+// issuing 1000/c requests each after a common start signal, and the
+// transaction metrics of §4.2.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes a sample: mean, standard deviation, and the 99%
+// confidence half-interval (Student t), the statistic the paper reports
+// for every measurement.
+type Stats struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI99 float64 // half-width of the 99% confidence interval
+	Min  float64
+	P50  float64
+	P95  float64
+	Max  float64
+}
+
+// Summarize computes Stats over xs.
+func Summarize(xs []float64) Stats {
+	n := len(xs)
+	if n == 0 {
+		return Stats{}
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	st := Stats{
+		N:    n,
+		Mean: mean,
+		Min:  sorted[0],
+		P50:  quantile(sorted, 0.50),
+		P95:  quantile(sorted, 0.95),
+		Max:  sorted[n-1],
+	}
+	if n > 1 {
+		st.Std = math.Sqrt(ss / float64(n-1))
+		st.CI99 = TCrit99(n-1) * st.Std / math.Sqrt(float64(n))
+	}
+	return st
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// tTable99 holds two-sided 99% Student t critical values by degrees of
+// freedom.
+var tTable99 = []struct {
+	df int
+	t  float64
+}{
+	{1, 63.657}, {2, 9.925}, {3, 5.841}, {4, 4.604}, {5, 4.032},
+	{6, 3.707}, {7, 3.499}, {8, 3.355}, {9, 3.250}, {10, 3.169},
+	{12, 3.055}, {15, 2.947}, {20, 2.845}, {25, 2.787}, {30, 2.750},
+	{40, 2.704}, {60, 2.660}, {120, 2.617},
+}
+
+// TCrit99 returns the two-sided 99% Student t critical value for the
+// given degrees of freedom, interpolating between tabulated points and
+// converging to the normal quantile 2.576 for large df.
+func TCrit99(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df >= 1000 {
+		return 2.576
+	}
+	last := tTable99[len(tTable99)-1]
+	if df > last.df {
+		// Interpolate in 1/df toward the normal limit.
+		frac := (1/float64(last.df) - 1/float64(df)) / (1 / float64(last.df))
+		return last.t + (2.576-last.t)*frac
+	}
+	for i, e := range tTable99 {
+		if df == e.df {
+			return e.t
+		}
+		if df < e.df {
+			prev := tTable99[i-1]
+			frac := float64(df-prev.df) / float64(e.df-prev.df)
+			return prev.t + (e.t-prev.t)*frac
+		}
+	}
+	return last.t
+}
+
+// FmtMS renders a Stats as the paper renders response times: mean ±CI in
+// milliseconds.
+func (s Stats) FmtMS() string {
+	return fmt.Sprintf("%.3f ms (99%% CI ±%.3f ms, n=%d)", s.Mean, s.CI99, s.N)
+}

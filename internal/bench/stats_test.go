@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 {
+		t.Fatalf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("order stats: %+v", s)
+	}
+	// CI99 = t(4) * std / sqrt(5) = 4.604 * 1.5811 / 2.2360
+	want := 4.604 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(s.CI99-want) > 1e-3 {
+		t.Fatalf("CI99 = %v, want %v", s.CI99, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty sample")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.CI99 != 0 {
+		t.Fatalf("singleton: %+v", s)
+	}
+	// Constant sample: zero variance.
+	s = Summarize([]float64{2, 2, 2, 2})
+	if s.Std != 0 || s.CI99 != 0 {
+		t.Fatalf("constant: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input reordered")
+	}
+}
+
+func TestTCrit99Table(t *testing.T) {
+	cases := map[int]float64{1: 63.657, 5: 4.032, 10: 3.169, 30: 2.750, 120: 2.617}
+	for df, want := range cases {
+		if got := TCrit99(df); math.Abs(got-want) > 1e-9 {
+			t.Errorf("TCrit99(%d) = %v, want %v", df, got, want)
+		}
+	}
+}
+
+func TestTCrit99MonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 2000; df++ {
+		got := TCrit99(df)
+		if got > prev+1e-9 {
+			t.Fatalf("TCrit99 not monotone at df=%d: %v > %v", df, got, prev)
+		}
+		prev = got
+	}
+	if TCrit99(100000) != 2.576 {
+		t.Fatal("large df must converge to the normal quantile")
+	}
+	if !math.IsInf(TCrit99(0), 1) {
+		t.Fatal("df=0 must be infinite")
+	}
+}
+
+func TestTCrit99Interpolation(t *testing.T) {
+	// Between df=10 (3.169) and df=12 (3.055).
+	got := TCrit99(11)
+	if got <= 3.055 || got >= 3.169 {
+		t.Fatalf("TCrit99(11) = %v outside (3.055, 3.169)", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if q := quantile(sorted, 0); q != 10 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := quantile(sorted, 1); q != 40 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := quantile(sorted, 0.5); q != 25 {
+		t.Fatalf("q50 = %v", q)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+		}
+		s := Summarize(xs)
+		// Mean within [min, max]; order stats ordered; CI nonnegative.
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.CI99 >= 0 && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := func(n int) Stats {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return Summarize(xs)
+	}
+	small := sample(10)
+	large := sample(10000)
+	if large.CI99 >= small.CI99 {
+		t.Fatalf("CI99 did not shrink: n=10 %v vs n=10000 %v", small.CI99, large.CI99)
+	}
+}
+
+func TestFmtMS(t *testing.T) {
+	s := Summarize([]float64{1.0, 1.2, 1.4})
+	got := s.FmtMS()
+	if got == "" || got[len(got)-1] != ')' {
+		t.Fatalf("FmtMS = %q", got)
+	}
+}

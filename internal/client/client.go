@@ -1,0 +1,201 @@
+// Package client implements the client side of the replication protocol:
+// every request is broadcast to all service replicas — so clients need
+// not know which replica currently leads (§3.3) — and only the leader's
+// reply is awaited. Lost requests and leader switches are handled by
+// rebroadcasting with the same sequence number; the leader's reply cache
+// makes retransmits safe (at-most-once execution).
+//
+// The transaction API drives T-Paxos (§3.5): operations inside a
+// transaction are answered by the leader immediately; Commit triggers the
+// single consensus round.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gridrep/internal/transport"
+	"gridrep/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrAborted reports that the enclosing transaction was aborted by
+	// the service (lock conflict) or by a leader switch (§3.6).
+	ErrAborted = errors.New("client: transaction aborted")
+	// ErrTimeout reports that no leader answered within the deadline.
+	ErrTimeout = errors.New("client: request timed out")
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("client: closed")
+)
+
+// ServiceError wraps a StatusError reply from the service.
+type ServiceError struct{ Msg string }
+
+func (e *ServiceError) Error() string { return "service: " + e.Msg }
+
+// Config assembles a client.
+type Config struct {
+	// Transport is the client's endpoint; its Local ID must be in the
+	// client ID space.
+	Transport transport.Transport
+	// Replicas lists all service replicas.
+	Replicas []wire.NodeID
+	// RetryEvery is the rebroadcast interval while waiting for a reply
+	// (default 500ms).
+	RetryEvery time.Duration
+	// Deadline bounds one operation end to end (default 30s).
+	Deadline time.Duration
+}
+
+// Client issues requests to a replicated service. It is synchronous and
+// single-threaded: one outstanding operation at a time, which is the
+// closed-loop behaviour of the paper's test clients (§4).
+type Client struct {
+	cfg    Config
+	id     wire.NodeID
+	seq    uint64
+	txnSeq uint64
+	closed bool
+}
+
+// New returns a client over the given transport.
+func New(cfg Config) *Client {
+	if cfg.RetryEvery == 0 {
+		cfg.RetryEvery = 500 * time.Millisecond
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 30 * time.Second
+	}
+	return &Client{cfg: cfg, id: cfg.Transport.Local()}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() wire.NodeID { return c.id }
+
+// Close releases the transport endpoint.
+func (c *Client) Close() {
+	if !c.closed {
+		c.closed = true
+		c.cfg.Transport.Close()
+	}
+}
+
+// Read issues an X-Paxos-coordinated read (§3.4).
+func (c *Client) Read(op []byte) ([]byte, error) { return c.do(wire.KindRead, 0, 0, op) }
+
+// Write issues a write coordinated with the basic protocol (§3.3).
+func (c *Client) Write(op []byte) ([]byte, error) { return c.do(wire.KindWrite, 0, 0, op) }
+
+// Original issues an uncoordinated baseline request: the leader executes
+// and replies immediately, exactly like an unreplicated service (§4).
+func (c *Client) Original(op []byte) ([]byte, error) { return c.do(wire.KindOriginal, 0, 0, op) }
+
+func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.seq++
+	req := wire.Request{
+		Client: c.id,
+		Seq:    c.seq,
+		Kind:   kind,
+		Txn:    txn,
+		TxnSeq: txnSeq,
+		Op:     op,
+	}
+	deadline := time.Now().Add(c.cfg.Deadline)
+	c.broadcast(&req)
+	retry := time.NewTimer(c.cfg.RetryEvery)
+	defer retry.Stop()
+	for {
+		select {
+		case env, ok := <-c.cfg.Transport.Recv():
+			if !ok {
+				return nil, ErrClosed
+			}
+			rm, ok := env.Msg.(*wire.ReplyMsg)
+			if !ok || rm.Rep.Seq != c.seq {
+				continue // stale or foreign message
+			}
+			switch rm.Rep.Status {
+			case wire.StatusOK:
+				return rm.Rep.Result, nil
+			case wire.StatusAborted:
+				return nil, fmt.Errorf("%w: %s", ErrAborted, rm.Rep.Err)
+			case wire.StatusError:
+				return nil, &ServiceError{Msg: rm.Rep.Err}
+			case wire.StatusNotLeader:
+				// Keep waiting; the rebroadcast timer covers the case
+				// where no real leader saw the request.
+				continue
+			}
+		case <-retry.C:
+			if time.Now().After(deadline) {
+				return nil, ErrTimeout
+			}
+			c.broadcast(&req)
+			retry.Reset(c.cfg.RetryEvery)
+		}
+	}
+}
+
+func (c *Client) broadcast(req *wire.Request) {
+	for _, rep := range c.cfg.Replicas {
+		c.cfg.Transport.Send(&wire.Envelope{To: rep, Msg: &wire.RequestMsg{Req: *req}})
+	}
+}
+
+// Txn is an open T-Paxos transaction.
+type Txn struct {
+	c    *Client
+	id   uint64
+	n    uint32 // ops issued so far
+	dead bool
+}
+
+// Begin opens a transaction. No message is sent until the first Do.
+func (c *Client) Begin() *Txn {
+	c.txnSeq++
+	return &Txn{c: c, id: c.txnSeq}
+}
+
+// Do executes one operation inside the transaction. The leader answers
+// immediately, without coordinating with the backups (§3.5). A returned
+// ErrAborted means the whole transaction is dead.
+func (t *Txn) Do(op []byte) ([]byte, error) {
+	if t.dead {
+		return nil, ErrAborted
+	}
+	res, err := t.c.do(wire.KindTxnOp, t.id, t.n, op)
+	if err != nil {
+		if errors.Is(err, ErrAborted) {
+			t.dead = true
+		}
+		return nil, err
+	}
+	t.n++
+	return res, nil
+}
+
+// Commit atomically applies the transaction: the replicas agree on the
+// whole transaction and the resulting state in one consensus instance.
+func (t *Txn) Commit() error {
+	if t.dead {
+		return ErrAborted
+	}
+	t.dead = true
+	_, err := t.c.do(wire.KindTxnCommit, t.id, t.n, nil)
+	return err
+}
+
+// Abort discards the transaction on the leader.
+func (t *Txn) Abort() error {
+	if t.dead {
+		return nil
+	}
+	t.dead = true
+	_, err := t.c.do(wire.KindTxnAbort, t.id, t.n, nil)
+	return err
+}

@@ -1,0 +1,270 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gridrep/internal/netem"
+	"gridrep/internal/transport"
+	"gridrep/internal/wire"
+)
+
+// fakeReplica runs a scripted responder on the network: script maps a
+// request Seq to the reply behaviour.
+type fakeReplica struct {
+	ep     *transport.Endpoint
+	handle func(req wire.Request, reply func(wire.Reply))
+	stop   chan struct{}
+}
+
+func startFake(t *testing.T, net *transport.Network, id wire.NodeID,
+	handle func(req wire.Request, reply func(wire.Reply))) *fakeReplica {
+	t.Helper()
+	ep, err := net.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeReplica{ep: ep, handle: handle, stop: make(chan struct{})}
+	go func() {
+		for {
+			select {
+			case <-f.stop:
+				return
+			case env, ok := <-ep.Recv():
+				if !ok {
+					return
+				}
+				if rm, isReq := env.Msg.(*wire.RequestMsg); isReq {
+					req := rm.Req
+					f.handle(req, func(rep wire.Reply) {
+						rep.Client = req.Client
+						rep.Seq = req.Seq
+						ep.Send(&wire.Envelope{To: req.Client, Msg: &wire.ReplyMsg{Rep: rep}})
+					})
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() { close(f.stop) })
+	return f
+}
+
+func newClientNet(t *testing.T) *transport.Network {
+	t.Helper()
+	n := transport.NewNetwork(netem.Loopback().NewModel(1))
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func newTestClient(t *testing.T, net *transport.Network, replicas []wire.NodeID) *Client {
+	t.Helper()
+	ep, err := net.Endpoint(wire.ClientIDBase + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := New(Config{
+		Transport:  ep,
+		Replicas:   replicas,
+		RetryEvery: 30 * time.Millisecond,
+		Deadline:   500 * time.Millisecond,
+	})
+	t.Cleanup(cli.Close)
+	return cli
+}
+
+func TestClientBroadcastsToAllReplicas(t *testing.T) {
+	net := newClientNet(t)
+	got := make(chan wire.NodeID, 8)
+	for i := 0; i < 3; i++ {
+		id := wire.NodeID(i)
+		reply := i == 0 // only the "leader" replies
+		startFake(t, net, id, func(req wire.Request, send func(wire.Reply)) {
+			got <- id
+			if reply {
+				send(wire.Reply{Status: wire.StatusOK, Result: []byte("r")})
+			}
+		})
+	}
+	cli := newTestClient(t, net, []wire.NodeID{0, 1, 2})
+	res, err := cli.Write([]byte("op"))
+	if err != nil || string(res) != "r" {
+		t.Fatalf("write = %q, %v", res, err)
+	}
+	seen := map[wire.NodeID]bool{}
+	timeout := time.After(time.Second)
+	for len(seen) < 3 {
+		select {
+		case id := <-got:
+			seen[id] = true
+		case <-timeout:
+			t.Fatalf("request reached only %v", seen)
+		}
+	}
+}
+
+func TestClientRetriesUntilReply(t *testing.T) {
+	net := newClientNet(t)
+	count := 0
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		count++
+		if count >= 3 { // ignore the first two transmissions
+			send(wire.Reply{Status: wire.StatusOK})
+		}
+	})
+	cli := newTestClient(t, net, []wire.NodeID{0})
+	if _, err := cli.Write([]byte("op")); err != nil {
+		t.Fatalf("write with retries: %v", err)
+	}
+	if count < 3 {
+		t.Fatalf("replica saw %d transmissions, want >= 3", count)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	net := newClientNet(t)
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {}) // never replies
+	cli := newTestClient(t, net, []wire.NodeID{0})
+	start := time.Now()
+	_, err := cli.Write([]byte("op"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 400*time.Millisecond {
+		t.Fatal("timed out before the deadline")
+	}
+}
+
+func TestClientIgnoresNotLeaderAndStaleReplies(t *testing.T) {
+	net := newClientNet(t)
+	startFake(t, net, 1, func(req wire.Request, send func(wire.Reply)) {
+		send(wire.Reply{Status: wire.StatusNotLeader})
+	})
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		// Send a stale-Seq reply first, then the real one.
+		stale := wire.Reply{Client: req.Client, Seq: req.Seq - 1, Status: wire.StatusOK, Result: []byte("stale")}
+		_ = stale
+		send(wire.Reply{Status: wire.StatusOK, Result: []byte("real")})
+	})
+	cli := newTestClient(t, net, []wire.NodeID{0, 1})
+	res, err := cli.Write([]byte("op"))
+	if err != nil || string(res) != "real" {
+		t.Fatalf("write = %q, %v", res, err)
+	}
+}
+
+func TestClientStatusMapping(t *testing.T) {
+	net := newClientNet(t)
+	var status wire.ReplyStatus
+	var errText string
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		send(wire.Reply{Status: status, Err: errText})
+	})
+	cli := newTestClient(t, net, []wire.NodeID{0})
+
+	status, errText = wire.StatusAborted, "conflict"
+	if _, err := cli.Write([]byte("op")); !errors.Is(err, ErrAborted) {
+		t.Fatalf("aborted mapped to %v", err)
+	}
+	status, errText = wire.StatusError, "bad op"
+	var se *ServiceError
+	if _, err := cli.Write([]byte("op")); !errors.As(err, &se) || se.Msg != "bad op" {
+		t.Fatalf("service error mapped to %v", err)
+	}
+}
+
+func TestClientSeqMonotonic(t *testing.T) {
+	net := newClientNet(t)
+	var seqs []uint64
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		seqs = append(seqs, req.Seq)
+		send(wire.Reply{Status: wire.StatusOK})
+	})
+	cli := newTestClient(t, net, []wire.NodeID{0})
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Write(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seqs not strictly increasing: %v", seqs)
+		}
+	}
+}
+
+func TestClientTxnFieldsOnWire(t *testing.T) {
+	net := newClientNet(t)
+	var got []wire.Request
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		got = append(got, req)
+		send(wire.Reply{Status: wire.StatusOK})
+	})
+	cli := newTestClient(t, net, []wire.NodeID{0})
+	tx := cli.Begin()
+	tx.Do([]byte("a"))
+	tx.Do([]byte("b"))
+	tx.Commit()
+	if len(got) != 3 {
+		t.Fatalf("saw %d requests", len(got))
+	}
+	if got[0].Kind != wire.KindTxnOp || got[0].TxnSeq != 0 ||
+		got[1].Kind != wire.KindTxnOp || got[1].TxnSeq != 1 ||
+		got[2].Kind != wire.KindTxnCommit || got[2].TxnSeq != 2 {
+		t.Fatalf("txn wire fields wrong: %+v", got)
+	}
+	if got[0].Txn == 0 || got[0].Txn != got[2].Txn {
+		t.Fatalf("txn IDs inconsistent: %+v", got)
+	}
+}
+
+func TestClientTxnIDsDistinct(t *testing.T) {
+	net := newClientNet(t)
+	var txns []uint64
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		txns = append(txns, req.Txn)
+		send(wire.Reply{Status: wire.StatusOK})
+	})
+	cli := newTestClient(t, net, []wire.NodeID{0})
+	t1 := cli.Begin()
+	t1.Do(nil)
+	t1.Abort()
+	t2 := cli.Begin()
+	t2.Do(nil)
+	t2.Abort()
+	if txns[0] == txns[2] {
+		t.Fatalf("txn IDs reused: %v", txns)
+	}
+}
+
+func TestClientDeadTxnRefusesOps(t *testing.T) {
+	net := newClientNet(t)
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		send(wire.Reply{Status: wire.StatusAborted})
+	})
+	cli := newTestClient(t, net, []wire.NodeID{0})
+	tx := cli.Begin()
+	if _, err := tx.Do(nil); !errors.Is(err, ErrAborted) {
+		t.Fatalf("first op = %v", err)
+	}
+	// Everything after the abort short-circuits locally.
+	if _, err := tx.Do(nil); !errors.Is(err, ErrAborted) {
+		t.Fatal("dead txn accepted an op")
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrAborted) {
+		t.Fatal("dead txn accepted a commit")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal("aborting a dead txn must be a no-op")
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	net := newClientNet(t)
+	cli := newTestClient(t, net, []wire.NodeID{0})
+	cli.Close()
+	if _, err := cli.Write(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	cli.Close() // idempotent
+}

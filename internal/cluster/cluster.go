@@ -1,0 +1,296 @@
+// Package cluster assembles an in-process replicated service deployment:
+// n core.Replica instances and any number of clients on one chanx
+// network whose latencies come from a netem profile. Integration tests,
+// examples, and the benchmark harness all build on it.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gridrep/internal/client"
+	"gridrep/internal/core"
+	"gridrep/internal/netem"
+	"gridrep/internal/service"
+	"gridrep/internal/storage"
+	"gridrep/internal/transport"
+	"gridrep/internal/wire"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// N is the number of service replicas (default 3, the paper's
+	// configuration: t=1).
+	N int
+	// Profile selects the network model (default netem.Loopback()).
+	Profile netem.Profile
+	// Seed drives the network model's randomness.
+	Seed int64
+	// Service creates each replica's service instance (default
+	// service.NoopFactory).
+	Service service.Factory
+	// Stores optionally provides stable storage per replica (default
+	// in-memory); retained across Crash/Restart.
+	Stores map[wire.NodeID]storage.Store
+
+	// HeartbeatInterval, ElectionTimeout, RetryTimeout override the
+	// replica timing; zero values derive sensible defaults from the
+	// profile's MaxOneWay.
+	HeartbeatInterval time.Duration
+	ElectionTimeout   time.Duration
+	RetryTimeout      time.Duration
+
+	// ClientRetryEvery and ClientDeadline configure clients.
+	ClientRetryEvery time.Duration
+	ClientDeadline   time.Duration
+
+	// Logger receives replica role transitions (nil = quiet).
+	Logger *log.Logger
+
+	// Tracer, if set, observes every delivered message from the moment
+	// the network starts (used for space-time diagrams).
+	Tracer func(time.Time, *wire.Envelope)
+
+	// NoBatch forwards the core ablation knob: one request per accept
+	// wave.
+	NoBatch bool
+	// StateMode forwards the §3.3 state-transfer mode to every replica.
+	StateMode core.StateMode
+}
+
+func (c *Config) fillDefaults() {
+	if c.N == 0 {
+		c.N = 3
+	}
+	if c.Profile.Configure == nil {
+		c.Profile = netem.Loopback()
+	}
+	if c.Service == nil {
+		c.Service = service.NoopFactory
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 25 * time.Millisecond
+		if hb := 2 * c.Profile.MaxOneWay; hb > c.HeartbeatInterval {
+			c.HeartbeatInterval = hb
+		}
+	}
+	if c.ElectionTimeout == 0 {
+		c.ElectionTimeout = 8 * c.HeartbeatInterval
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = 4 * c.HeartbeatInterval
+		if rt := 6 * c.Profile.MaxOneWay; rt > c.RetryTimeout {
+			c.RetryTimeout = rt
+		}
+	}
+	if c.Stores == nil {
+		c.Stores = make(map[wire.NodeID]storage.Store)
+	}
+}
+
+// Cluster is a running deployment. All methods are safe for concurrent
+// use; the exported Replicas map must only be read directly when no
+// failure injection runs concurrently.
+type Cluster struct {
+	cfg      Config
+	Net      *transport.Network
+	Replicas map[wire.NodeID]*core.Replica
+	ids      []wire.NodeID
+
+	mu      sync.Mutex
+	nextCli uint32
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	net := transport.NewNetwork(cfg.Profile.NewModel(cfg.Seed))
+	net.Tracer = cfg.Tracer
+	c := &Cluster{
+		cfg:      cfg,
+		Net:      net,
+		Replicas: make(map[wire.NodeID]*core.Replica),
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.ids = append(c.ids, wire.NodeID(i))
+	}
+	for _, id := range c.ids {
+		if err := c.startReplica(id); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) startReplica(id wire.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.cfg.Stores[id]
+	if !ok {
+		st = storage.NewMem()
+		c.cfg.Stores[id] = st
+	}
+	ep, err := c.Net.Endpoint(id)
+	if err != nil {
+		return err
+	}
+	rep, err := core.New(core.Config{
+		ID:                id,
+		Peers:             append([]wire.NodeID{}, c.ids...),
+		Service:           c.cfg.Service(),
+		Store:             st,
+		Transport:         ep,
+		HeartbeatInterval: c.cfg.HeartbeatInterval,
+		ElectionTimeout:   c.cfg.ElectionTimeout,
+		RetryTimeout:      c.cfg.RetryTimeout,
+		NoBatch:           c.cfg.NoBatch,
+		StateMode:         c.cfg.StateMode,
+		Logger:            c.cfg.Logger,
+	})
+	if err != nil {
+		return err
+	}
+	c.Replicas[id] = rep
+	rep.Start()
+	return nil
+}
+
+// IDs returns the replica IDs.
+func (c *Cluster) IDs() []wire.NodeID { return append([]wire.NodeID{}, c.ids...) }
+
+// NewClient attaches a fresh client to the cluster.
+func (c *Cluster) NewClient() (*client.Client, error) {
+	c.mu.Lock()
+	c.nextCli++
+	id := c.nextCli
+	c.mu.Unlock()
+	ep, err := c.Net.Endpoint(wire.ClientIDBase + wire.NodeID(id))
+	if err != nil {
+		return nil, err
+	}
+	return client.New(client.Config{
+		Transport:  ep,
+		Replicas:   c.IDs(),
+		RetryEvery: c.cfg.ClientRetryEvery,
+		Deadline:   c.cfg.ClientDeadline,
+	}), nil
+}
+
+// Replica returns the running replica with the given ID, if any.
+func (c *Cluster) Replica(id wire.NodeID) (*core.Replica, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, ok := c.Replicas[id]
+	return rep, ok
+}
+
+// Running returns the IDs of currently running replicas.
+func (c *Cluster) Running() []wire.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []wire.NodeID
+	for _, id := range c.ids {
+		if _, ok := c.Replicas[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Leader returns the currently active leader, if any. A partitioned
+// stale leader may still believe it leads (harmlessly — it can commit
+// nothing); among several claimants the one with the highest ballot is
+// the real leader.
+func (c *Cluster) Leader() (wire.NodeID, bool) {
+	var best wire.NodeID
+	var bestBal wire.Ballot
+	found := false
+	for _, id := range c.Running() {
+		rep, ok := c.Replica(id)
+		if !ok {
+			continue
+		}
+		var active bool
+		var bal wire.Ballot
+		rep.Inspect(func(r *core.Replica) {
+			active = r.IsActiveLeader()
+			bal = r.Ballot()
+		})
+		if active && (!found || bestBal.Less(bal)) {
+			best, bestBal, found = id, bal, true
+		}
+	}
+	return best, found
+}
+
+// WaitForLeader blocks until some replica is an active leader.
+func (c *Cluster) WaitForLeader(timeout time.Duration) (wire.NodeID, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if id, ok := c.Leader(); ok {
+			return id, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("cluster: no leader within %v", timeout)
+}
+
+// Crash stops a replica and drops all its traffic, modelling a crash
+// failure (§3.1).
+func (c *Cluster) Crash(id wire.NodeID) {
+	c.mu.Lock()
+	rep, ok := c.Replicas[id]
+	delete(c.Replicas, id)
+	c.mu.Unlock()
+	if ok {
+		rep.Stop()
+	}
+	c.Net.Model().SetDown(id, true)
+}
+
+// Restart recovers a crashed replica from its stable storage (§3.1:
+// faulty processes can recover).
+func (c *Cluster) Restart(id wire.NodeID) error {
+	if _, running := c.Replica(id); running {
+		return fmt.Errorf("cluster: replica %v already running", id)
+	}
+	c.Net.Model().SetDown(id, false)
+	return c.startReplica(id)
+}
+
+// SuspectLeader forces every replica's Ω module to distrust the current
+// leader, triggering an election without a real crash — the §3.6 leader
+// switch scenario.
+func (c *Cluster) SuspectLeader() {
+	leader, ok := c.Leader()
+	if !ok {
+		return
+	}
+	for _, id := range c.Running() {
+		rep, ok := c.Replica(id)
+		if !ok {
+			continue
+		}
+		// Suspect(leader) at the leader itself maps to a claim
+		// withdrawal, so one loop covers everyone.
+		rep.Inspect(func(r *core.Replica) { r.Elector().Suspect(leader) })
+	}
+}
+
+// Close stops every replica and the network.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	reps := make([]*core.Replica, 0, len(c.Replicas))
+	for _, rep := range c.Replicas {
+		reps = append(reps, rep)
+	}
+	c.Replicas = map[wire.NodeID]*core.Replica{}
+	c.mu.Unlock()
+	for _, rep := range reps {
+		rep.Stop()
+	}
+	c.Net.Close()
+}

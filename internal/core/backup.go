@@ -1,0 +1,179 @@
+package core
+
+import (
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// onPrepare answers a phase-1a message. Observing a higher ballot means
+// another process is being elected: any local leadership is abandoned
+// before voting.
+func (r *Replica) onPrepare(from wire.NodeID, m *wire.Prepare) {
+	if r.maxSeen.Less(m.Bal) {
+		r.maxSeen = m.Bal
+	}
+	if r.role != RoleBackup && r.bal.Less(m.Bal) {
+		r.logf("prepare %v from %v supersedes my %v", m.Bal, from, r.bal)
+		r.stepDown()
+	}
+	p, err := r.acc.OnPrepare(m)
+	if err != nil {
+		r.fatal("prepare persist: %v", err)
+		return
+	}
+	p.From = r.cfg.ID
+	r.send(from, p)
+}
+
+// onAccept answers a phase-2a message. The accepted entries are persisted
+// by the acceptor; their state is applied when the commit index covers
+// them (§3.3: replicas keep every request but apply only the latest
+// state).
+func (r *Replica) onAccept(from wire.NodeID, m *wire.Accept) {
+	if r.maxSeen.Less(m.Bal) {
+		r.maxSeen = m.Bal
+	}
+	if r.role != RoleBackup && r.bal.Less(m.Bal) {
+		r.logf("accept %v from %v supersedes my %v", m.Bal, from, r.bal)
+		r.stepDown()
+	}
+	acked, err := r.acc.OnAccept(m)
+	if err != nil {
+		r.fatal("accept persist: %v", err)
+		return
+	}
+	acked.From = r.cfg.ID
+	r.send(from, acked)
+	if !acked.OK {
+		return
+	}
+	r.advanceChosen(m.Commit)
+}
+
+// onCommitMsg learns that a prefix of instances is chosen.
+func (r *Replica) onCommitMsg(m *wire.Commit) {
+	if r.role == RoleBackup {
+		r.advanceChosen(m.Index)
+	}
+}
+
+// advanceChosen moves the commit index forward and applies the newly
+// chosen entries to the service. A backup missing entries (or their
+// state) falls behind in applied; the tick loop then requests catch-up.
+func (r *Replica) advanceChosen(idx uint64) {
+	if idx <= r.acc.Chosen() {
+		return
+	}
+	if err := r.acc.MarkChosen(idx); err != nil {
+		r.fatal("mark chosen: %v", err)
+		return
+	}
+	r.applyCommitted(idx)
+	r.maybeCompact()
+}
+
+// applyCommitted folds chosen entries (applied, idx] into the service
+// state, dispatching on what each proposal carries:
+//
+//   - a full snapshot: adopt it (it subsumes everything before it, which
+//     is how full-mode waves work — state only on the top instance);
+//   - a delta: apply it, which requires contiguity;
+//   - captured nondeterminism (Aux): replay the requests
+//     deterministically, also contiguous;
+//   - nothing (a no-op filler, or a full-mode intermediate): a no-op
+//     advances; an intermediate is skipped and covered by the wave top.
+func (r *Replica) applyCommitted(idx uint64) {
+	for inst := r.applied + 1; inst <= idx; inst++ {
+		e, ok := r.acc.Get(inst)
+		if !ok {
+			return // missing entry: stay behind, catch-up will fix it
+		}
+		p := &e.Prop
+		switch {
+		case p.HasState && p.Kind == wire.StateFull:
+			if err := r.svc.Restore(p.State); err != nil {
+				r.fatal("state restore at %d: %v", inst, err)
+				return
+			}
+			r.applied = inst
+		case p.HasState && p.Kind == wire.StateDelta:
+			if r.applied != inst-1 || r.differ == nil {
+				return // not contiguous (or wrong mode): need catch-up
+			}
+			if err := r.differ.ApplyDelta(p.State); err != nil {
+				r.fatal("delta apply at %d: %v", inst, err)
+				return
+			}
+			r.applied = inst
+		case len(p.Aux) == len(p.Reqs) && len(p.Reqs) > 0:
+			if r.applied != inst-1 || r.replayer == nil {
+				return
+			}
+			for i := range p.Reqs {
+				if _, err := r.replayer.Replay(p.Reqs[i].Op, p.Aux[i]); err != nil {
+					r.fatal("replay at %d: %v", inst, err)
+					return
+				}
+			}
+			r.applied = inst
+		case len(p.Reqs) == 0:
+			// No-op filler from a recovery wave.
+			if r.applied == inst-1 {
+				r.applied = inst
+			}
+		default:
+			// Full-mode intermediate: no state attached; the wave's
+			// top snapshot will cover it.
+		}
+	}
+}
+
+// sendCatchup asks the peers for the chosen suffix this replica lacks.
+func (r *Replica) sendCatchup(now time.Time) {
+	r.catchupSentAt = now
+	r.othersDo(&wire.CatchUpReq{From: r.cfg.ID, HaveChosen: r.applied})
+}
+
+// onCatchUpReq serves a lagging replica: the chosen entries above its
+// index plus a full snapshot of the responder's current service state.
+// Only a replica whose state is clean — fully applied, no speculative
+// wave execution, no open exclusive transaction — may answer.
+func (r *Replica) onCatchUpReq(m *wire.CatchUpReq) {
+	chosen := r.acc.Chosen()
+	if chosen <= m.HaveChosen || r.applied != chosen {
+		return
+	}
+	if r.wave != nil || (r.exclus && len(r.txns) > 0) {
+		return // speculative state; the requester will retry
+	}
+	r.send(m.From, &wire.CatchUpResp{
+		From:    r.cfg.ID,
+		Entries: r.acc.EntriesBetween(m.HaveChosen, chosen),
+		Chosen:  chosen,
+		State:   r.svc.Snapshot(),
+		StateAt: chosen,
+	})
+}
+
+// onCatchUpResp installs chosen entries and the snapshot from a peer.
+func (r *Replica) onCatchUpResp(m *wire.CatchUpResp) {
+	if m.StateAt != m.Chosen || m.Chosen <= r.applied {
+		return
+	}
+	if err := r.acc.Install(m.Entries, m.Chosen); err != nil {
+		r.fatal("catch-up install: %v", err)
+		return
+	}
+	if err := r.svc.Restore(m.State); err != nil {
+		r.fatal("catch-up restore: %v", err)
+		return
+	}
+	r.applied = m.Chosen
+	r.logf("caught up to %d", m.Chosen)
+
+	if r.role == RolePreparing && r.awaitCatchup && r.applied >= r.prep.MaxChosen() {
+		r.awaitCatchup = false
+		r.finishActivation()
+	}
+}

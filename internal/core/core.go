@@ -1,0 +1,604 @@
+// Package core implements the paper's primary contribution: a replica
+// engine for nondeterministic services in asynchronous systems, built on
+// Paxos (§3.3), with the X-Paxos read optimization (§3.4) and the T-Paxos
+// transaction optimization (§3.5).
+//
+// Protocol summary
+//
+//   - Clients broadcast every request to all replicas; only the leader
+//     replies. The leader executes each mutating request once — capturing
+//     all nondeterministic choices — and then has the pair <req, state>
+//     chosen by one Paxos instance. Backups never execute requests; they
+//     adopt the leader's state.
+//   - Instance i is proposed only after instance i−1 commits, so the
+//     chosen log has no gaps. Queued requests are batched into a single
+//     multi-instance accept message, the same mechanism §3.3 uses for
+//     leader recovery ("one single message" covering several instances);
+//     service state is attached only to the batch's highest instance.
+//   - Reads (X-Paxos) skip consensus: every non-leader replica that
+//     receives the read sends a confirm — carrying the highest ballot it
+//     has accepted — to that ballot's proposer; the leader replies after
+//     a majority of confirms, and after every write it had proposed
+//     before the read arrived has committed.
+//   - Transactions (T-Paxos) execute on the leader with immediate
+//     replies; a single consensus instance at commit carries the whole
+//     transaction and the resulting state. Leader switches abort open
+//     transactions (§3.6).
+//
+// A Replica runs one event-loop goroutine; every protocol structure is
+// confined to it.
+package core
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridrep/internal/omega"
+	"gridrep/internal/paxos"
+	"gridrep/internal/service"
+	"gridrep/internal/storage"
+	"gridrep/internal/transport"
+	"gridrep/internal/wire"
+)
+
+// StateMode selects how proposals carry service state (§3.3 discusses
+// all three). The default Auto picks the cheapest mode the service
+// supports: Replay when it implements service.Replayer, Delta when it
+// implements service.Differ, Full otherwise.
+type StateMode int
+
+const (
+	// StateModeAuto: choose per the service's capabilities.
+	StateModeAuto StateMode = iota
+	// StateModeFull: proposals carry full post-execution snapshots
+	// (attached only to the top instance of each accept wave).
+	StateModeFull
+	// StateModeDelta: proposals carry per-instance state deltas
+	// (service.Differ).
+	StateModeDelta
+	// StateModeReplay: proposals carry the captured nondeterministic
+	// choices; replicas regenerate state by deterministic re-execution
+	// (service.Replayer).
+	StateModeReplay
+)
+
+func (m StateMode) String() string {
+	switch m {
+	case StateModeFull:
+		return "full"
+	case StateModeDelta:
+		return "delta"
+	case StateModeReplay:
+		return "replay"
+	default:
+		return "auto"
+	}
+}
+
+// Role is a replica's current protocol role.
+type Role int
+
+const (
+	// RoleBackup: acceptor only; ignores client requests except reads
+	// (which it confirms).
+	RoleBackup Role = iota
+	// RolePreparing: elected by Ω, running the prepare phase (and
+	// possibly catching up) before serving.
+	RolePreparing
+	// RoleLeading: serving client requests. The leader is fully active
+	// once its recovery wave (if any) has committed.
+	RoleLeading
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleBackup:
+		return "backup"
+	case RolePreparing:
+		return "preparing"
+	case RoleLeading:
+		return "leading"
+	default:
+		return "role?"
+	}
+}
+
+// Config assembles a replica.
+type Config struct {
+	// ID is this replica's node ID (must be < wire.ClientIDBase).
+	ID wire.NodeID
+	// Peers lists all replica IDs, including ID.
+	Peers []wire.NodeID
+	// Service is the replicated application instance owned by this
+	// replica.
+	Service service.Service
+	// Store is the replica's stable storage. Defaults to storage.NewMem.
+	Store storage.Store
+	// Transport carries protocol messages. Required.
+	Transport transport.Transport
+
+	// HeartbeatInterval drives Ω heartbeats (default 25ms).
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is how long a silent leader stays trusted
+	// (default 8×HeartbeatInterval).
+	ElectionTimeout time.Duration
+	// RetryTimeout bounds how long the leader waits before
+	// retransmitting an unacknowledged prepare/accept/catch-up
+	// (default 4×HeartbeatInterval).
+	RetryTimeout time.Duration
+	// CompactEvery triggers log-state compaction after this many
+	// committed instances (default 1024).
+	CompactEvery uint64
+	// NoBatch disables multi-instance accept waves (ablation knob): each
+	// wave carries exactly one request, so the strictly sequential
+	// reading of §3.3 is enforced even under load. Default off — the
+	// paper's own recovery path sends multi-instance accepts, and
+	// batching is what lets write throughput scale in Figure 5.
+	NoBatch bool
+	// StateMode selects the state-transfer reduction of §3.3.
+	StateMode StateMode
+
+	// Logger, if set, receives role transitions and anomalies.
+	Logger *log.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Store == nil {
+		c.Store = storage.NewMem()
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if c.ElectionTimeout == 0 {
+		c.ElectionTimeout = 8 * c.HeartbeatInterval
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 1024
+	}
+}
+
+// wave is one in-flight multi-instance accept (§3.3: several instances,
+// one message; state attached to the top instance only).
+type wave struct {
+	round    *paxos.AcceptRound
+	entries  []wire.Entry
+	undo     []byte      // pre-execution snapshot; nil for recovery waves
+	recovery bool        // re-proposing learned entries after election
+	txns     []*txnState // transactions committing in this wave
+	sentAt   time.Time
+}
+
+// pendingRead is an X-Paxos read waiting for majority confirms and for
+// the commit barrier (every instance proposed before the read arrived).
+type pendingRead struct {
+	req      wire.Request
+	confirms map[wire.NodeID]bool
+	barrier  uint64
+}
+
+// cachedReply supports at-most-once execution per client.
+type cachedReply struct {
+	seq    uint64
+	result []byte
+	status wire.ReplyStatus
+}
+
+// Replica is one service process of the replicated nondeterministic
+// service.
+type Replica struct {
+	cfg      Config
+	tr       transport.Transport
+	acc      *paxos.Acceptor
+	elector  *omega.Elector
+	svc      service.Service
+	txnSvc   service.Transactional
+	exclus   bool // transactions serialize all other work
+	mode     StateMode
+	differ   service.Differ   // non-nil in delta mode
+	replayer service.Replayer // non-nil in replay mode
+
+	role      Role
+	activated bool // leading and done with recovery
+	bal       wire.Ballot
+	maxSeen   wire.Ballot // highest ballot observed anywhere
+
+	prep          *paxos.PrepareRound
+	prepSentAt    time.Time
+	prepBackoff   time.Time
+	awaitCatchup  bool
+	catchupSentAt time.Time
+
+	queue        []workItem
+	wave         *wave
+	nextInstance uint64
+	applied      uint64 // instance whose post-state the service reflects
+
+	reads      map[wire.Key]*pendingRead
+	confirmBuf map[wire.Key][]wire.NodeID
+	deferred   []wire.Request // requests received while preparing
+
+	txns    map[txnKey]*txnState
+	blocked []wire.Request // work blocked behind an exclusive transaction
+
+	lastReply map[wire.NodeID]cachedReply
+	pending   map[wire.Key]bool // queued or in-flight mutating requests
+
+	lastCompact uint64
+
+	stop chan struct{}
+	done chan struct{}
+	ctl  chan func()
+}
+
+// workItem is one unit of wave work: a plain write, or a transaction
+// commit carrying its accumulated state.
+type workItem struct {
+	req wire.Request
+	txn *txnState
+}
+
+// New assembles a replica. Call Start to launch its event loop.
+func New(cfg Config) (*Replica, error) {
+	cfg.fillDefaults()
+	acc, err := paxos.NewAcceptor(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	txnSvc := service.AsTransactional(cfg.Service)
+	mode := cfg.StateMode
+	replayer, isReplayer := cfg.Service.(service.Replayer)
+	differ, isDiffer := cfg.Service.(service.Differ)
+	if mode == StateModeAuto {
+		switch {
+		case isReplayer:
+			mode = StateModeReplay
+		case isDiffer:
+			mode = StateModeDelta
+		default:
+			mode = StateModeFull
+		}
+	}
+	switch mode {
+	case StateModeReplay:
+		if !isReplayer {
+			return nil, fmt.Errorf("core: StateModeReplay requires a service.Replayer")
+		}
+	case StateModeDelta:
+		if !isDiffer {
+			return nil, fmt.Errorf("core: StateModeDelta requires a service.Differ")
+		}
+	}
+	r := &Replica{
+		cfg:    cfg,
+		tr:     cfg.Transport,
+		acc:    acc,
+		svc:    cfg.Service,
+		txnSvc: txnSvc,
+		exclus: service.IsExclusive(txnSvc),
+		mode:   mode,
+		elector: omega.New(omega.Config{
+			Self:     cfg.ID,
+			Peers:    cfg.Peers,
+			Interval: cfg.HeartbeatInterval,
+			Timeout:  cfg.ElectionTimeout,
+		}),
+		reads:      make(map[wire.Key]*pendingRead),
+		confirmBuf: make(map[wire.Key][]wire.NodeID),
+		txns:       make(map[txnKey]*txnState),
+		lastReply:  make(map[wire.NodeID]cachedReply),
+		pending:    make(map[wire.Key]bool),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		ctl:        make(chan func(), 16),
+	}
+	if mode == StateModeReplay {
+		r.replayer = replayer
+	}
+	if mode == StateModeDelta {
+		r.differ = differ
+	}
+	r.maxSeen = acc.Promised()
+	r.nextInstance = acc.Chosen() + 1
+	// A recovering replica first replays its own durable log into the
+	// service; without this, a full-cluster restart would deadlock with
+	// every replica waiting for an up-to-date peer to catch up from.
+	// Whatever the local log cannot reconstruct (compacted state, a
+	// missed suffix) is fetched from peers later.
+	r.applyCommitted(acc.Chosen())
+	return r, nil
+}
+
+// Start launches the event loop.
+func (r *Replica) Start() { go r.run() }
+
+// Stop terminates the event loop and closes the transport endpoint.
+func (r *Replica) Stop() {
+	select {
+	case <-r.stop:
+		return // already stopped
+	default:
+	}
+	close(r.stop)
+	<-r.done
+	r.tr.Close()
+}
+
+// Inspect runs f on the replica's event loop and waits for it; tests and
+// failure injectors use it to observe or perturb internal state safely.
+func (r *Replica) Inspect(f func(r *Replica)) bool {
+	doneCh := make(chan struct{})
+	select {
+	case r.ctl <- func() { f(r); close(doneCh) }:
+	case <-r.done:
+		return false
+	}
+	select {
+	case <-doneCh:
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// ID returns the replica's node ID.
+func (r *Replica) ID() wire.NodeID { return r.cfg.ID }
+
+// Accessors for Inspect closures (event-loop confined).
+
+// Role returns the current role (call inside Inspect).
+func (r *Replica) Role() Role { return r.role }
+
+// IsActiveLeader reports whether the replica is serving requests (call
+// inside Inspect).
+func (r *Replica) IsActiveLeader() bool { return r.role == RoleLeading && r.activated }
+
+// Chosen returns the commit index (call inside Inspect).
+func (r *Replica) Chosen() uint64 { return r.acc.Chosen() }
+
+// Applied returns the instance whose state the service reflects (call
+// inside Inspect).
+func (r *Replica) Applied() uint64 { return r.applied }
+
+// Ballot returns the replica's current leadership ballot (call inside
+// Inspect).
+func (r *Replica) Ballot() wire.Ballot { return r.bal }
+
+// Service returns the replica's service instance (call inside Inspect).
+func (r *Replica) Service() service.Service { return r.svc }
+
+// Elector returns the Ω elector (call inside Inspect; tests use Suspect
+// to force leader switches).
+func (r *Replica) Elector() *omega.Elector { return r.elector }
+
+// OpenTxns returns the number of open transactions (call inside Inspect).
+func (r *Replica) OpenTxns() int { return len(r.txns) }
+
+func (r *Replica) logf(format string, args ...interface{}) {
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Printf("replica %v [%v]: "+format,
+			append([]interface{}{r.cfg.ID, r.role}, args...)...)
+	}
+}
+
+func (r *Replica) quorum() int { return paxos.Quorum(len(r.cfg.Peers)) }
+
+// othersDo sends msg to every peer except self.
+func (r *Replica) othersDo(msg wire.Message) {
+	for _, p := range r.cfg.Peers {
+		if p != r.cfg.ID {
+			r.tr.Send(&wire.Envelope{To: p, Msg: msg})
+		}
+	}
+}
+
+func (r *Replica) send(to wire.NodeID, msg wire.Message) {
+	r.tr.Send(&wire.Envelope{To: to, Msg: msg})
+}
+
+// run is the event loop: all protocol state is confined to this
+// goroutine.
+func (r *Replica) run() {
+	defer close(r.done)
+	tickEvery := r.cfg.HeartbeatInterval / 2
+	if tickEvery < time.Millisecond {
+		tickEvery = time.Millisecond
+	}
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	r.tick(time.Now())
+	for {
+		select {
+		case <-r.stop:
+			return
+		case f := <-r.ctl:
+			f()
+		case env, ok := <-r.tr.Recv():
+			if !ok {
+				return
+			}
+			r.handle(env)
+		case now := <-ticker.C:
+			r.tick(now)
+		}
+	}
+}
+
+func (r *Replica) handle(env *wire.Envelope) {
+	if !env.From.IsClient() {
+		// Any message from a peer replica is liveness evidence; without
+		// this, heartbeats queued behind bulk traffic cause spurious
+		// leader suspicion under load.
+		r.elector.Observe(env.From, time.Now())
+	}
+	switch m := env.Msg.(type) {
+	case *wire.RequestMsg:
+		r.onRequest(m.Req)
+	case *wire.Prepare:
+		r.onPrepare(env.From, m)
+	case *wire.Promise:
+		r.onPromise(env.From, m)
+	case *wire.Accept:
+		r.onAccept(env.From, m)
+	case *wire.Accepted:
+		r.onAccepted(env.From, m)
+	case *wire.Commit:
+		r.onCommitMsg(m)
+	case *wire.Confirm:
+		r.onConfirm(m)
+	case *wire.Heartbeat:
+		r.elector.OnHeartbeat(m, time.Now())
+		if r.role == RoleBackup && m.Chosen > r.acc.Chosen() {
+			r.advanceChosen(m.Chosen)
+		}
+	case *wire.CatchUpReq:
+		r.onCatchUpReq(m)
+	case *wire.CatchUpResp:
+		r.onCatchUpResp(m)
+	}
+}
+
+// tick drives heartbeats, leadership transitions, and retransmissions.
+func (r *Replica) tick(now time.Time) {
+	if hb := r.elector.Tick(now); hb != nil {
+		hb.Chosen = r.acc.Chosen()
+		r.othersDo(hb)
+	}
+	leader, ok := r.elector.Leader(now)
+	switch {
+	case ok && leader == r.cfg.ID && r.role == RoleBackup:
+		if now.After(r.prepBackoff) {
+			r.startPrepare(now)
+		}
+	case (!ok || leader != r.cfg.ID) && r.role != RoleBackup:
+		r.logf("deposed by Ω (leader=%v ok=%v)", leader, ok)
+		r.stepDown()
+	}
+
+	// Retransmissions: the asynchronous model makes the protocol layer
+	// responsible for all reliability (§3.3: "If the leader fails to
+	// receive the expected response ... it retransmits those messages").
+	switch r.role {
+	case RolePreparing:
+		if r.awaitCatchup {
+			if now.Sub(r.catchupSentAt) > r.cfg.RetryTimeout {
+				r.sendCatchup(now)
+			}
+		} else if now.Sub(r.prepSentAt) > r.cfg.RetryTimeout {
+			r.prepSentAt = now
+			r.othersDo(&wire.Prepare{Bal: r.bal, After: r.acc.Chosen()})
+		}
+	case RoleLeading:
+		if r.wave != nil && now.Sub(r.wave.sentAt) > r.cfg.RetryTimeout {
+			r.wave.sentAt = now
+			r.othersDo(&wire.Accept{Bal: r.bal, Entries: r.wave.entries, Commit: r.acc.Chosen()})
+		}
+	case RoleBackup:
+		// A backup whose applied state trails the commit index is
+		// missing entries (or their state); fetch the suffix.
+		if r.acc.Chosen() > r.applied && now.Sub(r.catchupSentAt) > r.cfg.RetryTimeout {
+			r.sendCatchup(now)
+		}
+	}
+}
+
+// startPrepare begins the prepare phase for a fresh ballot (§3.2).
+func (r *Replica) startPrepare(now time.Time) {
+	cur := r.maxSeen
+	if cur.Less(r.acc.Promised()) {
+		cur = r.acc.Promised()
+	}
+	if cur.Less(r.bal) {
+		cur = r.bal
+	}
+	r.bal = paxos.NextBallot(cur, r.cfg.ID)
+	r.maxSeen = r.bal
+	r.role = RolePreparing
+	r.activated = false
+	r.awaitCatchup = false
+	r.prep = paxos.NewPrepareRound(r.bal, r.quorum())
+	r.prepSentAt = now
+	r.logf("prepare %v after=%d", r.bal, r.acc.Chosen())
+
+	// Self-promise first, then one message to everyone else (§3.3).
+	p, err := r.acc.OnPrepare(&wire.Prepare{Bal: r.bal, After: r.acc.Chosen()})
+	if err != nil {
+		r.fatal("self-prepare: %v", err)
+		return
+	}
+	r.othersDo(&wire.Prepare{Bal: r.bal, After: r.acc.Chosen()})
+	if done, _ := r.prep.Add(p, r.cfg.ID); done {
+		r.onPrepared()
+	}
+}
+
+// stepDown returns to the backup role, rolling back every speculative
+// effect: the in-flight wave's execution, open transactions, and pending
+// reads.
+func (r *Replica) stepDown() {
+	wasLeading := r.role != RoleBackup
+	r.role = RoleBackup
+	r.activated = false
+	r.prep = nil
+	r.awaitCatchup = false
+	if !wasLeading {
+		return
+	}
+	// Abort open transactions (§3.6: "if the leader switches during the
+	// transaction ... the transaction has to be aborted").
+	for _, tx := range r.txns {
+		tx.ws.Abort()
+	}
+	r.txns = make(map[txnKey]*txnState)
+	// Roll back the speculatively executed wave.
+	if r.wave != nil && r.wave.undo != nil {
+		if err := r.svc.Restore(r.wave.undo); err != nil {
+			r.fatal("undo restore: %v", err)
+		}
+	}
+	r.wave = nil
+	// Tell waiting clients to retry elsewhere.
+	for _, pr := range r.reads {
+		r.reply(pr.req, wire.StatusNotLeader, nil, "leader switch")
+	}
+	r.reads = make(map[wire.Key]*pendingRead)
+	for _, it := range r.queue {
+		r.reply(it.req, wire.StatusNotLeader, nil, "leader switch")
+	}
+	for _, req := range r.blocked {
+		r.reply(req, wire.StatusNotLeader, nil, "leader switch")
+	}
+	for _, req := range r.deferred {
+		r.reply(req, wire.StatusNotLeader, nil, "leader switch")
+	}
+	r.queue, r.blocked, r.deferred = nil, nil, nil
+	r.pending = make(map[wire.Key]bool)
+	r.confirmBuf = make(map[wire.Key][]wire.NodeID)
+	r.nextInstance = r.acc.Chosen() + 1
+	r.logf("stepped down at chosen=%d", r.acc.Chosen())
+}
+
+// fatal reports an unrecoverable local fault (storage failure). The
+// replica stops participating, which the protocol tolerates as a crash.
+func (r *Replica) fatal(format string, args ...interface{}) {
+	r.logf("FATAL: "+format, args...)
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+}
+
+func (r *Replica) reply(req wire.Request, status wire.ReplyStatus, result []byte, errStr string) {
+	r.send(req.Client, &wire.ReplyMsg{Rep: wire.Reply{
+		Client: req.Client,
+		Seq:    req.Seq,
+		Status: status,
+		Leader: r.cfg.ID,
+		Result: result,
+		Err:    errStr,
+	}})
+}

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"gridrep/internal/paxos"
+	"gridrep/internal/wire"
+)
+
+// onRequest dispatches a client request according to its kind and the
+// replica's role. Backups ignore everything except reads, for which they
+// send X-Paxos confirms; clients rely on the broadcast reaching whoever
+// currently leads (§3.3).
+func (r *Replica) onRequest(req wire.Request) {
+	switch req.Kind {
+	case wire.KindRead:
+		if r.role == RoleLeading && r.activated {
+			r.registerRead(req)
+		} else if r.role == RolePreparing {
+			r.deferRequest(req)
+		} else {
+			r.sendConfirm(req)
+		}
+	case wire.KindOriginal:
+		// The paper's unreplicated baseline: execute and reply with no
+		// coordination at all.
+		if r.role == RoleLeading && r.activated {
+			res, err := r.svc.Execute(req.Op)
+			if err != nil {
+				r.reply(req, wire.StatusError, nil, err.Error())
+				return
+			}
+			r.reply(req, wire.StatusOK, res, "")
+		}
+	case wire.KindWrite:
+		if r.role == RoleLeading && r.activated {
+			r.admitWrite(req)
+		} else if r.role == RolePreparing {
+			r.deferRequest(req)
+		}
+	case wire.KindTxnOp, wire.KindTxnCommit, wire.KindTxnAbort:
+		if r.role == RoleLeading && r.activated {
+			r.onTxnRequest(req)
+		} else if r.role == RolePreparing {
+			r.deferRequest(req)
+		}
+	}
+}
+
+// deferRequest parks a request received during the prepare phase; it is
+// replayed once the leader activates (bounded to protect memory).
+func (r *Replica) deferRequest(req wire.Request) {
+	if len(r.deferred) < 65536 {
+		r.deferred = append(r.deferred, req)
+	}
+}
+
+// admitWrite queues a write for the next wave, deduplicating retransmits.
+func (r *Replica) admitWrite(req wire.Request) {
+	if r.dedup(req) {
+		return
+	}
+	if r.exclusiveBusy() {
+		r.blocked = append(r.blocked, req)
+		return
+	}
+	r.pending[req.Key()] = true
+	r.queue = append(r.queue, workItem{req: req})
+	r.maybeStartWave()
+}
+
+// dedup implements at-most-once execution per client: a retransmitted
+// request that already committed is answered from the reply cache; one
+// that is queued or in flight is dropped (its reply will come).
+func (r *Replica) dedup(req wire.Request) bool {
+	if last, ok := r.lastReply[req.Client]; ok {
+		if req.Seq == last.seq {
+			r.send(req.Client, &wire.ReplyMsg{Rep: wire.Reply{
+				Client: req.Client, Seq: req.Seq, Status: last.status,
+				Leader: r.cfg.ID, Result: last.result,
+			}})
+			return true
+		}
+		if req.Seq < last.seq {
+			return true // stale retransmit
+		}
+	}
+	return r.pending[req.Key()]
+}
+
+// exclusiveBusy reports whether an exclusive (serialized) transaction
+// currently owns the service, forcing everything else to wait.
+func (r *Replica) exclusiveBusy() bool { return r.exclus && len(r.txns) > 0 }
+
+// drainBlocked re-admits work that was parked behind an exclusive
+// transaction.
+func (r *Replica) drainBlocked() {
+	if r.exclusiveBusy() || len(r.blocked) == 0 {
+		return
+	}
+	blocked := r.blocked
+	r.blocked = nil
+	for _, req := range blocked {
+		r.onRequest(req)
+		if r.exclusiveBusy() {
+			// A new exclusive transaction started; park the rest again.
+			break
+		}
+	}
+}
+
+// maybeStartWave launches the next accept wave when the pipeline rule
+// allows: never more than one wave in flight, because instance i must not
+// be proposed before instance i−1 commits (§3.3).
+func (r *Replica) maybeStartWave() {
+	if r.role != RoleLeading || !r.activated || r.wave != nil || len(r.queue) == 0 {
+		return
+	}
+	items := r.queue
+	r.queue = nil
+	if r.cfg.NoBatch && len(items) > 1 {
+		r.queue = items[1:]
+		items = items[:1]
+	}
+
+	undo := r.svc.Snapshot()
+	var entries []wire.Entry
+	var txns []*txnState
+	for _, it := range items {
+		if it.txn != nil {
+			// T-Paxos commit: one instance decides the whole
+			// transaction and the state after applying it (§3.5).
+			if it.txn.exclusive {
+				// The pre-transaction snapshot is the only state
+				// that excludes the transaction's effects.
+				undo = it.txn.preSnap
+			}
+			if err := it.txn.ws.Commit(); err != nil {
+				r.finishTxn(it.txn)
+				r.reply(it.req, wire.StatusAborted, nil, err.Error())
+				continue
+			}
+			reqs := append(append([]wire.Request{}, it.txn.ops...), it.req)
+			results := append(append([][]byte{}, it.txn.results...), nil)
+			prop := wire.Proposal{Reqs: reqs, Results: results}
+			if r.mode != StateModeFull {
+				// Transaction effects are not expressible as deltas or
+				// replays; attach a full snapshot to this instance.
+				prop.State = r.svc.Snapshot()
+				prop.HasState = true
+				prop.Kind = wire.StateFull
+			}
+			entries = append(entries, wire.Entry{Instance: r.nextInstance, Prop: prop})
+			r.nextInstance++
+			txns = append(txns, it.txn)
+			continue
+		}
+		prop, err := r.executeWrite(it.req)
+		if err != nil {
+			delete(r.pending, it.req.Key())
+			r.reply(it.req, wire.StatusError, nil, err.Error())
+			continue
+		}
+		entries = append(entries, wire.Entry{Instance: r.nextInstance, Prop: prop})
+		r.nextInstance++
+	}
+	if len(entries) == 0 {
+		return
+	}
+	if r.mode == StateModeFull {
+		// State rides on the top instance only (§3.3).
+		top := &entries[len(entries)-1]
+		top.Prop.State = r.svc.Snapshot()
+		top.Prop.HasState = true
+		top.Prop.Kind = wire.StateFull
+	}
+	r.launchWave(&wave{entries: entries, undo: undo, txns: txns})
+}
+
+// executeWrite runs one write on the service per the state mode,
+// producing the proposal for its consensus instance.
+func (r *Replica) executeWrite(req wire.Request) (wire.Proposal, error) {
+	switch r.mode {
+	case StateModeReplay:
+		res, aux, err := r.replayer.ExecuteCapture(req.Op)
+		if err != nil {
+			return wire.Proposal{}, err
+		}
+		return wire.Proposal{
+			Reqs:    []wire.Request{req},
+			Results: [][]byte{res},
+			Aux:     [][]byte{aux},
+		}, nil
+	case StateModeDelta:
+		res, delta, err := r.differ.ExecuteDelta(req.Op)
+		if err != nil {
+			return wire.Proposal{}, err
+		}
+		return wire.Proposal{
+			Reqs:     []wire.Request{req},
+			Results:  [][]byte{res},
+			State:    delta,
+			HasState: true,
+			Kind:     wire.StateDelta,
+		}, nil
+	default:
+		res, err := r.svc.Execute(req.Op)
+		if err != nil {
+			return wire.Proposal{}, err
+		}
+		return wire.Proposal{Reqs: []wire.Request{req}, Results: [][]byte{res}}, nil
+	}
+}
+
+// launchWave self-accepts and broadcasts one accept message covering all
+// of the wave's instances.
+func (r *Replica) launchWave(w *wave) {
+	insts := make([]uint64, len(w.entries))
+	for i, e := range w.entries {
+		insts[i] = e.Instance
+	}
+	w.round = paxos.NewAcceptRound(r.bal, insts, r.quorum())
+	w.sentAt = time.Now()
+	r.wave = w
+
+	msg := &wire.Accept{Bal: r.bal, Entries: w.entries, Commit: r.acc.Chosen()}
+	acked, err := r.acc.OnAccept(msg)
+	if err != nil {
+		r.fatal("self-accept: %v", err)
+		return
+	}
+	r.othersDo(msg)
+	if done, _ := w.round.Add(acked, r.cfg.ID); done {
+		r.commitWave()
+	}
+}
+
+// onAccepted folds a phase-2b vote into the in-flight wave.
+func (r *Replica) onAccepted(from wire.NodeID, m *wire.Accepted) {
+	if r.role != RoleLeading || r.wave == nil || !m.Bal.Equal(r.bal) {
+		return
+	}
+	done, rejected := r.wave.round.Add(m, from)
+	if rejected {
+		if r.maxSeen.Less(m.MaxProm) {
+			r.maxSeen = m.MaxProm
+		}
+		r.logf("wave rejected by %v (promised %v)", from, m.MaxProm)
+		r.elector.Demote() // withdraw the Ω claim; a stronger leader exists
+		r.prepBackoff = time.Now().Add(r.cfg.RetryTimeout)
+		r.stepDown()
+		return
+	}
+	if done {
+		r.commitWave()
+	}
+}
+
+// commitWave marks the wave's instances chosen, informs the backups,
+// replies to clients, and starts the next wave.
+func (r *Replica) commitWave() {
+	w := r.wave
+	r.wave = nil
+	top := w.round.Top
+	if err := r.acc.MarkChosen(top); err != nil {
+		r.fatal("mark chosen: %v", err)
+		return
+	}
+	r.othersDo(&wire.Commit{Bal: r.bal, Index: top})
+
+	if w.recovery {
+		// Adopt the recovered state: the previous leader executed these
+		// requests; fold their snapshots/deltas/replays in.
+		r.applyCommitted(top)
+		if r.applied != top {
+			// The learned entries could not reconstruct state (e.g. a
+			// mode mismatch) — unrecoverable locally.
+			r.fatal("recovery produced state at %d, need %d", r.applied, top)
+			return
+		}
+	} else {
+		r.applied = top
+	}
+
+	for _, e := range w.entries {
+		r.noteCommitted(e, !w.recovery)
+	}
+	for _, tx := range w.txns {
+		r.finishTxn(tx)
+	}
+	r.maybeCompact()
+
+	if w.recovery {
+		r.activate()
+		return
+	}
+	// Unblock reads whose barrier this commit satisfied, then pipeline
+	// the next wave.
+	r.flushReads()
+	r.drainBlocked()
+	r.maybeStartWave()
+}
+
+// noteCommitted updates the reply cache for every request in a committed
+// entry and sends the decisive reply. For a plain write that is the
+// write itself; for a transaction it is the commit request — the
+// transaction's inner operations were answered immediately when executed
+// (§3.5), so only their cache entries are refreshed here.
+func (r *Replica) noteCommitted(e wire.Entry, replyNow bool) {
+	n := len(e.Prop.Reqs)
+	for i, req := range e.Prop.Reqs {
+		var res []byte
+		if i < len(e.Prop.Results) {
+			res = e.Prop.Results[i]
+		}
+		if cur, ok := r.lastReply[req.Client]; !ok || req.Seq > cur.seq {
+			r.lastReply[req.Client] = cachedReply{seq: req.Seq, result: res, status: wire.StatusOK}
+		}
+		delete(r.pending, req.Key())
+		if replyNow && i == n-1 {
+			r.reply(req, wire.StatusOK, res, "")
+		}
+	}
+}
+
+// maybeCompact strips old state payloads from the log periodically.
+func (r *Replica) maybeCompact() {
+	if chosen := r.acc.Chosen(); chosen-r.lastCompact >= r.cfg.CompactEvery {
+		r.lastCompact = chosen
+		if err := r.acc.Compact(chosen); err != nil {
+			r.fatal("compact: %v", err)
+		}
+	}
+}
+
+// --- X-Paxos read path (§3.4) ---
+
+// sendConfirm implements the backup half of X-Paxos: confirm the read to
+// the proposer of the highest ballot this replica has accepted.
+func (r *Replica) sendConfirm(req wire.Request) {
+	bal := r.acc.Promised()
+	target := bal.Node
+	if bal.IsZero() {
+		// Nothing promised yet: fall back to the Ω estimate.
+		leader, ok := r.elector.Leader(time.Now())
+		if !ok {
+			return
+		}
+		target = leader
+	}
+	if target == r.cfg.ID {
+		return // we believe we lead but are not active; client will retry
+	}
+	r.send(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Client: req.Client, Seq: req.Seq})
+}
+
+// registerRead starts X-Paxos coordination for a read at the leader: the
+// reply needs (a) confirms from a majority — counting the leader itself —
+// proving no higher ballot has superseded us, and (b) commitment of every
+// write proposed before the read arrived, so the reply reflects the
+// latest completed write.
+func (r *Replica) registerRead(req wire.Request) {
+	if r.exclusiveBusy() {
+		r.blocked = append(r.blocked, req)
+		return
+	}
+	key := req.Key()
+	if _, dup := r.reads[key]; dup {
+		return
+	}
+	pr := &pendingRead{
+		req:      req,
+		confirms: map[wire.NodeID]bool{r.cfg.ID: true},
+		barrier:  r.nextInstance - 1,
+	}
+	for _, from := range r.confirmBuf[key] {
+		pr.confirms[from] = true
+	}
+	delete(r.confirmBuf, key)
+	r.reads[key] = pr
+	r.tryFinishRead(pr)
+}
+
+// onConfirm counts a backup's confirm toward the matching pending read.
+// Only confirms for the leader's own current ballot prove leadership; a
+// confirm carrying any other ballot is ignored (§3.4: only the leader
+// with the highest accepted ballot can assemble a majority).
+func (r *Replica) onConfirm(m *wire.Confirm) {
+	if r.role != RoleLeading || !m.Bal.Equal(r.bal) {
+		return
+	}
+	key := wire.Key{Client: m.Client, Seq: m.Seq}
+	pr, ok := r.reads[key]
+	if !ok {
+		// The confirm can outrun the client's request; buffer it.
+		if len(r.confirmBuf) < 65536 {
+			r.confirmBuf[key] = append(r.confirmBuf[key], m.From)
+		}
+		return
+	}
+	pr.confirms[m.From] = true
+	r.tryFinishRead(pr)
+}
+
+func (r *Replica) tryFinishRead(pr *pendingRead) {
+	if len(pr.confirms) < r.quorum() || r.acc.Chosen() < pr.barrier {
+		return
+	}
+	delete(r.reads, pr.req.Key())
+	res, err := r.svc.Execute(pr.req.Op)
+	if err != nil {
+		r.reply(pr.req, wire.StatusError, nil, err.Error())
+		return
+	}
+	r.reply(pr.req, wire.StatusOK, res, "")
+}
+
+// flushReads re-checks barrier satisfaction after a commit.
+func (r *Replica) flushReads() {
+	if len(r.reads) == 0 {
+		return
+	}
+	chosen := r.acc.Chosen()
+	var ready []*pendingRead
+	for _, pr := range r.reads {
+		if len(pr.confirms) >= r.quorum() && chosen >= pr.barrier {
+			ready = append(ready, pr)
+		}
+	}
+	for _, pr := range ready {
+		r.tryFinishRead(pr)
+	}
+}
+
+// --- prepare completion and activation ---
+
+// onPromise folds a phase-1b answer into the prepare round.
+func (r *Replica) onPromise(from wire.NodeID, m *wire.Promise) {
+	if r.role != RolePreparing || r.prep == nil || !m.Bal.Equal(r.bal) {
+		return
+	}
+	done, rejected := r.prep.Add(m, from)
+	if rejected {
+		if r.maxSeen.Less(r.prep.MaxPromSeen()) {
+			r.maxSeen = r.prep.MaxPromSeen()
+		}
+		r.prepBackoff = time.Now().Add(r.cfg.RetryTimeout)
+		r.stepDown()
+		return
+	}
+	if done {
+		r.onPrepared()
+	}
+}
+
+// onPrepared runs after a majority has promised. If a promiser reported
+// commits we lack, catch up first; otherwise finish activation.
+func (r *Replica) onPrepared() {
+	if r.prep.MaxChosen() > r.acc.Chosen() || r.applied < r.acc.Chosen() {
+		r.awaitCatchup = true
+		r.sendCatchup(time.Now())
+		return
+	}
+	r.finishActivation()
+}
+
+// finishActivation re-proposes every proposal learned during prepare —
+// filling true holes with no-ops — as a single recovery wave, then opens
+// for business (§3.3's recovery example: accept phases of 88, 89, and 91
+// in one message).
+func (r *Replica) finishActivation() {
+	chosen := r.acc.Chosen()
+	learned := r.prep.Outcome(chosen)
+	r.role = RoleLeading
+	r.rebuildReplyCache()
+
+	if len(learned) == 0 {
+		r.nextInstance = chosen + 1
+		r.activate()
+		return
+	}
+	top := learned[len(learned)-1].Instance
+	known := make(map[uint64]wire.Entry, len(learned))
+	for _, e := range learned {
+		known[e.Instance] = e
+	}
+	var entries []wire.Entry
+	for inst := chosen + 1; inst <= top; inst++ {
+		if e, ok := known[inst]; ok {
+			e.Bal = r.bal
+			entries = append(entries, e)
+		} else {
+			// Hole: nobody accepted anything here; decide a no-op so
+			// the log stays gap-free.
+			entries = append(entries, wire.Entry{Instance: inst, Bal: r.bal})
+		}
+	}
+	r.nextInstance = top + 1
+	r.logf("recovery wave %d..%d", chosen+1, top)
+	r.launchWave(&wave{entries: entries, recovery: true})
+}
+
+// activate opens the leader for client traffic and replays requests that
+// arrived during the prepare phase.
+func (r *Replica) activate() {
+	r.activated = true
+	r.logf("active at chosen=%d ballot=%v", r.acc.Chosen(), r.bal)
+	deferred := r.deferred
+	r.deferred = nil
+	for _, req := range deferred {
+		r.onRequest(req)
+	}
+	r.flushReads()
+	r.maybeStartWave()
+}
+
+// rebuildReplyCache reconstructs per-client reply state from the log so a
+// new leader answers retransmits of already-committed requests instead of
+// re-executing them.
+func (r *Replica) rebuildReplyCache() {
+	r.lastReply = make(map[wire.NodeID]cachedReply)
+	chosen := r.acc.Chosen()
+	// Scan all accepted entries at or below the commit index plus the
+	// learned suffix (which is about to be re-proposed).
+	var insts []uint64
+	for inst := range acceptedInstances(r.acc, chosen) {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		e, _ := r.acc.Get(inst)
+		for i, req := range e.Prop.Reqs {
+			var res []byte
+			if i < len(e.Prop.Results) {
+				res = e.Prop.Results[i]
+			}
+			if cur, ok := r.lastReply[req.Client]; !ok || req.Seq > cur.seq {
+				r.lastReply[req.Client] = cachedReply{seq: req.Seq, result: res, status: wire.StatusOK}
+			}
+		}
+	}
+}
+
+// acceptedInstances enumerates the instances with accepted entries at or
+// below the commit index.
+func acceptedInstances(acc *paxos.Acceptor, chosen uint64) map[uint64]struct{} {
+	out := make(map[uint64]struct{})
+	for inst := uint64(1); inst <= chosen; inst++ {
+		if _, ok := acc.Get(inst); ok {
+			out[inst] = struct{}{}
+		}
+	}
+	return out
+}

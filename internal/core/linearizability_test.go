@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gridrep/internal/cluster"
+	"gridrep/internal/service"
+)
+
+// TestReadLinearizability brackets every X-Paxos read of a monotonic
+// counter between two bounds derived from the writer's history:
+//
+//	completed-before-read-start <= read value <= started-before-read-end
+//
+// which is exactly linearizability for a register that only increments.
+// Violating the lower bound is a stale read (the §3.4 consistency
+// requirement: "the value ... must reflect the latest update");
+// violating the upper bound would mean reading an increment that was
+// never issued.
+func TestReadLinearizability(t *testing.T) {
+	c := newCluster(t, cluster.Config{Service: service.KVFactory})
+	wcli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wcli.Close()
+
+	var started, completed atomic.Int64
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; i < 80; i++ {
+			started.Add(1)
+			if _, err := wcli.Write(service.KVAdd("ctr", 1)); err != nil {
+				t.Error(err)
+				return
+			}
+			completed.Add(1)
+		}
+	}()
+
+	const nReaders = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, nReaders)
+	for r := 0; r < nReaders; r++ {
+		rcli, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer rcli.Close()
+			var prev int64 = -1
+			for {
+				select {
+				case <-writerDone:
+					errs <- nil
+					return
+				default:
+				}
+				lower := completed.Load()
+				res, err := rcli.Read(service.KVGet("ctr"))
+				if err != nil {
+					errs <- err
+					return
+				}
+				upper := started.Load()
+				got, _ := service.KVInt(res)
+				if got < lower {
+					t.Errorf("stale read: %d < %d completed writes", got, lower)
+				}
+				if got > upper {
+					t.Errorf("phantom read: %d > %d started writes", got, upper)
+				}
+				// Session monotonicity: this reader's view never goes
+				// backwards.
+				if got < prev {
+					t.Errorf("non-monotonic reads: %d after %d", got, prev)
+				}
+				prev = got
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package failure injects faults into a running cluster: crash/restart
+// of replicas, forced leader switches (§3.6), message loss, and link
+// partitions. Tests use it to verify that safety holds under churn and
+// to measure the §3.6 claim that X-Paxos and T-Paxos are more sensitive
+// to leader switches than the basic protocol.
+package failure
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"gridrep/internal/cluster"
+	"gridrep/internal/netem"
+	"gridrep/internal/wire"
+)
+
+// Action identifies one kind of injected fault.
+type Action int
+
+const (
+	// ActionLeaderSwitch forces the Ω modules to abandon the current
+	// leader.
+	ActionLeaderSwitch Action = iota
+	// ActionCrashBackup crashes a random non-leader replica and
+	// restarts it after RecoverAfter.
+	ActionCrashBackup
+	// ActionCrashLeader crashes the current leader and restarts it
+	// after RecoverAfter.
+	ActionCrashLeader
+	// ActionLossBurst raises client<->replica loss for BurstLen.
+	ActionLossBurst
+)
+
+// Plan schedules background fault injection.
+type Plan struct {
+	// Every is the injection period.
+	Every time.Duration
+	// Weights gives the relative probability of each Action; a zero
+	// weight disables the action. Defaults: leader switches only.
+	Weights map[Action]int
+	// RecoverAfter delays the restart of a crashed replica (default
+	// Every/2).
+	RecoverAfter time.Duration
+	// LossProb and BurstLen parameterize ActionLossBurst.
+	LossProb float64
+	BurstLen time.Duration
+}
+
+// Report summarizes what an injector did.
+type Report struct {
+	Switches   int
+	Crashes    int
+	Restarts   int
+	LossBursts int
+}
+
+// Injector drives faults against one cluster.
+type Injector struct {
+	c   *cluster.Cluster
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	rep     Report
+	stop    chan struct{}
+	done    chan struct{}
+	closed  bool
+	started bool
+}
+
+// New returns an injector for the cluster.
+func New(c *cluster.Cluster, seed int64) *Injector {
+	return &Injector{
+		c:    c,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// SwitchLeader forces one leader switch and waits until a different
+// replica leads (or the timeout passes). It returns the new leader.
+func (i *Injector) SwitchLeader(timeout time.Duration) (wire.NodeID, bool) {
+	old, ok := i.c.Leader()
+	if !ok {
+		return 0, false
+	}
+	i.c.SuspectLeader()
+	i.note(func(r *Report) { r.Switches++ })
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if l, ok := i.c.Leader(); ok && l != old {
+			return l, true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0, false
+}
+
+// CrashBackup crashes one random non-leader replica and returns its ID.
+func (i *Injector) CrashBackup() (wire.NodeID, bool) {
+	leader, _ := i.c.Leader()
+	var candidates []wire.NodeID
+	for _, id := range i.c.Running() {
+		if id != leader {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	id := candidates[i.rng.Intn(len(candidates))]
+	i.c.Crash(id)
+	i.note(func(r *Report) { r.Crashes++ })
+	return id, true
+}
+
+// CrashLeader crashes the current leader and returns its ID.
+func (i *Injector) CrashLeader() (wire.NodeID, bool) {
+	leader, ok := i.c.Leader()
+	if !ok {
+		return 0, false
+	}
+	i.c.Crash(leader)
+	i.note(func(r *Report) { r.Crashes++ })
+	return leader, true
+}
+
+// Restart recovers a crashed replica.
+func (i *Injector) Restart(id wire.NodeID) error {
+	if err := i.c.Restart(id); err != nil {
+		return err
+	}
+	i.note(func(r *Report) { r.Restarts++ })
+	return nil
+}
+
+// LossBurst raises client<->replica loss to p for d, then clears it.
+func (i *Injector) LossBurst(p float64, d time.Duration) {
+	m := i.c.Net.Model()
+	m.SetLoss(netem.ClassClient, netem.ClassReplica, p)
+	m.SetLoss(netem.ClassReplica, netem.ClassClient, p)
+	i.note(func(r *Report) { r.LossBursts++ })
+	time.AfterFunc(d, func() {
+		m.SetLoss(netem.ClassClient, netem.ClassReplica, 0)
+		m.SetLoss(netem.ClassReplica, netem.ClassClient, 0)
+	})
+}
+
+func (i *Injector) note(f func(*Report)) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	f(&i.rep)
+}
+
+// Start launches background injection per the plan. Call Stop to end it.
+func (i *Injector) Start(plan Plan) {
+	if plan.Every == 0 {
+		plan.Every = 500 * time.Millisecond
+	}
+	if plan.Weights == nil {
+		plan.Weights = map[Action]int{ActionLeaderSwitch: 1}
+	}
+	if plan.RecoverAfter == 0 {
+		plan.RecoverAfter = plan.Every / 2
+	}
+	if plan.BurstLen == 0 {
+		plan.BurstLen = plan.Every / 4
+	}
+	if plan.LossProb == 0 {
+		plan.LossProb = 0.2
+	}
+	i.mu.Lock()
+	i.started = true
+	i.mu.Unlock()
+	go i.run(plan)
+}
+
+func (i *Injector) run(plan Plan) {
+	defer close(i.done)
+	var total int
+	actions := []Action{ActionLeaderSwitch, ActionCrashBackup, ActionCrashLeader, ActionLossBurst}
+	for _, a := range actions {
+		total += plan.Weights[a]
+	}
+	if total == 0 {
+		return
+	}
+	ticker := time.NewTicker(plan.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-i.stop:
+			return
+		case <-ticker.C:
+		}
+		i.mu.Lock()
+		pick := i.rng.Intn(total)
+		i.mu.Unlock()
+		var chosen Action
+		for _, a := range actions {
+			if pick < plan.Weights[a] {
+				chosen = a
+				break
+			}
+			pick -= plan.Weights[a]
+		}
+		switch chosen {
+		case ActionLeaderSwitch:
+			i.SwitchLeader(plan.Every)
+		case ActionCrashBackup:
+			if id, ok := i.CrashBackup(); ok {
+				i.scheduleRestart(id, plan.RecoverAfter)
+			}
+		case ActionCrashLeader:
+			if id, ok := i.CrashLeader(); ok {
+				i.scheduleRestart(id, plan.RecoverAfter)
+			}
+		case ActionLossBurst:
+			i.LossBurst(plan.LossProb, plan.BurstLen)
+		}
+	}
+}
+
+func (i *Injector) scheduleRestart(id wire.NodeID, after time.Duration) {
+	t := time.NewTimer(after)
+	go func() {
+		defer t.Stop()
+		select {
+		case <-t.C:
+			_ = i.Restart(id) // best effort; the replica may be racing a close
+		case <-i.stop:
+		}
+	}()
+}
+
+// Stop ends background injection and returns the tally. It is safe to
+// call on an injector that was never started.
+func (i *Injector) Stop() Report {
+	i.mu.Lock()
+	if !i.closed {
+		i.closed = true
+		close(i.stop)
+	}
+	started := i.started
+	i.mu.Unlock()
+	if started {
+		<-i.done
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rep
+}

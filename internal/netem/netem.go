@@ -1,0 +1,179 @@
+// Package netem models wide-area and cluster network behaviour for the
+// in-process transport: per-link one-way latency distributions, message
+// loss, and partitions.
+//
+// The HPDC 2006 paper evaluates on three physical configurations — the
+// UCSD "Sysnet" cluster, PlanetLab Berkeley→Princeton, and a PlanetLab
+// wide-area spread. Profiles calibrated from the paper's measured response
+// times are provided by the profiles.go file so benchmarks exercise the
+// same latency algebra (2M+E+2m for writes, 2M+max(E,m) for X-Paxos reads)
+// as the original testbed.
+package netem
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// Latency describes a one-way link delay distribution: a base delay plus
+// uniform jitter in [0, Jitter), plus — with probability TailProb — an
+// extra delay uniform in [0, Tail). The heavy-tail term models the large
+// delivery-time variance of PlanetLab paths (§4.3).
+type Latency struct {
+	Base     time.Duration
+	Jitter   time.Duration
+	Tail     time.Duration
+	TailProb float64
+}
+
+// Sample draws one delay from the distribution using rng.
+func (l Latency) Sample(rng *rand.Rand) time.Duration {
+	d := l.Base
+	if l.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(l.Jitter)))
+	}
+	if l.TailProb > 0 && l.Tail > 0 && rng.Float64() < l.TailProb {
+		d += time.Duration(rng.Int63n(int64(l.Tail)))
+	}
+	return d
+}
+
+// Mean returns the expected one-way delay of the distribution.
+func (l Latency) Mean() time.Duration {
+	m := float64(l.Base) + float64(l.Jitter)/2
+	m += l.TailProb * float64(l.Tail) / 2
+	return time.Duration(m)
+}
+
+// Class partitions nodes for link lookup. Profiles define latencies
+// between classes rather than between individual nodes; a ClassFunc maps a
+// node to its class (e.g. "replica at Princeton", "client at Berkeley").
+type Class uint8
+
+// Predefined classes used by the shipped profiles. Profiles may define
+// more classes (e.g. per-site replica groups in the WAN configuration).
+const (
+	ClassReplica Class = iota
+	ClassClient
+	classLimit = 16
+)
+
+// Model is the mutable network model consulted by the transport on every
+// send. It is safe for concurrent use.
+type Model struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	classOf func(wire.NodeID) Class
+	link    [classLimit][classLimit]Latency
+	loss    [classLimit][classLimit]float64
+	cut     map[[2]wire.NodeID]bool // severed node pairs (both directions stored explicitly)
+	down    map[wire.NodeID]bool    // crashed nodes drop all traffic
+}
+
+// NewModel builds a network model with the given node→class mapping and
+// RNG seed. A nil classOf maps replicas (IDs below wire.ClientIDBase) to
+// ClassReplica and everything else to ClassClient.
+func NewModel(seed int64, classOf func(wire.NodeID) Class) *Model {
+	if classOf == nil {
+		classOf = func(id wire.NodeID) Class {
+			if id.IsClient() {
+				return ClassClient
+			}
+			return ClassReplica
+		}
+	}
+	return &Model{
+		rng:     rand.New(rand.NewSource(seed)),
+		classOf: classOf,
+		cut:     make(map[[2]wire.NodeID]bool),
+		down:    make(map[wire.NodeID]bool),
+	}
+}
+
+// SetLink sets the one-way latency distribution from class a to class b
+// (directional; call twice for symmetric links or use SetLinkSym).
+func (m *Model) SetLink(a, b Class, l Latency) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.link[a][b] = l
+}
+
+// SetLinkSym sets the latency distribution in both directions.
+func (m *Model) SetLinkSym(a, b Class, l Latency) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.link[a][b] = l
+	m.link[b][a] = l
+}
+
+// SetLoss sets the independent drop probability from class a to class b.
+func (m *Model) SetLoss(a, b Class, p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loss[a][b] = p
+}
+
+// Cut severs the link between two specific nodes in both directions.
+func (m *Model) Cut(a, b wire.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[[2]wire.NodeID{a, b}] = true
+	m.cut[[2]wire.NodeID{b, a}] = true
+}
+
+// Heal restores the link between two specific nodes.
+func (m *Model) Heal(a, b wire.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cut, [2]wire.NodeID{a, b})
+	delete(m.cut, [2]wire.NodeID{b, a})
+}
+
+// SetDown marks a node crashed (true) or recovered (false). Messages to
+// and from a crashed node are dropped, modelling a crash failure in which
+// the process executes no protocol steps (§3.1).
+func (m *Model) SetDown(n wire.NodeID, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if down {
+		m.down[n] = true
+	} else {
+		delete(m.down, n)
+	}
+}
+
+// IsDown reports whether the node is currently marked crashed.
+func (m *Model) IsDown(n wire.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down[n]
+}
+
+// Decide returns the delivery delay for one message from a to b, and
+// whether it is delivered at all.
+func (m *Model) Decide(a, b wire.NodeID) (time.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down[a] || m.down[b] || m.cut[[2]wire.NodeID{a, b}] {
+		return 0, false
+	}
+	ca, cb := m.classOf(a), m.classOf(b)
+	if p := m.loss[ca][cb]; p > 0 && m.rng.Float64() < p {
+		return 0, false
+	}
+	return m.link[ca][cb].Sample(m.rng), true
+}
+
+// MeanLatency returns the expected one-way delay between two classes,
+// useful for computing heartbeat and retry timeouts from a profile.
+func (m *Model) MeanLatency(a, b Class) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.link[a][b].Mean()
+}
+
+// ClassOf exposes the node→class mapping.
+func (m *Model) ClassOf(n wire.NodeID) Class { return m.classOf(n) }

@@ -1,0 +1,248 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+func TestLatencySampleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := Latency{Base: 100 * time.Microsecond, Jitter: 50 * time.Microsecond,
+		Tail: 10 * time.Millisecond, TailProb: 0.5}
+	lo := l.Base
+	hi := l.Base + l.Jitter + l.Tail
+	for i := 0; i < 10000; i++ {
+		d := l.Sample(rng)
+		if d < lo || d >= hi {
+			t.Fatalf("sample %v outside [%v, %v)", d, lo, hi)
+		}
+	}
+}
+
+func TestLatencySampleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(base, jitter uint16) bool {
+		l := Latency{Base: time.Duration(base) * time.Microsecond,
+			Jitter: time.Duration(jitter) * time.Microsecond}
+		d := l.Sample(rng)
+		return d >= l.Base && d <= l.Base+l.Jitter
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyMean(t *testing.T) {
+	l := Latency{Base: 100, Jitter: 50, Tail: 1000, TailProb: 0.1}
+	want := time.Duration(100 + 25 + 50)
+	if got := l.Mean(); got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var sum time.Duration
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += l.Sample(rng)
+	}
+	emp := sum / n
+	if emp < want*8/10 || emp > want*12/10 {
+		t.Fatalf("empirical mean %v far from analytic %v", emp, want)
+	}
+}
+
+func TestModelDefaultClasses(t *testing.T) {
+	m := NewModel(1, nil)
+	if m.ClassOf(0) != ClassReplica || m.ClassOf(2) != ClassReplica {
+		t.Error("replica IDs must map to ClassReplica")
+	}
+	if m.ClassOf(wire.ClientIDBase) != ClassClient {
+		t.Error("client IDs must map to ClassClient")
+	}
+}
+
+func TestModelDecideLatency(t *testing.T) {
+	m := NewModel(1, nil)
+	m.SetLinkSym(ClassReplica, ClassReplica, Latency{Base: 5 * time.Millisecond})
+	d, ok := m.Decide(0, 1)
+	if !ok || d != 5*time.Millisecond {
+		t.Fatalf("Decide = (%v, %v), want (5ms, true)", d, ok)
+	}
+}
+
+func TestModelLoss(t *testing.T) {
+	m := NewModel(7, nil)
+	m.SetLoss(ClassReplica, ClassReplica, 1.0)
+	if _, ok := m.Decide(0, 1); ok {
+		t.Fatal("loss=1.0 must drop every message")
+	}
+	m.SetLoss(ClassReplica, ClassReplica, 0)
+	if _, ok := m.Decide(0, 1); !ok {
+		t.Fatal("loss=0 must deliver")
+	}
+	// Statistical check at p=0.3.
+	m.SetLoss(ClassReplica, ClassReplica, 0.3)
+	dropped := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, ok := m.Decide(0, 1); !ok {
+			dropped++
+		}
+	}
+	frac := float64(dropped) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("drop fraction %.3f far from 0.3", frac)
+	}
+}
+
+func TestModelCutAndHeal(t *testing.T) {
+	m := NewModel(1, nil)
+	m.Cut(0, 1)
+	if _, ok := m.Decide(0, 1); ok {
+		t.Fatal("cut link must drop")
+	}
+	if _, ok := m.Decide(1, 0); ok {
+		t.Fatal("cut must be bidirectional")
+	}
+	if _, ok := m.Decide(0, 2); !ok {
+		t.Fatal("other links must be unaffected")
+	}
+	m.Heal(0, 1)
+	if _, ok := m.Decide(0, 1); !ok {
+		t.Fatal("healed link must deliver")
+	}
+}
+
+func TestModelDown(t *testing.T) {
+	m := NewModel(1, nil)
+	m.SetDown(1, true)
+	if !m.IsDown(1) {
+		t.Fatal("IsDown must report crash")
+	}
+	if _, ok := m.Decide(0, 1); ok {
+		t.Fatal("messages to a crashed node must drop")
+	}
+	if _, ok := m.Decide(1, 0); ok {
+		t.Fatal("messages from a crashed node must drop")
+	}
+	m.SetDown(1, false)
+	if _, ok := m.Decide(0, 1); !ok {
+		t.Fatal("recovered node must receive again")
+	}
+}
+
+// TestSysnetCalibration checks that the Sysnet profile reproduces the
+// paper's latency algebra: original = 2M+E ≈ 0.181 ms, write = 2M+E+2m ≈
+// 0.338 ms, read = 2M+max(E,m) ≈ 0.263 ms (E ≈ 0 for the empty service).
+func TestSysnetCalibration(t *testing.T) {
+	p := Sysnet()
+	m := p.NewModel(1)
+	M := m.MeanLatency(ClassClient, ClassReplica)
+	mm := m.MeanLatency(ClassReplica, ClassReplica)
+	orig := 2 * M
+	write := 2*M + 2*mm
+	read := 2*M + mm
+	within := func(got time.Duration, wantMS float64) bool {
+		w := time.Duration(wantMS * float64(time.Millisecond))
+		diff := got - w
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < w/5 // within 20%
+	}
+	if !within(orig, 0.181) {
+		t.Errorf("original model latency %v, paper 0.181ms", orig)
+	}
+	if !within(write, 0.338) {
+		t.Errorf("write model latency %v, paper 0.338ms", write)
+	}
+	if !within(read, 0.263) {
+		t.Errorf("read model latency %v, paper 0.263ms", read)
+	}
+}
+
+// TestB2PCalibration: all three request kinds should land near 92 ms, with
+// write − original = 2m ≈ 1.3 ms.
+func TestB2PCalibration(t *testing.T) {
+	p := B2P()
+	m := p.NewModel(1)
+	M := m.MeanLatency(ClassClient, ClassReplica)
+	mm := m.MeanLatency(ClassReplica, ClassReplica)
+	if o := 2 * M; o < 88*time.Millisecond || o > 96*time.Millisecond {
+		t.Errorf("original 2M = %v, paper 91.85ms", o)
+	}
+	if d := 2 * mm; d < 500*time.Microsecond || d > 2500*time.Microsecond {
+		t.Errorf("write-original gap 2m = %v, paper ≈1.3ms", d)
+	}
+}
+
+// TestWANCalibration: original ≈ 70.8 ms, write ≈ 106.7 ms; the X-Paxos
+// confirm detour (client→backup + backup→leader − client→leader) ≈ 4.7 ms.
+func TestWANCalibration(t *testing.T) {
+	p := WAN(0)
+	m := p.NewModel(1)
+	M := m.MeanLatency(ClassClient, ClassLeaderSite)
+	Mb := m.MeanLatency(ClassClient, ClassRemoteSite)
+	rr := m.MeanLatency(ClassLeaderSite, ClassRemoteSite)
+	if o := 2 * M; o < 67*time.Millisecond || o > 75*time.Millisecond {
+		t.Errorf("original 2M = %v, paper 70.82ms", o)
+	}
+	if w := 2*M + 2*rr; w < 100*time.Millisecond || w > 113*time.Millisecond {
+		t.Errorf("write 2M+2m = %v, paper 106.73ms", w)
+	}
+	detour := Mb + rr - M
+	if detour < 2*time.Millisecond || detour > 8*time.Millisecond {
+		t.Errorf("confirm detour = %v, paper ≈4.7ms", detour)
+	}
+}
+
+func TestWANClassMapping(t *testing.T) {
+	p := WAN(0)
+	m := p.NewModel(1)
+	if m.ClassOf(0) != ClassLeaderSite {
+		t.Error("replica 0 must be at the leader site")
+	}
+	if m.ClassOf(1) != ClassRemoteSite || m.ClassOf(2) != ClassRemoteSite {
+		t.Error("other replicas must be at remote sites")
+	}
+	if m.ClassOf(wire.ClientIDBase) != ClassClient {
+		t.Error("clients must map to ClassClient")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"sysnet", "b2p", "wan", "loopback"} {
+		p := ProfileByName(name)
+		if p.Name != name {
+			t.Errorf("ProfileByName(%q).Name = %q", name, p.Name)
+		}
+		if p.Configure == nil || p.MaxOneWay == 0 {
+			t.Errorf("profile %q incomplete", name)
+		}
+	}
+	if p := ProfileByName("nope"); p.Name != "" {
+		t.Error("unknown profile must return zero value")
+	}
+}
+
+func TestModelConcurrency(t *testing.T) {
+	m := Sysnet().NewModel(1)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 2000; i++ {
+				m.Decide(wire.NodeID(g%3), wire.ClientIDBase+wire.NodeID(i%5))
+				if i%100 == 0 {
+					m.SetDown(wire.NodeID(g%3), i%200 == 0)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

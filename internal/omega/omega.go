@@ -1,0 +1,271 @@
+// Package omega implements the leader-election service the paper assumes
+// (§3.1: "we assume that there is an underlying leader election service").
+//
+// The elector is a heartbeat-based Ω failure detector with *claim-based
+// stability*, following the leader-stability line of work the paper cites
+// in §3.6 (Malkhi, Oprea, Zhou — DISC 2005). A node that decides to lead
+// starts broadcasting a leadership claim stamped with an epoch one higher
+// than any epoch it has observed. Among fresh claims from live nodes, the
+// highest epoch wins (ties break to the lowest node ID), and a losing
+// claimer stops claiming. This gives both properties the replication
+// protocol needs:
+//
+//   - stability: a live incumbent keeps its leadership even when a
+//     smaller-ID node recovers, because the recovering node sees the
+//     incumbent's fresh claim and never starts a rival claim; and
+//   - convergence: any two simultaneous claimers order themselves by
+//     (epoch, ID) and one of them deterministically yields.
+//
+// The elector owns no goroutine and no clock: the replica's event loop
+// feeds it received heartbeats and periodic ticks with an explicit
+// timestamp, which makes elections deterministic under test.
+package omega
+
+import (
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// Config parameterizes an elector.
+type Config struct {
+	// Self is the local replica.
+	Self wire.NodeID
+	// Peers lists all replicas, including Self.
+	Peers []wire.NodeID
+	// Interval is the heartbeat broadcast period.
+	Interval time.Duration
+	// Timeout is how long a silent peer stays trusted, and how long a
+	// claim stays fresh. It must exceed Interval plus the largest
+	// expected one-way delay.
+	Timeout time.Duration
+}
+
+type claim struct {
+	epoch uint64
+	at    time.Time
+}
+
+// Elector tracks peer liveness and leadership claims.
+type Elector struct {
+	cfg      Config
+	start    time.Time
+	started  bool
+	lastSeen map[wire.NodeID]time.Time
+	suspend  map[wire.NodeID]time.Time // distrust until this instant
+	claims   map[wire.NodeID]claim
+	lastSent time.Time
+	sentAny  bool
+	heardAny bool
+
+	myClaim  bool
+	myEpoch  uint64
+	maxEpoch uint64 // highest claim epoch observed anywhere
+
+	leader    wire.NodeID
+	hasLeader bool
+	changes   uint64 // leadership transitions observed locally
+}
+
+// New returns an elector. Call Tick regularly (at least every Interval)
+// and OnHeartbeat for every received heartbeat.
+func New(cfg Config) *Elector {
+	return &Elector{
+		cfg:      cfg,
+		lastSeen: make(map[wire.NodeID]time.Time),
+		suspend:  make(map[wire.NodeID]time.Time),
+		claims:   make(map[wire.NodeID]claim),
+	}
+}
+
+// OnHeartbeat records a peer's heartbeat. A heartbeat whose Leader field
+// names the sender and whose Epoch is nonzero is a leadership claim.
+func (e *Elector) OnHeartbeat(hb *wire.Heartbeat, now time.Time) {
+	e.noteStart(now)
+	if hb.From == e.cfg.Self {
+		return
+	}
+	if until, susp := e.suspend[hb.From]; susp {
+		if now.Before(until) {
+			return // still in the suspicion window: distrust entirely
+		}
+		delete(e.suspend, hb.From)
+	}
+	if cur, ok := e.lastSeen[hb.From]; !ok || cur.Before(now) {
+		e.lastSeen[hb.From] = now
+	}
+	e.heardAny = true
+	if hb.Leader == hb.From && hb.Epoch > 0 {
+		e.claims[hb.From] = claim{epoch: hb.Epoch, at: now}
+		if hb.Epoch > e.maxEpoch {
+			e.maxEpoch = hb.Epoch
+		}
+	}
+}
+
+// Observe records liveness evidence from any protocol message: under
+// load, heartbeats queue behind bulk protocol traffic, and without this
+// a saturated (but healthy) leader would be falsely suspected.
+func (e *Elector) Observe(from wire.NodeID, now time.Time) {
+	e.noteStart(now)
+	if from == e.cfg.Self {
+		return
+	}
+	if until, susp := e.suspend[from]; susp {
+		if now.Before(until) {
+			return
+		}
+		delete(e.suspend, from)
+	}
+	if cur, ok := e.lastSeen[from]; !ok || cur.Before(now) {
+		e.lastSeen[from] = now
+	}
+	e.heardAny = true
+}
+
+func (e *Elector) noteStart(now time.Time) {
+	if !e.started {
+		e.started = true
+		e.start = now
+	}
+}
+
+// Suspect distrusts a node for one Timeout window: its heartbeats are
+// ignored until the window passes. Failure injection and tests use it to
+// force leader switches (§3.6).
+func (e *Elector) Suspect(n wire.NodeID) {
+	if n == e.cfg.Self {
+		e.Demote()
+		return
+	}
+	now := e.lastSeen[n]
+	if e.started && e.start.After(now) {
+		now = e.start
+	}
+	e.suspend[n] = now.Add(e.cfg.Timeout)
+	delete(e.lastSeen, n)
+	delete(e.claims, n)
+	if e.hasLeader && e.leader == n {
+		e.hasLeader = false
+	}
+}
+
+// Demote withdraws the local leadership claim (if any); another claimer,
+// or the min-alive rule, takes over.
+func (e *Elector) Demote() {
+	if e.myClaim {
+		e.myClaim = false
+		if e.hasLeader && e.leader == e.cfg.Self {
+			e.hasLeader = false
+		}
+	}
+}
+
+// alive reports whether n responded within the timeout. Self is always
+// alive.
+func (e *Elector) alive(n wire.NodeID, now time.Time) bool {
+	if n == e.cfg.Self {
+		return true
+	}
+	seen, ok := e.lastSeen[n]
+	return ok && now.Sub(seen) <= e.cfg.Timeout
+}
+
+// Leader returns the current leader. The boolean is false when no live
+// claim exists and this node is not entitled to start one.
+func (e *Elector) Leader(now time.Time) (wire.NodeID, bool) {
+	e.noteStart(now)
+
+	// Collect fresh claims from live nodes, including our own.
+	best := e.cfg.Self
+	bestEpoch := uint64(0)
+	found := false
+	consider := func(n wire.NodeID, epoch uint64) {
+		if !found || epoch > bestEpoch || (epoch == bestEpoch && n < best) {
+			best, bestEpoch, found = n, epoch, true
+		}
+	}
+	if e.myClaim {
+		consider(e.cfg.Self, e.myEpoch)
+	}
+	for n, c := range e.claims {
+		if now.Sub(c.at) <= e.cfg.Timeout && e.alive(n, now) {
+			consider(n, c.epoch)
+		}
+	}
+
+	if found {
+		if best != e.cfg.Self && e.myClaim {
+			// A stronger claim exists: yield (convergence).
+			e.myClaim = false
+		}
+		e.setLeader(best)
+		return best, true
+	}
+
+	// No live claim anywhere. During the startup grace period, wait for
+	// one rather than racing to self-elect.
+	if !e.heardAny && now.Sub(e.start) < e.cfg.Timeout && len(e.cfg.Peers) > 1 {
+		e.hasLeader = false
+		return 0, false
+	}
+
+	// Entitlement rule: only the smallest live node starts a new claim.
+	min := e.cfg.Self
+	for _, p := range e.cfg.Peers {
+		if e.alive(p, now) && p < min {
+			min = p
+		}
+	}
+	if min != e.cfg.Self {
+		// Someone smaller is alive but not claiming yet; wait for it.
+		e.hasLeader = false
+		return 0, false
+	}
+	e.myClaim = true
+	e.myEpoch = e.maxEpoch + 1
+	e.maxEpoch = e.myEpoch
+	e.setLeader(e.cfg.Self)
+	return e.cfg.Self, true
+}
+
+func (e *Elector) setLeader(n wire.NodeID) {
+	if !e.hasLeader || e.leader != n {
+		e.leader = n
+		e.hasLeader = true
+		e.changes++
+	}
+}
+
+// Epoch counts leadership changes observed locally.
+func (e *Elector) Epoch() uint64 { return e.changes }
+
+// ClaimEpoch returns the epoch of the local claim (0 when not claiming).
+func (e *Elector) ClaimEpoch() uint64 {
+	if !e.myClaim {
+		return 0
+	}
+	return e.myEpoch
+}
+
+// Tick advances the elector's periodic work. It returns a heartbeat to
+// broadcast if the heartbeat interval has elapsed, else nil. The
+// heartbeat carries the local claim (Leader=self, Epoch=claim epoch) when
+// this node is claiming leadership, or a plain leader hint otherwise.
+func (e *Elector) Tick(now time.Time) *wire.Heartbeat {
+	e.noteStart(now)
+	if e.sentAny && now.Sub(e.lastSent) < e.cfg.Interval {
+		return nil
+	}
+	e.lastSent = now
+	e.sentAny = true
+	leader, ok := e.Leader(now)
+	hb := &wire.Heartbeat{From: e.cfg.Self}
+	if ok {
+		hb.Leader = leader
+		if leader == e.cfg.Self && e.myClaim {
+			hb.Epoch = e.myEpoch
+		}
+	}
+	return hb
+}

@@ -1,0 +1,284 @@
+package omega
+
+import (
+	"testing"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newElector(self wire.NodeID) *Elector {
+	return New(Config{
+		Self:     self,
+		Peers:    []wire.NodeID{0, 1, 2},
+		Interval: 10 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+	})
+}
+
+// hb builds a plain (non-claiming) heartbeat.
+func hb(from wire.NodeID) *wire.Heartbeat { return &wire.Heartbeat{From: from, Leader: from + 100} }
+
+// claimHB builds a heartbeat claiming leadership at the given epoch.
+func claimHB(from wire.NodeID, epoch uint64) *wire.Heartbeat {
+	return &wire.Heartbeat{From: from, Leader: from, Epoch: epoch}
+}
+
+func TestStartupGraceNonMin(t *testing.T) {
+	e := newElector(1)
+	if _, ok := e.Leader(t0); ok {
+		t.Fatal("no leader should exist before any heartbeat")
+	}
+	// Node 0 is alive but not claiming yet: node 1 must keep waiting
+	// rather than racing it.
+	e.OnHeartbeat(hb(0), t0.Add(5*time.Millisecond))
+	if _, ok := e.Leader(t0.Add(6 * time.Millisecond)); ok {
+		t.Fatal("node 1 must wait for the smaller live node to claim")
+	}
+	// Once node 0 claims, node 1 adopts it.
+	e.OnHeartbeat(claimHB(0, 1), t0.Add(10*time.Millisecond))
+	l, ok := e.Leader(t0.Add(11 * time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want 0,true", l, ok)
+	}
+}
+
+func TestMinNodeClaimsAfterHearingPeers(t *testing.T) {
+	e := newElector(0)
+	e.OnHeartbeat(hb(1), t0)
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want self-claim by 0", l, ok)
+	}
+	if e.ClaimEpoch() == 0 {
+		t.Fatal("node 0 must be claiming")
+	}
+}
+
+func TestSelfElectionAfterGrace(t *testing.T) {
+	e := newElector(1)
+	e.Leader(t0) // starts the clock; total silence follows
+	l, ok := e.Leader(t0.Add(60 * time.Millisecond))
+	if !ok || l != 1 {
+		t.Fatalf("leader = %v,%v; want self-election of 1", l, ok)
+	}
+}
+
+func TestSingleNodeClusterElectsImmediately(t *testing.T) {
+	e := New(Config{Self: 0, Peers: []wire.NodeID{0}, Interval: time.Millisecond, Timeout: 5 * time.Millisecond})
+	l, ok := e.Leader(t0)
+	if !ok || l != 0 {
+		t.Fatalf("singleton cluster must elect itself at once, got %v,%v", l, ok)
+	}
+}
+
+func TestFailoverOnTimeout(t *testing.T) {
+	e := newElector(1)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	if l, _ := e.Leader(t0.Add(time.Millisecond)); l != 0 {
+		t.Fatal("node 0 should lead initially")
+	}
+	changes := e.Epoch()
+	// Node 0 goes silent; after Timeout node 1 takes over with a higher
+	// claim epoch.
+	l, ok := e.Leader(t0.Add(100 * time.Millisecond))
+	if !ok || l != 1 {
+		t.Fatalf("leader after timeout = %v,%v; want 1,true", l, ok)
+	}
+	if e.ClaimEpoch() <= 1 {
+		t.Fatalf("new claim epoch %d must exceed the dead leader's", e.ClaimEpoch())
+	}
+	if e.Epoch() == changes {
+		t.Error("change counter must advance on leadership change")
+	}
+}
+
+func TestStickinessOverRank(t *testing.T) {
+	// §3.6 stability: when node 0 recovers after node 1 took over,
+	// leadership must NOT bounce back while node 1 is alive.
+	e := newElector(1)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	e.Leader(t0.Add(time.Millisecond))               // 0 leads
+	l, _ := e.Leader(t0.Add(100 * time.Millisecond)) // 0 timed out; 1 claims
+	if l != 1 {
+		t.Fatalf("precondition failed: leader = %v", l)
+	}
+	// Node 0 recovers. A fresh process does not claim (it sees 1's
+	// fresh claim), so it sends plain heartbeats.
+	e.OnHeartbeat(hb(0), t0.Add(110*time.Millisecond))
+	l, _ = e.Leader(t0.Add(111 * time.Millisecond))
+	if l != 1 {
+		t.Fatalf("leadership bounced to %v; stickiness requires 1", l)
+	}
+}
+
+func TestRecoveredNodeAdoptsIncumbent(t *testing.T) {
+	// The recovered min-ID node itself: it must adopt the incumbent's
+	// claim instead of claiming.
+	e := newElector(0)
+	e.OnHeartbeat(claimHB(1, 5), t0)
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 1 {
+		t.Fatalf("leader = %v,%v; want the incumbent 1", l, ok)
+	}
+	if e.ClaimEpoch() != 0 {
+		t.Fatal("node 0 must not start a rival claim")
+	}
+}
+
+func TestClaimWarConvergence(t *testing.T) {
+	// Two simultaneous equal-epoch claims: lowest ID wins and the loser
+	// yields its claim.
+	e := newElector(1)
+	e.Leader(t0)
+	e.Leader(t0.Add(60 * time.Millisecond)) // 1 self-elects, epoch 1
+	if e.ClaimEpoch() != 1 {
+		t.Fatalf("claim epoch = %d", e.ClaimEpoch())
+	}
+	e.OnHeartbeat(claimHB(0, 1), t0.Add(61*time.Millisecond))
+	l, _ := e.Leader(t0.Add(62 * time.Millisecond))
+	if l != 0 {
+		t.Fatalf("equal-epoch tie must go to the lower ID; leader = %v", l)
+	}
+	if e.ClaimEpoch() != 0 {
+		t.Fatal("losing claimer must yield")
+	}
+}
+
+func TestHigherEpochBeatsLowerID(t *testing.T) {
+	e := newElector(2)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	e.OnHeartbeat(claimHB(1, 7), t0)
+	l, _ := e.Leader(t0.Add(time.Millisecond))
+	if l != 1 {
+		t.Fatalf("leader = %v; claim epochs must dominate IDs", l)
+	}
+}
+
+func TestSuspectForcesSwitch(t *testing.T) {
+	e := newElector(1)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	e.Leader(t0.Add(time.Millisecond))
+	e.Suspect(0)
+	l, ok := e.Leader(t0.Add(2 * time.Millisecond))
+	if !ok || l != 1 {
+		t.Fatalf("after Suspect(0), leader = %v,%v; want 1", l, ok)
+	}
+	// Heartbeats from the suspected node are ignored within the window:
+	// leadership stays with 1.
+	e.OnHeartbeat(claimHB(0, 1), t0.Add(3*time.Millisecond))
+	if l, _ := e.Leader(t0.Add(4 * time.Millisecond)); l != 1 {
+		t.Fatalf("leader = %v; suspicion window must hold", l)
+	}
+	// After the window passes, node 0's (old-epoch) claim still loses
+	// to node 1's newer claim — stability.
+	later := t0.Add(200 * time.Millisecond)
+	e.OnHeartbeat(claimHB(0, 1), later)
+	e.OnHeartbeat(hb(2), later) // keep somebody else alive too
+	if l, _ := e.Leader(later.Add(time.Millisecond)); l != 1 {
+		t.Fatalf("leader = %v; old claim must not beat the incumbent", l)
+	}
+}
+
+func TestSuspectSelfDemotes(t *testing.T) {
+	e := newElector(1)
+	e.Leader(t0)
+	e.Leader(t0.Add(60 * time.Millisecond)) // self-claim
+	if e.ClaimEpoch() == 0 {
+		t.Fatal("precondition: should be claiming")
+	}
+	e.Suspect(1)
+	if e.ClaimEpoch() != 0 {
+		t.Fatal("Suspect(self) must withdraw the claim")
+	}
+}
+
+func TestTickCadenceAndClaimCarrying(t *testing.T) {
+	e := newElector(0)
+	first := e.Tick(t0)
+	if first == nil {
+		t.Fatal("first Tick must emit a heartbeat")
+	}
+	if e.Tick(t0.Add(5*time.Millisecond)) != nil {
+		t.Fatal("Tick before Interval must not emit")
+	}
+	// Hear a peer so node 0 claims; the next heartbeat must carry the
+	// claim.
+	e.OnHeartbeat(hb(1), t0.Add(6*time.Millisecond))
+	hb2 := e.Tick(t0.Add(11 * time.Millisecond))
+	if hb2 == nil {
+		t.Fatal("Tick after Interval must emit")
+	}
+	if hb2.Leader != 0 || hb2.Epoch == 0 {
+		t.Fatalf("claiming node's heartbeat = %+v; want Leader=0, Epoch>0", hb2)
+	}
+}
+
+func TestTickCarriesLeaderHintWithoutClaim(t *testing.T) {
+	e := newElector(1)
+	e.OnHeartbeat(claimHB(0, 3), t0)
+	hb := e.Tick(t0.Add(time.Millisecond))
+	if hb == nil || hb.Leader != 0 {
+		t.Fatalf("heartbeat = %+v; want leader hint 0", hb)
+	}
+	if hb.Epoch != 0 {
+		t.Fatal("non-claimer must not stamp a claim epoch")
+	}
+}
+
+func TestIgnoresOwnHeartbeat(t *testing.T) {
+	e := newElector(1)
+	e.OnHeartbeat(hb(1), t0)
+	if _, ok := e.Leader(t0.Add(time.Millisecond)); ok {
+		t.Fatal("own heartbeat must not end the startup grace period")
+	}
+}
+
+func TestChangesMonotonic(t *testing.T) {
+	e := newElector(1)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	var last uint64
+	for _, d := range []time.Duration{time.Millisecond, 100 * time.Millisecond} {
+		e.Leader(t0.Add(d))
+		if e.Epoch() < last {
+			t.Fatal("change counter regressed")
+		}
+		last = e.Epoch()
+	}
+}
+
+func TestAllDeadThenSelfClaim(t *testing.T) {
+	e := newElector(2)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	e.OnHeartbeat(hb(1), t0)
+	if l, _ := e.Leader(t0.Add(time.Millisecond)); l != 0 {
+		t.Fatal("0 should lead")
+	}
+	// Everyone times out: node 2 claims with a higher epoch.
+	l, ok := e.Leader(t0.Add(200 * time.Millisecond))
+	if !ok || l != 2 {
+		t.Fatalf("leader = %v,%v; want 2", l, ok)
+	}
+	if e.ClaimEpoch() <= 1 {
+		t.Fatalf("claim epoch = %d; must exceed the dead claim", e.ClaimEpoch())
+	}
+}
+
+func TestDemote(t *testing.T) {
+	e := newElector(1)
+	e.Leader(t0)
+	e.Leader(t0.Add(60 * time.Millisecond))
+	e.Demote()
+	if e.ClaimEpoch() != 0 {
+		t.Fatal("Demote must clear the claim")
+	}
+	if l, ok := e.Leader(t0.Add(61 * time.Millisecond)); ok && l == 1 {
+		// Re-claiming immediately is allowed (still entitled as min
+		// alive), but only via a fresh epoch.
+		if e.ClaimEpoch() < 2 {
+			t.Fatalf("re-claim must use a fresh epoch, got %d", e.ClaimEpoch())
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package paxos implements the consensus substrate of the replication
+// protocol: the acceptor state machine (phase 1b / 2b), proposer-side
+// round aggregation (phase 1a / 2a bookkeeping), and the multi-instance
+// recovery bookkeeping of §3.3 — a new leader prepares all unknown
+// instances with a single message, and acceptors answer with the accepted
+// proposals they know, attaching service state only to the highest
+// instance because replicas only ever need the latest state.
+package paxos
+
+import (
+	"sort"
+
+	"gridrep/internal/storage"
+	"gridrep/internal/wire"
+)
+
+// Acceptor is the persistent voter role of a replica. It is driven by the
+// replica's single event-loop goroutine and is not safe for concurrent
+// use. Every state change is written through to stable storage before the
+// corresponding protocol answer is returned, preserving safety across
+// crash-recovery (§3.1).
+type Acceptor struct {
+	store storage.Store
+	st    *storage.PersistentState
+}
+
+// NewAcceptor loads (or initializes) acceptor state from store.
+func NewAcceptor(store storage.Store) (*Acceptor, error) {
+	st, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	return &Acceptor{store: store, st: st}, nil
+}
+
+// Promised returns the highest promised ballot.
+func (a *Acceptor) Promised() wire.Ballot { return a.st.Promised }
+
+// MaxAccepted returns the highest ballot among accepted proposals; the
+// X-Paxos confirm path routes confirms to this ballot's proposer (§3.4).
+func (a *Acceptor) MaxAccepted() wire.Ballot { return a.st.MaxAccepted }
+
+// Chosen returns the commit index: every instance <= Chosen is chosen.
+func (a *Acceptor) Chosen() uint64 { return a.st.Chosen }
+
+// Get returns the accepted proposal for an instance, if any.
+func (a *Acceptor) Get(inst uint64) (wire.Entry, bool) {
+	e, ok := a.st.Accepted[inst]
+	return e, ok
+}
+
+// MaxInstance returns the highest instance with an accepted proposal, or
+// 0 when none exists.
+func (a *Acceptor) MaxInstance() uint64 {
+	var max uint64
+	for inst := range a.st.Accepted {
+		if inst > max {
+			max = inst
+		}
+	}
+	return max
+}
+
+// OnPrepare handles a phase-1a message and returns the promise to send
+// back. A prepare with a ballot not smaller than the current promise
+// succeeds (Paxos accepts re-prepares at the same ballot idempotently).
+func (a *Acceptor) OnPrepare(p *wire.Prepare) (*wire.Promise, error) {
+	if p.Bal.Less(a.st.Promised) {
+		return &wire.Promise{Bal: p.Bal, OK: false, MaxProm: a.st.Promised, Chosen: a.st.Chosen}, nil
+	}
+	if a.st.Promised.Less(p.Bal) {
+		if err := a.store.SetPromised(p.Bal); err != nil {
+			return nil, err
+		}
+		a.st.Promised = p.Bal
+	}
+	return &wire.Promise{
+		Bal:     p.Bal,
+		OK:      true,
+		Entries: a.entriesFor(p.After, p.Gaps),
+		Chosen:  a.st.Chosen,
+	}, nil
+}
+
+// entriesFor collects the accepted proposals for the prepared range: the
+// listed gap instances plus everything above after. State is attached
+// only to the highest instance (§3.3: "does not include the states after
+// executing 88 or 89 since the replicas are only interested in the latest
+// state").
+func (a *Acceptor) entriesFor(after uint64, gaps []uint64) []wire.Entry {
+	var out []wire.Entry
+	for _, g := range gaps {
+		if e, ok := a.st.Accepted[g]; ok {
+			out = append(out, e)
+		}
+	}
+	for inst, e := range a.st.Accepted {
+		if inst > after {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	stripIntermediateFullStates(out)
+	return out
+}
+
+// stripIntermediateFullStates removes full snapshots from all but the
+// final entry (§3.3: replicas only care about the latest state). Deltas
+// are kept everywhere — each one is needed to rebuild the sequence.
+func stripIntermediateFullStates(out []wire.Entry) {
+	for i := range out {
+		if i < len(out)-1 && out[i].Prop.HasState && out[i].Prop.Kind == wire.StateFull {
+			cp := out[i].Prop
+			cp.HasState = false
+			cp.State = nil
+			out[i].Prop = cp
+		}
+	}
+}
+
+// OnAccept handles a phase-2a message and returns the vote. Accepting a
+// ballot implies promising it (a process accepts any proposal with a
+// ballot number no smaller than the ones it has already promised).
+func (a *Acceptor) OnAccept(ac *wire.Accept) (*wire.Accepted, error) {
+	if ac.Bal.Less(a.st.Promised) {
+		return &wire.Accepted{Bal: ac.Bal, OK: false, MaxProm: a.st.Promised}, nil
+	}
+	if a.st.Promised.Less(ac.Bal) {
+		if err := a.store.SetPromised(ac.Bal); err != nil {
+			return nil, err
+		}
+		a.st.Promised = ac.Bal
+	}
+	stamped := make([]wire.Entry, len(ac.Entries))
+	insts := make([]uint64, len(ac.Entries))
+	for i, e := range ac.Entries {
+		e.Bal = ac.Bal
+		stamped[i] = e
+		insts[i] = e.Instance
+	}
+	if err := a.store.PutAccepted(stamped, ac.Bal); err != nil {
+		return nil, err
+	}
+	for _, e := range stamped {
+		a.st.Accepted[e.Instance] = e
+	}
+	if a.st.MaxAccepted.Less(ac.Bal) {
+		a.st.MaxAccepted = ac.Bal
+	}
+	return &wire.Accepted{Bal: ac.Bal, OK: true, Instances: insts}, nil
+}
+
+// MarkChosen durably advances the commit index.
+func (a *Acceptor) MarkChosen(idx uint64) error {
+	if idx <= a.st.Chosen {
+		return nil
+	}
+	if err := a.store.SetChosen(idx); err != nil {
+		return err
+	}
+	a.st.Chosen = idx
+	return nil
+}
+
+// Compact drops state payloads below keepStateFrom from storage; the
+// requests are retained for leader recovery.
+func (a *Acceptor) Compact(keepStateFrom uint64) error {
+	if err := a.store.Compact(keepStateFrom); err != nil {
+		return err
+	}
+	for inst, e := range a.st.Accepted {
+		if inst < keepStateFrom && e.Prop.HasState {
+			e.Prop.HasState = false
+			e.Prop.State = nil
+			a.st.Accepted[inst] = e
+		}
+	}
+	return nil
+}
+
+// EntriesBetween returns the accepted entries with lo < instance <= hi in
+// instance order, for catch-up responses. State is attached only to the
+// final entry, matching the §3.3 convention.
+func (a *Acceptor) EntriesBetween(lo, hi uint64) []wire.Entry {
+	var out []wire.Entry
+	for inst, e := range a.st.Accepted {
+		if inst > lo && inst <= hi {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	stripIntermediateFullStates(out)
+	return out
+}
+
+// Install stores already-chosen entries learned through catch-up, keeping
+// their original ballots, and advances the commit index. Chosen values
+// are unique per instance, so overwriting a locally accepted proposal
+// with a chosen one is always safe.
+func (a *Acceptor) Install(entries []wire.Entry, chosen uint64) error {
+	if len(entries) > 0 {
+		var maxBal wire.Ballot
+		for _, e := range entries {
+			if maxBal.Less(e.Bal) {
+				maxBal = e.Bal
+			}
+		}
+		if err := a.store.PutAccepted(entries, maxBal); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			a.st.Accepted[e.Instance] = e
+		}
+		if a.st.MaxAccepted.Less(maxBal) {
+			a.st.MaxAccepted = maxBal
+		}
+	}
+	return a.MarkChosen(chosen)
+}

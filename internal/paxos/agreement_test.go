@@ -1,0 +1,217 @@
+package paxos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gridrep/internal/storage"
+	"gridrep/internal/wire"
+)
+
+// TestRandomizedAgreement drives two competing proposers against five
+// acceptors under randomized message schedules (delays, drops, and
+// reordering simulated by executing a random interleaving of pending
+// message deliveries) and asserts the single-decree Paxos invariant for
+// every instance: once any quorum has accepted a value at some ballot
+// and a later prepare completes, the later proposer is bound to that
+// value — so two different values are never *chosen* for one instance.
+func TestRandomizedAgreement(t *testing.T) {
+	const (
+		nAcceptors = 5
+		rounds     = 60
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			accs := make([]*Acceptor, nAcceptors)
+			for i := range accs {
+				a, err := NewAcceptor(storage.NewMem())
+				if err != nil {
+					t.Fatal(err)
+				}
+				accs[i] = a
+			}
+			quorum := Quorum(nAcceptors)
+
+			// chosen[instance] records the first value observed to be
+			// chosen (accepted by a quorum under one ballot).
+			chosen := map[uint64]string{}
+
+			// checkChosen scans acceptor states for quorum-accepted
+			// values and verifies they never contradict.
+			checkChosen := func() {
+				counts := map[uint64]map[string]int{} // inst -> value -> quorum count at same ballot
+				type slot struct {
+					bal wire.Ballot
+					val string
+				}
+				perAcc := map[uint64][]slot{}
+				for _, a := range accs {
+					for inst := uint64(1); inst <= 4; inst++ {
+						if e, ok := a.Get(inst); ok {
+							perAcc[inst] = append(perAcc[inst], slot{e.Bal, string(e.Prop.Reqs[0].Op)})
+						}
+					}
+				}
+				for inst, slots := range perAcc {
+					byBal := map[wire.Ballot]map[string]int{}
+					for _, s := range slots {
+						if byBal[s.bal] == nil {
+							byBal[s.bal] = map[string]int{}
+						}
+						byBal[s.bal][s.val]++
+					}
+					for _, vals := range byBal {
+						for val, n := range vals {
+							if n >= quorum {
+								if counts[inst] == nil {
+									counts[inst] = map[string]int{}
+								}
+								counts[inst][val] = n
+							}
+						}
+					}
+					for val := range counts[inst] {
+						if prev, ok := chosen[inst]; ok && prev != val {
+							t.Fatalf("instance %d chose both %q and %q", inst, prev, val)
+						}
+						chosen[inst] = val
+					}
+				}
+			}
+
+			// Two proposers fight over instances 1..3 with values named
+			// after themselves.
+			type propKey struct {
+				bal  wire.Ballot
+				inst uint64
+			}
+			type proposer struct {
+				id    wire.NodeID
+				bal   wire.Ballot
+				prep  *PrepareRound
+				ready bool // prepare reached a quorum
+				// bound values per instance once prepare completes
+				bound map[uint64]string
+				// mine remembers this proposer's own (ballot, instance)
+				// proposals: a correct proposer never proposes two
+				// different values under the same proposal number.
+				mine map[propKey]string
+			}
+			props := []*proposer{
+				{id: 10, bound: map[uint64]string{}, mine: map[propKey]string{}},
+				{id: 11, bound: map[uint64]string{}, mine: map[propKey]string{}},
+			}
+
+			for round := 0; round < rounds; round++ {
+				p := props[rng.Intn(2)]
+				switch rng.Intn(3) {
+				case 0: // start a new prepare at a higher ballot
+					p.bal = NextBallot(wire.Ballot{Round: p.bal.Round + uint64(rng.Intn(2)), Node: p.bal.Node}, p.id)
+					p.prep = NewPrepareRound(p.bal, quorum)
+					p.ready = false
+					p.bound = map[uint64]string{}
+					// Deliver the prepare to a random subset (message
+					// loss), in random order.
+					for _, i := range rng.Perm(nAcceptors) {
+						if rng.Float64() < 0.3 {
+							continue // dropped
+						}
+						pr, err := accs[i].OnPrepare(&wire.Prepare{Bal: p.bal, After: 0})
+						if err != nil {
+							t.Fatal(err)
+						}
+						done, _ := p.prep.Add(pr, wire.NodeID(i))
+						if done {
+							p.ready = true
+							for _, e := range p.prep.Outcome(0) {
+								p.bound[e.Instance] = string(e.Prop.Reqs[0].Op)
+							}
+							break
+						}
+					}
+				case 1: // propose a value for a random instance
+					if p.prep == nil || !p.ready {
+						continue // phase 1 incomplete: proposing is illegal
+					}
+					inst := uint64(1 + rng.Intn(3))
+					key := propKey{p.bal, inst}
+					val, boundOK := p.bound[inst]
+					if !boundOK {
+						if prev, ok := p.mine[key]; ok {
+							val = prev // same proposal number, same value
+						} else {
+							val = fmt.Sprintf("v-%d-%d-%d", p.id, inst, round)
+						}
+					}
+					p.mine[key] = val
+					entry := wire.Entry{
+						Instance: inst,
+						Prop: wire.Proposal{
+							Reqs: []wire.Request{{Client: wire.ClientIDBase, Seq: uint64(round), Kind: wire.KindWrite, Op: []byte(val)}},
+						},
+					}
+					for _, i := range rng.Perm(nAcceptors) {
+						if rng.Float64() < 0.3 {
+							continue
+						}
+						if _, err := accs[i].OnAccept(&wire.Accept{Bal: p.bal, Entries: []wire.Entry{entry}}); err != nil {
+							t.Fatal(err)
+						}
+					}
+					// A proposer that learned a bound value must keep
+					// proposing it in later ballots too.
+					if boundOK {
+						p.bound[inst] = val
+					}
+				case 2: // no-op round (models delay)
+				}
+				checkChosen()
+			}
+		})
+	}
+}
+
+// TestPromiseBindingProperty: after any history, a completed prepare that
+// learned an accepted value for an instance must return it from Outcome,
+// never silently drop it.
+func TestPromiseBindingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		accs := make([]*Acceptor, 3)
+		for i := range accs {
+			accs[i], _ = NewAcceptor(storage.NewMem())
+		}
+		// Random acceptor subset accepts a value at a random ballot.
+		val := fmt.Sprintf("v%d", iter)
+		bal := wire.Ballot{Round: uint64(1 + rng.Intn(5)), Node: wire.NodeID(rng.Intn(3))}
+		entry := wire.Entry{Instance: 1, Prop: wire.Proposal{
+			Reqs: []wire.Request{{Client: wire.ClientIDBase, Seq: 1, Kind: wire.KindWrite, Op: []byte(val)}},
+		}}
+		holders := 0
+		for i := range accs {
+			if rng.Intn(2) == 0 {
+				accs[i].OnAccept(&wire.Accept{Bal: bal, Entries: []wire.Entry{entry}})
+				holders++
+			}
+		}
+		// A higher-ballot prepare over ALL acceptors must learn the
+		// value iff any holder exists.
+		hi := wire.Ballot{Round: bal.Round + 1, Node: 2}
+		r := NewPrepareRound(hi, Quorum(3))
+		for i := range accs {
+			pr, _ := accs[i].OnPrepare(&wire.Prepare{Bal: hi, After: 0})
+			r.Add(pr, wire.NodeID(i))
+		}
+		out := r.Outcome(0)
+		if holders > 0 {
+			if len(out) != 1 || string(out[0].Prop.Reqs[0].Op) != val {
+				t.Fatalf("iter %d: prepare over all acceptors lost the value (holders=%d)", iter, holders)
+			}
+		} else if len(out) != 0 {
+			t.Fatalf("iter %d: prepare invented a value", iter)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestKVDeltaRoundTrip(t *testing.T) {
+	leader := NewKV()
+	backup := NewKV()
+	ops := [][]byte{
+		KVPut("a", []byte("1")),
+		KVPut("b", []byte("2")),
+		KVAdd("ctr", 7),
+		KVDelete("a"),
+		KVAdd("ctr", -3),
+		KVPut("b", []byte("22")),
+	}
+	for _, op := range ops {
+		reply, delta, err := leader.ExecuteDelta(op)
+		if err != nil {
+			t.Fatalf("ExecuteDelta: %v", err)
+		}
+		_ = reply
+		if err := backup.ApplyDelta(delta); err != nil {
+			t.Fatalf("ApplyDelta: %v", err)
+		}
+	}
+	if !bytes.Equal(leader.Snapshot(), backup.Snapshot()) {
+		t.Fatal("delta-applied state diverged from executed state")
+	}
+}
+
+func TestKVDeltaMatchesExecute(t *testing.T) {
+	// ExecuteDelta must produce the same replies and state as Execute.
+	a, b := NewKV(), NewKV()
+	ops := [][]byte{KVPut("x", []byte("v")), KVAdd("n", 5), KVGet("x"), KVDelete("x")}
+	for _, op := range ops {
+		ra, err := a.Execute(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := b.ExecuteDelta(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ra, rb) {
+			t.Fatalf("replies differ for op %v: %q vs %q", op, ra, rb)
+		}
+	}
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("states diverged")
+	}
+}
+
+func TestKVDeltaGetIsEmpty(t *testing.T) {
+	s := NewKV()
+	s.Execute(KVPut("k", []byte("v")))
+	_, delta, err := s.ExecuteDelta(KVGet("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A read's delta must encode zero changes.
+	fresh := NewKV()
+	before := fresh.Snapshot()
+	if err := fresh.ApplyDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, fresh.Snapshot()) {
+		t.Fatal("read delta mutated state")
+	}
+}
+
+func TestKVApplyDeltaRejectsGarbage(t *testing.T) {
+	s := NewKV()
+	if err := s.ApplyDelta([]byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage delta accepted")
+	}
+}
+
+func TestBrokerReplayReproducesSelection(t *testing.T) {
+	leader := NewBroker(1)
+	backup := NewBroker(999) // wildly different RNG
+	setup := [][]byte{BrokerRegister("a", 5), BrokerRegister("b", 5)}
+	for _, op := range setup {
+		if _, _, err := leader.ExecuteCapture(op); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := backup.Replay(op, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		op := BrokerRequest(1)
+		reply, aux, err := leader.ExecuteCapture(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := backup.Replay(op, aux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reply, got) {
+			t.Fatalf("replayed reply differs: %x vs %x", reply, got)
+		}
+	}
+	if !bytes.Equal(leader.Snapshot(), backup.Snapshot()) {
+		t.Fatal("replayed broker state diverged")
+	}
+}
+
+func TestBrokerReplayRejectsInvalidSelection(t *testing.T) {
+	b := NewBroker(1)
+	b.Execute(BrokerRegister("a", 1))
+	// Aux claiming a selection of an unknown resource must fail loudly.
+	enc := BrokerRequest(1)
+	badAux := []byte{1, 7, 'u', 'n', 'k', 'n', 'o', 'w', 'n'}
+	if _, err := b.Replay(enc, badAux); err == nil {
+		t.Fatal("invalid replay selection accepted")
+	}
+}
+
+func TestSchedReplayReproducesDispatch(t *testing.T) {
+	leader := NewSched()
+	backup := NewSched()
+	for _, op := range [][]byte{
+		SchedSubmit("a", 1), SchedSubmit("b", 9), SchedSubmit("c", 9),
+	} {
+		if _, _, err := leader.ExecuteCapture(op); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := backup.Replay(op, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		op := SchedDispatch()
+		reply, aux, err := leader.ExecuteCapture(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := backup.Replay(op, aux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reply, got) {
+			t.Fatalf("dispatch %d: replay picked %q, leader picked %q", i, got, reply)
+		}
+	}
+	if !bytes.Equal(leader.Snapshot(), backup.Snapshot()) {
+		t.Fatal("replayed scheduler state diverged")
+	}
+}
+
+func TestSchedReplayEmptyDispatch(t *testing.T) {
+	s := NewSched()
+	res, err := s.Replay(SchedDispatch(), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty-queue replay = %q, %v", res, err)
+	}
+}
+
+func TestSchedReplayUnknownJobFails(t *testing.T) {
+	s := NewSched()
+	if _, err := s.Replay(SchedDispatch(), []byte("ghost")); err == nil {
+		t.Fatal("replay of unknown job accepted")
+	}
+}
+
+func TestModeInterfaceDetection(t *testing.T) {
+	if _, ok := Service(NewKV()).(Differ); !ok {
+		t.Error("KV must implement Differ")
+	}
+	if _, ok := Service(NewBroker(1)).(Replayer); !ok {
+		t.Error("Broker must implement Replayer")
+	}
+	if _, ok := Service(NewSched()).(Replayer); !ok {
+		t.Error("Sched must implement Replayer")
+	}
+	if _, ok := Service(NewNoop()).(Differ); ok {
+		t.Error("Noop must not implement Differ")
+	}
+	if _, ok := Service(NewNoop()).(Replayer); ok {
+		t.Error("Noop must not implement Replayer")
+	}
+}

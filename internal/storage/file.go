@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gridrep/internal/wire"
+)
+
+// File is an append-only write-ahead log implementing Store. Every
+// mutation is one CRC-protected record; Load replays the log and stops at
+// the first torn or corrupt record (the tail a crash may have produced).
+// When the log grows past rewriteAt bytes, Compact rewrites it as a single
+// snapshot record.
+type File struct {
+	path  string
+	f     *os.File
+	state *PersistentState // mirror of the durable state
+	size  int64
+
+	// Sync controls whether each record is fsynced. Benchmarks may turn
+	// it off to model battery-backed stable storage; correctness tests
+	// leave it on.
+	Sync bool
+
+	rewriteAt int64
+}
+
+// Record types in the WAL.
+const (
+	recPromise  = 1
+	recAccepted = 2
+	recChosen   = 3
+	recCompact  = 4
+	recSnapshot = 5
+)
+
+// OpenFile opens (or creates) a WAL at path and replays it.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st := &File{path: path, f: f, state: NewPersistentState(), Sync: true, rewriteAt: 8 << 20}
+	if err := st.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+var _ Store = (*File)(nil)
+
+// replay loads every intact record; a torn tail is truncated away.
+func (s *File) replay() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return err
+	}
+	off := 0
+	good := 0
+	for off < len(data) {
+		n, hdr := binary.Uvarint(data[off:])
+		if hdr <= 0 || n > uint64(wire.MaxBlob) || off+hdr+int(n)+4 > len(data) {
+			break // torn tail
+		}
+		body := data[off+hdr : off+hdr+int(n)]
+		sum := binary.LittleEndian.Uint32(data[off+hdr+int(n):])
+		if crc32.ChecksumIEEE(body) != sum {
+			break // corrupt tail
+		}
+		if err := s.applyRecord(body); err != nil {
+			break
+		}
+		off += hdr + int(n) + 4
+		good = off
+	}
+	if good != len(data) {
+		if err := s.f.Truncate(int64(good)); err != nil {
+			return err
+		}
+	}
+	s.size = int64(good)
+	_, err = s.f.Seek(int64(good), io.SeekStart)
+	return err
+}
+
+func (s *File) applyRecord(body []byte) error {
+	dec := wire.NewDecoder(body)
+	switch typ := dec.Uint8(); typ {
+	case recPromise:
+		b := dec.Ballot()
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		if s.state.Promised.Less(b) {
+			s.state.Promised = b
+		}
+	case recAccepted:
+		max := dec.Ballot()
+		n := dec.SliceLen()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		entries := make([]wire.Entry, 0, n)
+		for i := 0; i < n; i++ {
+			var acc wire.Accept
+			if err := acc.UnmarshalFrom(dec); err != nil {
+				return err
+			}
+			entries = append(entries, acc.Entries...)
+		}
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		s.state.putAccepted(entries, max)
+	case recChosen:
+		idx := dec.Uvarint()
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		if idx > s.state.Chosen {
+			s.state.Chosen = idx
+		}
+	case recCompact:
+		from := dec.Uvarint()
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		s.compactInMemory(from)
+	case recSnapshot:
+		st := NewPersistentState()
+		st.Promised = dec.Ballot()
+		st.MaxAccepted = dec.Ballot()
+		st.Chosen = dec.Uvarint()
+		n := dec.SliceLen()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		for i := 0; i < n; i++ {
+			var acc wire.Accept
+			if err := acc.UnmarshalFrom(dec); err != nil {
+				return err
+			}
+			for _, e := range acc.Entries {
+				st.Accepted[e.Instance] = e
+			}
+		}
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		s.state = st
+	default:
+		return fmt.Errorf("storage: unknown record type %d", typ)
+	}
+	return nil
+}
+
+func (s *File) compactInMemory(keepStateFrom uint64) {
+	for inst, e := range s.state.Accepted {
+		if inst < keepStateFrom && e.Prop.HasState {
+			e.Prop.HasState = false
+			e.Prop.State = nil
+			s.state.Accepted[inst] = e
+		}
+	}
+}
+
+// append writes one framed, checksummed record.
+func (s *File) append(body []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body))
+	rec := make([]byte, 0, n+len(body)+4)
+	rec = append(rec, hdr[:n]...)
+	rec = append(rec, body...)
+	rec = append(rec, sum[:]...)
+	if _, err := s.f.Write(rec); err != nil {
+		return err
+	}
+	s.size += int64(len(rec))
+	if s.Sync {
+		return s.f.Sync()
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *File) Load() (*PersistentState, error) { return s.state.Clone(), nil }
+
+// SetPromised implements Store.
+func (s *File) SetPromised(b wire.Ballot) error {
+	if !s.state.Promised.Less(b) {
+		return nil
+	}
+	enc := wire.NewEncoder(nil)
+	enc.Uint8(recPromise)
+	enc.Ballot(b)
+	if err := s.append(enc.Bytes()); err != nil {
+		return err
+	}
+	s.state.Promised = b
+	return nil
+}
+
+// PutAccepted implements Store. The entries are encoded by reusing the
+// Accept message marshaller.
+func (s *File) PutAccepted(entries []wire.Entry, maxAccepted wire.Ballot) error {
+	enc := wire.NewEncoder(nil)
+	enc.Uint8(recAccepted)
+	enc.Ballot(maxAccepted)
+	enc.Uvarint(1)
+	acc := wire.Accept{Entries: entries}
+	acc.MarshalTo(enc)
+	if err := s.append(enc.Bytes()); err != nil {
+		return err
+	}
+	s.state.putAccepted(entries, maxAccepted)
+	return nil
+}
+
+// SetChosen implements Store.
+func (s *File) SetChosen(idx uint64) error {
+	if idx <= s.state.Chosen {
+		return nil
+	}
+	enc := wire.NewEncoder(nil)
+	enc.Uint8(recChosen)
+	enc.Uvarint(idx)
+	if err := s.append(enc.Bytes()); err != nil {
+		return err
+	}
+	s.state.Chosen = idx
+	return nil
+}
+
+// Compact implements Store. Past the rewrite threshold it folds the whole
+// state into one snapshot record in a fresh file.
+func (s *File) Compact(keepStateFrom uint64) error {
+	enc := wire.NewEncoder(nil)
+	enc.Uint8(recCompact)
+	enc.Uvarint(keepStateFrom)
+	if err := s.append(enc.Bytes()); err != nil {
+		return err
+	}
+	s.compactInMemory(keepStateFrom)
+	if s.size >= s.rewriteAt {
+		return s.rewrite()
+	}
+	return nil
+}
+
+// rewrite replaces the log with a single snapshot record, atomically via
+// rename.
+func (s *File) rewrite() error {
+	enc := wire.NewEncoder(nil)
+	enc.Uint8(recSnapshot)
+	enc.Ballot(s.state.Promised)
+	enc.Ballot(s.state.MaxAccepted)
+	enc.Uvarint(s.state.Chosen)
+	enc.Uvarint(uint64(len(s.state.Accepted)))
+	for _, e := range s.state.Accepted {
+		acc := wire.Accept{Entries: []wire.Entry{e}}
+		acc.MarshalTo(enc)
+	}
+	body := enc.Bytes()
+
+	tmp := s.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	old := s.f
+	oldSize := s.size
+	s.f, s.size = nf, 0
+	if err := s.append(body); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		s.f, s.size = old, oldSize
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		s.f, s.size = old, oldSize
+		return err
+	}
+	old.Close()
+	if s.Sync {
+		if d, err := os.Open(filepath.Dir(s.path)); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *File) Close() error { return s.f.Close() }

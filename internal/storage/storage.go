@@ -1,0 +1,133 @@
+// Package storage provides the stable storage a replica needs to survive
+// crash-recovery (§3.1: faulty processes can recover and then execute the
+// protocol correctly). Two facts must survive a crash:
+//
+//   - the acceptor's promises and accepted proposals, because forgetting a
+//     promise could let the replica accept a smaller ballot and violate
+//     Paxos safety; and
+//   - the log of commands (§3.1), which guarantees that a new leader
+//     learns about all previously accepted requests.
+//
+// A Store is single-writer (the replica's event loop) but may be read
+// concurrently during snapshots.
+package storage
+
+import (
+	"gridrep/internal/wire"
+)
+
+// PersistentState is everything a replica writes to stable storage.
+type PersistentState struct {
+	// Promised is the highest ballot the acceptor has promised.
+	Promised wire.Ballot
+	// MaxAccepted is the highest ballot among accepted proposals,
+	// maintained for X-Paxos confirm routing (§3.4).
+	MaxAccepted wire.Ballot
+	// Accepted holds accepted proposals by instance. Per §3.3 a replica
+	// remembers every accepted request but only needs the state of the
+	// latest proposal; Compact enforces that.
+	Accepted map[uint64]wire.Entry
+	// Chosen is the commit index: all instances <= Chosen are chosen.
+	Chosen uint64
+}
+
+// NewPersistentState returns an empty state.
+func NewPersistentState() *PersistentState {
+	return &PersistentState{Accepted: make(map[uint64]wire.Entry)}
+}
+
+// Store is the stable-storage interface used by a replica. Every mutation
+// must be durable before the corresponding protocol message is sent.
+type Store interface {
+	// Load returns the persisted state, or a fresh empty state.
+	Load() (*PersistentState, error)
+	// SetPromised durably records a promise.
+	SetPromised(b wire.Ballot) error
+	// PutAccepted durably records accepted proposals and the new
+	// max-accepted ballot.
+	PutAccepted(entries []wire.Entry, maxAccepted wire.Ballot) error
+	// SetChosen durably advances the commit index.
+	SetChosen(idx uint64) error
+	// Compact drops state payloads (not requests) from accepted entries
+	// below keepStateFrom, bounding storage growth; requests are kept
+	// so a new leader can still learn the full command log.
+	Compact(keepStateFrom uint64) error
+	// Close releases resources.
+	Close() error
+}
+
+// Apply replays a mutation record onto s; shared by implementations.
+func (s *PersistentState) putAccepted(entries []wire.Entry, maxAccepted wire.Ballot) {
+	for _, e := range entries {
+		s.Accepted[e.Instance] = e
+	}
+	if s.MaxAccepted.Less(maxAccepted) {
+		s.MaxAccepted = maxAccepted
+	}
+}
+
+// Clone deep-copies the state (for snapshot isolation in tests).
+func (s *PersistentState) Clone() *PersistentState {
+	c := &PersistentState{
+		Promised:    s.Promised,
+		MaxAccepted: s.MaxAccepted,
+		Chosen:      s.Chosen,
+		Accepted:    make(map[uint64]wire.Entry, len(s.Accepted)),
+	}
+	for k, v := range s.Accepted {
+		c.Accepted[k] = v
+	}
+	return c
+}
+
+// Mem is a volatile Store for tests and benchmarks. It models stable
+// storage that is infinitely fast; the file-backed implementation is in
+// file.go.
+type Mem struct {
+	state *PersistentState
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{state: NewPersistentState()} }
+
+var _ Store = (*Mem)(nil)
+
+// Load implements Store. It returns a deep copy so the caller owns it.
+func (m *Mem) Load() (*PersistentState, error) { return m.state.Clone(), nil }
+
+// SetPromised implements Store.
+func (m *Mem) SetPromised(b wire.Ballot) error {
+	if m.state.Promised.Less(b) {
+		m.state.Promised = b
+	}
+	return nil
+}
+
+// PutAccepted implements Store.
+func (m *Mem) PutAccepted(entries []wire.Entry, maxAccepted wire.Ballot) error {
+	m.state.putAccepted(entries, maxAccepted)
+	return nil
+}
+
+// SetChosen implements Store.
+func (m *Mem) SetChosen(idx uint64) error {
+	if idx > m.state.Chosen {
+		m.state.Chosen = idx
+	}
+	return nil
+}
+
+// Compact implements Store.
+func (m *Mem) Compact(keepStateFrom uint64) error {
+	for inst, e := range m.state.Accepted {
+		if inst < keepStateFrom && e.Prop.HasState {
+			e.Prop.HasState = false
+			e.Prop.State = nil
+			m.state.Accepted[inst] = e
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }

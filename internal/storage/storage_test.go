@@ -1,0 +1,331 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"gridrep/internal/wire"
+)
+
+func entry(inst uint64, bal wire.Ballot, op string, withState bool) wire.Entry {
+	e := wire.Entry{
+		Instance: inst,
+		Bal:      bal,
+		Prop: wire.Proposal{
+			Reqs:    []wire.Request{{Client: wire.ClientIDBase, Seq: inst, Kind: wire.KindWrite, Op: []byte(op)}},
+			Results: [][]byte{[]byte("r" + op)},
+		},
+	}
+	if withState {
+		e.Prop.HasState = true
+		e.Prop.State = []byte("state-" + op)
+	}
+	return e
+}
+
+// storeFactory lets every test run against both implementations.
+func stores(t *testing.T) map[string]func(t *testing.T) Store {
+	return map[string]func(t *testing.T) Store{
+		"mem": func(t *testing.T) Store { return NewMem() },
+		"file": func(t *testing.T) Store {
+			s, err := OpenFile(filepath.Join(t.TempDir(), "wal"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Sync = false // tests don't need real fsync latency
+			return s
+		},
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	for name, mk := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+
+			b1 := wire.Ballot{Round: 1, Node: 0}
+			b2 := wire.Ballot{Round: 2, Node: 1}
+			if err := s.SetPromised(b1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutAccepted([]wire.Entry{entry(1, b1, "a", true)}, b1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetPromised(b2); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetChosen(1); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := s.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Promised.Equal(b2) {
+				t.Errorf("Promised = %v, want %v", st.Promised, b2)
+			}
+			if !st.MaxAccepted.Equal(b1) {
+				t.Errorf("MaxAccepted = %v, want %v", st.MaxAccepted, b1)
+			}
+			if st.Chosen != 1 {
+				t.Errorf("Chosen = %d, want 1", st.Chosen)
+			}
+			e, ok := st.Accepted[1]
+			if !ok || string(e.Prop.Reqs[0].Op) != "a" || !e.Prop.HasState {
+				t.Errorf("Accepted[1] = %+v", e)
+			}
+		})
+	}
+}
+
+func TestPromiseMonotonic(t *testing.T) {
+	for name, mk := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			hi := wire.Ballot{Round: 9, Node: 1}
+			lo := wire.Ballot{Round: 3, Node: 0}
+			s.SetPromised(hi)
+			s.SetPromised(lo) // must be ignored
+			st, _ := s.Load()
+			if !st.Promised.Equal(hi) {
+				t.Errorf("promise regressed to %v", st.Promised)
+			}
+		})
+	}
+}
+
+func TestChosenMonotonic(t *testing.T) {
+	for name, mk := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			s.SetChosen(10)
+			s.SetChosen(4) // must be ignored
+			st, _ := s.Load()
+			if st.Chosen != 10 {
+				t.Errorf("chosen regressed to %d", st.Chosen)
+			}
+		})
+	}
+}
+
+func TestCompactDropsOldStateKeepsRequests(t *testing.T) {
+	for name, mk := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			b := wire.Ballot{Round: 1, Node: 0}
+			s.PutAccepted([]wire.Entry{
+				entry(1, b, "a", true), entry(2, b, "b", true), entry(3, b, "c", true),
+			}, b)
+			if err := s.Compact(3); err != nil {
+				t.Fatal(err)
+			}
+			st, _ := s.Load()
+			for inst := uint64(1); inst <= 2; inst++ {
+				e := st.Accepted[inst]
+				if e.Prop.HasState {
+					t.Errorf("instance %d kept state after compact", inst)
+				}
+				if len(e.Prop.Reqs) == 0 {
+					t.Errorf("instance %d lost its request", inst)
+				}
+			}
+			if !st.Accepted[3].Prop.HasState {
+				t.Error("latest instance must keep state")
+			}
+		})
+	}
+}
+
+func TestLoadIsolation(t *testing.T) {
+	for name, mk := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			b := wire.Ballot{Round: 1, Node: 0}
+			s.PutAccepted([]wire.Entry{entry(1, b, "a", true)}, b)
+			st, _ := s.Load()
+			st.Accepted[99] = entry(99, b, "evil", false)
+			st.Promised = wire.Ballot{Round: 100, Node: 3}
+			st2, _ := s.Load()
+			if _, ok := st2.Accepted[99]; ok {
+				t.Error("Load must return an isolated copy")
+			}
+			if st2.Promised.Equal(st.Promised) {
+				t.Error("Load must not share the promised ballot")
+			}
+		})
+	}
+}
+
+func TestFileRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sync = false
+	b := wire.Ballot{Round: 5, Node: 2}
+	s.SetPromised(b)
+	s.PutAccepted([]wire.Entry{entry(7, b, "x", true)}, b)
+	s.SetChosen(7)
+	s.Close()
+
+	// Reopen: state must replay identically.
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, _ := s2.Load()
+	if !st.Promised.Equal(b) || st.Chosen != 7 {
+		t.Fatalf("replayed state wrong: %+v", st)
+	}
+	e := st.Accepted[7]
+	if string(e.Prop.Reqs[0].Op) != "x" || string(e.Prop.State) != "state-x" {
+		t.Fatalf("replayed entry wrong: %+v", e)
+	}
+}
+
+func TestFileTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	s, _ := OpenFile(path)
+	s.Sync = false
+	b := wire.Ballot{Round: 1, Node: 0}
+	s.SetPromised(b)
+	s.SetChosen(3)
+	s.Close()
+
+	// Simulate a torn write: append garbage.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.Write([]byte{0x55, 0x01, 0x02})
+	f.Close()
+
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer s2.Close()
+	st, _ := s2.Load()
+	if !st.Promised.Equal(b) || st.Chosen != 3 {
+		t.Fatalf("state lost after torn tail: %+v", st)
+	}
+	// The store must be writable again after truncation.
+	if err := s2.SetChosen(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileCorruptMiddleStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	s, _ := OpenFile(path)
+	s.Sync = false
+	s.SetChosen(1)
+	off, _ := s.f.Seek(0, 2)
+	s.SetChosen(2)
+	s.Close()
+
+	// Flip a byte inside the second record's body.
+	data, _ := os.ReadFile(path)
+	data[off+2] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, _ := s2.Load()
+	if st.Chosen != 1 {
+		t.Fatalf("Chosen = %d, want replay to stop at 1", st.Chosen)
+	}
+}
+
+func TestFileRewriteSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	s, _ := OpenFile(path)
+	s.Sync = false
+	s.rewriteAt = 1 // force rewrite on first Compact
+	b := wire.Ballot{Round: 2, Node: 1}
+	s.SetPromised(b)
+	s.PutAccepted([]wire.Entry{entry(1, b, "a", true), entry(2, b, "b", true)}, b)
+	s.SetChosen(2)
+	if err := s.Compact(2); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, _ := s2.Load()
+	if st.Chosen != 2 || !st.Promised.Equal(b) || len(st.Accepted) != 2 {
+		t.Fatalf("snapshot replay wrong: %+v", st)
+	}
+	if st.Accepted[1].Prop.HasState {
+		t.Error("compacted entry must have no state after snapshot")
+	}
+	if !st.Accepted[2].Prop.HasState {
+		t.Error("latest entry must keep state in snapshot")
+	}
+}
+
+// TestMemFileEquivalence drives both stores through a random mutation
+// sequence and requires identical final states.
+func TestMemFileEquivalence(t *testing.T) {
+	f := func(ops []uint8) bool {
+		mem := NewMem()
+		file, err := OpenFile(filepath.Join(t.TempDir(), "wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		file.Sync = false
+		defer file.Close()
+		both := []Store{mem, file}
+		var inst uint64
+		for _, op := range ops {
+			inst++
+			b := wire.Ballot{Round: uint64(op%7) + 1, Node: wire.NodeID(op % 3)}
+			for _, s := range both {
+				switch op % 4 {
+				case 0:
+					s.SetPromised(b)
+				case 1:
+					s.PutAccepted([]wire.Entry{entry(inst, b, "op", true)}, b)
+				case 2:
+					s.SetChosen(uint64(op))
+				case 3:
+					s.Compact(inst)
+				}
+			}
+		}
+		a, _ := mem.Load()
+		bSt, _ := file.Load()
+		if !a.Promised.Equal(bSt.Promised) || !a.MaxAccepted.Equal(bSt.MaxAccepted) ||
+			a.Chosen != bSt.Chosen || len(a.Accepted) != len(bSt.Accepted) {
+			return false
+		}
+		for k, v := range a.Accepted {
+			w, ok := bSt.Accepted[k]
+			if !ok || v.Prop.HasState != w.Prop.HasState {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

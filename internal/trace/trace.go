@@ -1,0 +1,208 @@
+// Package trace captures protocol messages from the in-process transport
+// and renders ASCII space-time diagrams — the tooling behind reproducing
+// the paper's Figures 1 (Paxos), 2 (basic protocol), 3 (X-Paxos), and 4
+// (T-Paxos) from live executions.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// Event is one delivered protocol message.
+type Event struct {
+	At   time.Time
+	From wire.NodeID
+	To   wire.NodeID
+	Type wire.MsgType
+	Note string // short payload description (request kind, instance, ...)
+}
+
+// Collector accumulates events; it is safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+	start  time.Time
+	armed  bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// TransportTracer adapts the collector to transport.Network.Tracer.
+func (c *Collector) TransportTracer() func(time.Time, *wire.Envelope) {
+	return func(at time.Time, env *wire.Envelope) {
+		c.Add(Event{At: at, From: env.From, To: env.To, Type: env.Msg.Type(), Note: describe(env.Msg)})
+	}
+}
+
+// Add records one event.
+func (c *Collector) Add(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		c.armed = true
+		c.start = ev.At
+	}
+	c.events = append(c.events, ev)
+}
+
+// Reset discards everything collected so far.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = nil
+	c.armed = false
+}
+
+// Events returns a time-sorted copy of the collected events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]Event{}, c.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// describe summarizes a message body for diagram labels.
+func describe(m wire.Message) string {
+	switch v := m.(type) {
+	case *wire.RequestMsg:
+		return v.Req.Kind.String()
+	case *wire.ReplyMsg:
+		return "reply:" + v.Rep.Status.String()
+	case *wire.Prepare:
+		return fmt.Sprintf("prepare%v", v.Bal)
+	case *wire.Promise:
+		if v.OK {
+			return "promise"
+		}
+		return "promise:nack"
+	case *wire.Accept:
+		insts := make([]string, len(v.Entries))
+		for i, e := range v.Entries {
+			insts[i] = fmt.Sprintf("%d", e.Instance)
+		}
+		return "accept[" + strings.Join(insts, ",") + "]"
+	case *wire.Accepted:
+		if v.OK {
+			return "accepted"
+		}
+		return "accepted:nack"
+	case *wire.Commit:
+		return fmt.Sprintf("commit<=%d", v.Index)
+	case *wire.Confirm:
+		return "confirm"
+	case *wire.Heartbeat:
+		return "hb"
+	case *wire.CatchUpReq:
+		return "catchup?"
+	case *wire.CatchUpResp:
+		return "catchup!"
+	default:
+		return m.Type().String()
+	}
+}
+
+// Filter returns the events whose type passes keep.
+func Filter(events []Event, keep func(Event) bool) []Event {
+	var out []Event
+	for _, ev := range events {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// NoHeartbeats filters out Ω traffic, which the paper's figures omit.
+func NoHeartbeats(ev Event) bool { return ev.Type != wire.MsgHeartbeat }
+
+// Render draws a space-time (sequence) diagram: one column lane per
+// participant, time flowing downward, one row per delivered message with
+// an arrow from sender lane to receiver lane labeled with the message
+// description — the format of the paper's Figures 1-4.
+func Render(events []Event, participants []wire.NodeID) string {
+	const colW = 14
+	col := make(map[wire.NodeID]int, len(participants))
+	for i, p := range participants {
+		col[p] = i
+	}
+	lanePos := func(i int) int { return 10 + i*colW }
+	width := 10 + len(participants)*colW
+
+	var b strings.Builder
+	// Header.
+	hdr := []byte(strings.Repeat(" ", width))
+	for i, p := range participants {
+		name := p.String()
+		copy(hdr[lanePos(i):], name)
+	}
+	b.Write(trimRight(hdr))
+	b.WriteByte('\n')
+
+	var start time.Time
+	if len(events) > 0 {
+		start = events[0].At
+	}
+	for _, ev := range events {
+		ci, okFrom := col[ev.From]
+		cj, okTo := col[ev.To]
+		if !okFrom || !okTo {
+			continue
+		}
+		line := []byte(strings.Repeat(" ", width))
+		// Time gutter.
+		ts := fmt.Sprintf("%7.3f", float64(ev.At.Sub(start).Microseconds())/1000.0)
+		copy(line, ts)
+		// Lane pipes.
+		for i := range participants {
+			line[lanePos(i)] = '|'
+		}
+		// Arrow.
+		from, to := lanePos(ci), lanePos(cj)
+		lo, hi := from, to
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for x := lo + 1; x < hi; x++ {
+			line[x] = '-'
+		}
+		if to > from {
+			line[hi] = '>'
+		} else if to < from {
+			line[lo] = '<'
+		} else {
+			line[from] = '*'
+		}
+		// Label centered in the arrow span (or after the lane for
+		// self-messages).
+		label := ev.Note
+		if hi-lo-2 > 0 && len(label) > hi-lo-2 {
+			label = label[:hi-lo-2]
+		}
+		pos := lo + 1 + (hi-lo-1-len(label))/2
+		if hi == lo {
+			pos = lo + 2
+		}
+		if pos >= 0 && pos+len(label) <= width {
+			copy(line[pos:], label)
+		}
+		b.Write(trimRight(line))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimRight(line []byte) []byte {
+	n := len(line)
+	for n > 0 && line[n-1] == ' ' {
+		n--
+	}
+	return line[:n]
+}

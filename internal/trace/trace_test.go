@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+var base = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func ev(ms int, from, to wire.NodeID, ty wire.MsgType, note string) Event {
+	return Event{At: base.Add(time.Duration(ms) * time.Millisecond), From: from, To: to, Type: ty, Note: note}
+}
+
+func TestCollectorOrdersEvents(t *testing.T) {
+	c := NewCollector()
+	c.Add(ev(5, 0, 1, wire.MsgAccept, "accept[1]"))
+	c.Add(ev(1, wire.ClientIDBase, 0, wire.MsgRequest, "write"))
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Type != wire.MsgRequest {
+		t.Fatal("events not time-sorted")
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	c.Add(ev(1, 0, 1, wire.MsgCommit, "commit<=1"))
+	c.Reset()
+	if len(c.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTransportTracer(t *testing.T) {
+	c := NewCollector()
+	tr := c.TransportTracer()
+	tr(base, &wire.Envelope{From: 0, To: 1, Msg: &wire.Commit{Index: 7}})
+	evs := c.Events()
+	if len(evs) != 1 || evs[0].Note != "commit<=7" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestDescribeAllTypes(t *testing.T) {
+	cases := map[wire.Message]string{
+		&wire.RequestMsg{Req: wire.Request{Kind: wire.KindRead}}: "read",
+		&wire.ReplyMsg{Rep: wire.Reply{Status: wire.StatusOK}}:   "reply:ok",
+		&wire.Prepare{Bal: wire.Ballot{Round: 1, Node: 0}}:       "prepare(1.r0)",
+		&wire.Promise{OK: true}:                                  "promise",
+		&wire.Promise{OK: false}:                                 "promise:nack",
+		&wire.Accept{Entries: []wire.Entry{{Instance: 3}}}:       "accept[3]",
+		&wire.Accepted{OK: true}:                                 "accepted",
+		&wire.Commit{Index: 9}:                                   "commit<=9",
+		&wire.Confirm{}:                                          "confirm",
+		&wire.Heartbeat{}:                                        "hb",
+		&wire.CatchUpReq{}:                                       "catchup?",
+		&wire.CatchUpResp{}:                                      "catchup!",
+	}
+	for m, want := range cases {
+		if got := describe(m); got != want {
+			t.Errorf("describe(%T) = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestFilterHeartbeats(t *testing.T) {
+	evs := []Event{
+		ev(0, 0, 1, wire.MsgHeartbeat, "hb"),
+		ev(1, 0, 1, wire.MsgAccept, "accept[1]"),
+	}
+	got := Filter(evs, NoHeartbeats)
+	if len(got) != 1 || got[0].Type != wire.MsgAccept {
+		t.Fatalf("filtered = %+v", got)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	cli := wire.ClientIDBase
+	evs := []Event{
+		ev(0, cli, 0, wire.MsgRequest, "write"),
+		ev(0, cli, 1, wire.MsgRequest, "write"),
+		ev(1, 0, 1, wire.MsgAccept, "accept[1]"),
+		ev(2, 1, 0, wire.MsgAccepted, "accepted"),
+		ev(3, 0, cli, wire.MsgReply, "reply:ok"),
+	}
+	out := Render(evs, []wire.NodeID{cli, 0, 1})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 events
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "c0") || !strings.Contains(lines[0], "r0") {
+		t.Fatalf("header missing participants: %q", lines[0])
+	}
+	// Rightward arrow for c0 -> r0.
+	if !strings.Contains(lines[1], ">") {
+		t.Fatalf("no rightward arrow: %q", lines[1])
+	}
+	// Leftward arrow for r1 -> r0 (accepted).
+	if !strings.Contains(lines[4], "<") {
+		t.Fatalf("no leftward arrow: %q", lines[4])
+	}
+	// Label present somewhere.
+	if !strings.Contains(out, "accept[1]") {
+		t.Fatalf("label lost:\n%s", out)
+	}
+	// Every event line starts with a time gutter.
+	if !strings.Contains(lines[1], "0.000") {
+		t.Fatalf("time gutter missing: %q", lines[1])
+	}
+}
+
+func TestRenderSkipsUnknownParticipants(t *testing.T) {
+	evs := []Event{ev(0, 5, 6, wire.MsgAccept, "accept[1]")}
+	out := Render(evs, []wire.NodeID{0, 1})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("unknown participants should be skipped:\n%s", out)
+	}
+}
+
+func TestRenderSelfMessage(t *testing.T) {
+	evs := []Event{ev(0, 0, 0, wire.MsgCommit, "commit<=1")}
+	out := Render(evs, []wire.NodeID{0})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("self-message marker missing:\n%s", out)
+	}
+}
+
+func TestRenderLongLabelTruncated(t *testing.T) {
+	evs := []Event{ev(0, 0, 1, wire.MsgAccept, strings.Repeat("x", 100))}
+	out := Render(evs, []wire.NodeID{0, 1})
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 10+2*14+2 {
+			t.Fatalf("line too long (%d): %q", len(line), line)
+		}
+	}
+}

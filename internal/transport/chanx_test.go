@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"gridrep/internal/netem"
+	"gridrep/internal/wire"
+)
+
+func newTestNet(t *testing.T, profile netem.Profile) *Network {
+	t.Helper()
+	n := NewNetwork(profile.NewModel(1))
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func hb(from wire.NodeID, epoch uint64) *wire.Envelope {
+	return &wire.Envelope{Msg: &wire.Heartbeat{From: from, Epoch: epoch}}
+}
+
+func recvOne(t *testing.T, ep *Endpoint, within time.Duration) *wire.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return env
+	case <-time.After(within):
+		t.Fatal("timed out waiting for delivery")
+		return nil
+	}
+}
+
+func TestChanxDelivers(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	env := hb(0, 42)
+	env.To = 1
+	a.Send(env)
+	got := recvOne(t, b, time.Second)
+	if got.From != 0 || got.To != 1 {
+		t.Errorf("header = %v->%v, want 0->1", got.From, got.To)
+	}
+	m, ok := got.Msg.(*wire.Heartbeat)
+	if !ok || m.Epoch != 42 {
+		t.Errorf("payload = %#v, want heartbeat epoch 42", got.Msg)
+	}
+}
+
+func TestChanxNoAliasing(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	req := &wire.RequestMsg{Req: wire.Request{Client: wire.ClientIDBase, Seq: 1, Op: []byte("abc")}}
+	a.Send(&wire.Envelope{To: 1, Msg: req})
+	req.Req.Op[0] = 'X' // mutate after send; receiver must see the original
+	got := recvOne(t, b, time.Second).Msg.(*wire.RequestMsg)
+	if string(got.Req.Op) != "abc" {
+		t.Errorf("received op %q shares memory with sender", got.Req.Op)
+	}
+}
+
+func TestChanxLatency(t *testing.T) {
+	model := netem.NewModel(1, nil)
+	model.SetLinkSym(netem.ClassReplica, netem.ClassReplica,
+		netem.Latency{Base: 30 * time.Millisecond})
+	n := NewNetwork(model)
+	defer n.Close()
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	start := time.Now()
+	env := hb(0, 1)
+	env.To = 1
+	a.Send(env)
+	recvOne(t, b, time.Second)
+	elapsed := time.Since(start)
+	if elapsed < 30*time.Millisecond {
+		t.Errorf("delivered in %v, before the 30ms link latency", elapsed)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("delivered in %v, far beyond the 30ms link latency", elapsed)
+	}
+}
+
+func TestChanxFIFOPerLink(t *testing.T) {
+	// Heavy jitter would reorder messages without the FIFO floor.
+	model := netem.NewModel(1, nil)
+	model.SetLinkSym(netem.ClassReplica, netem.ClassReplica,
+		netem.Latency{Base: time.Millisecond, Jitter: 20 * time.Millisecond})
+	n := NewNetwork(model)
+	defer n.Close()
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	const k = 50
+	for i := 0; i < k; i++ {
+		env := hb(0, uint64(i))
+		env.To = 1
+		a.Send(env)
+	}
+	for i := 0; i < k; i++ {
+		got := recvOne(t, b, 2*time.Second).Msg.(*wire.Heartbeat)
+		if got.Epoch != uint64(i) {
+			t.Fatalf("message %d arrived out of order (epoch %d)", i, got.Epoch)
+		}
+	}
+}
+
+func TestChanxCrashDrops(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	n.Model().SetDown(1, true)
+	env := hb(0, 1)
+	env.To = 1
+	a.Send(env)
+	select {
+	case <-b.Recv():
+		t.Fatal("crashed node received a message")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if n.Drops() == 0 {
+		t.Error("drop not counted")
+	}
+	n.Model().SetDown(1, false)
+	env2 := hb(0, 2)
+	env2.To = 1
+	a.Send(env2)
+	recvOne(t, b, time.Second)
+}
+
+func TestChanxUnknownDestination(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a, _ := n.Endpoint(0)
+	env := hb(0, 1)
+	env.To = 99 // never registered
+	a.Send(env) // must not panic
+	if n.Drops() == 0 {
+		t.Error("message to unknown destination not counted as dropped")
+	}
+}
+
+func TestChanxCloseEndpoint(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	b.Close()
+	if _, ok := <-b.Recv(); ok {
+		t.Fatal("recv channel must be closed")
+	}
+	env := hb(0, 1)
+	env.To = 1
+	a.Send(env) // must not panic or block
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestChanxCloseNetwork(t *testing.T) {
+	n := NewNetwork(netem.Loopback().NewModel(1))
+	a, _ := n.Endpoint(0)
+	n.Close()
+	if _, ok := <-a.Recv(); ok {
+		t.Fatal("recv channel must be closed after network close")
+	}
+	if _, err := n.Endpoint(2); err == nil {
+		t.Fatal("Endpoint after Close must fail")
+	}
+	n.Close() // idempotent
+}
+
+func TestChanxEndpointIdempotent(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a1, _ := n.Endpoint(0)
+	a2, _ := n.Endpoint(0)
+	if a1 != a2 {
+		t.Fatal("Endpoint must return the same instance per ID")
+	}
+}
+
+func TestChanxTracer(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	seen := make(chan wire.MsgType, 4)
+	n.Tracer = func(_ time.Time, env *wire.Envelope) { seen <- env.Msg.Type() }
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	env := hb(0, 1)
+	env.To = 1
+	a.Send(env)
+	recvOne(t, b, time.Second)
+	select {
+	case ty := <-seen:
+		if ty != wire.MsgHeartbeat {
+			t.Errorf("traced %v, want heartbeat", ty)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tracer not invoked")
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	c, _ := n.Endpoint(2)
+	Broadcast(a, []wire.NodeID{1, 2}, &wire.Heartbeat{From: 0, Epoch: 5})
+	for _, ep := range []*Endpoint{b, c} {
+		got := recvOne(t, ep, time.Second)
+		if got.Msg.(*wire.Heartbeat).Epoch != 5 {
+			t.Errorf("broadcast payload lost")
+		}
+	}
+}
+
+func TestChanxManyMessagesThroughput(t *testing.T) {
+	n := newTestNet(t, netem.Loopback())
+	a, _ := n.Endpoint(0)
+	b, _ := n.Endpoint(1)
+	const k = 5000
+	go func() {
+		for i := 0; i < k; i++ {
+			env := hb(0, uint64(i))
+			env.To = 1
+			a.Send(env)
+		}
+	}()
+	for i := 0; i < k; i++ {
+		recvOne(t, b, 5*time.Second)
+	}
+}

@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"gridrep/internal/wire"
+)
+
+// TCP is a Transport over real TCP connections with length-prefixed
+// framing (uvarint length, then one encoded envelope). Replicas listen on
+// well-known addresses from an address book; clients do not listen —
+// replicas learn the return route for a client from the client's first
+// inbound frame, mirroring how the paper's prototype replied over the
+// client's own TCP connection.
+type TCP struct {
+	local wire.NodeID
+	book  map[wire.NodeID]string // replica listen addresses
+	ln    net.Listener
+	recv  chan *wire.Envelope
+
+	mu     sync.Mutex
+	routes map[wire.NodeID]*tcpConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// maxFrame bounds a single frame on the wire.
+const maxFrame = wire.MaxBlob + (1 << 16)
+
+type tcpConn struct {
+	c  net.Conn
+	w  *bufio.Writer
+	mu sync.Mutex // serializes frame writes
+}
+
+func (tc *tcpConn) writeFrame(buf []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(buf)))
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := tc.w.Write(buf); err != nil {
+		return err
+	}
+	return tc.w.Flush()
+}
+
+// ListenTCP starts a listening transport for a replica. book maps every
+// replica ID (including local) to its host:port listen address.
+func ListenTCP(local wire.NodeID, book map[wire.NodeID]string) (*TCP, error) {
+	addr, ok := book[local]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for local node %v", local)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := newTCP(local, book)
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// DialTCP starts a non-listening transport for a client. The client can
+// send to any replica in the book; replicas reply over the connections the
+// client opened.
+func DialTCP(local wire.NodeID, book map[wire.NodeID]string) *TCP {
+	return newTCP(local, book)
+}
+
+func newTCP(local wire.NodeID, book map[wire.NodeID]string) *TCP {
+	b := make(map[wire.NodeID]string, len(book))
+	for k, v := range book {
+		b[k] = v
+	}
+	return &TCP{
+		local:  local,
+		book:   b,
+		recv:   make(chan *wire.Envelope, 65536),
+		routes: make(map[wire.NodeID]*tcpConn),
+	}
+}
+
+var _ Transport = (*TCP)(nil)
+
+// Local implements Transport.
+func (t *TCP) Local() wire.NodeID { return t.local }
+
+// Addr returns the actual listen address (useful with ":0" books in
+// tests), or "" for non-listening transports.
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Send implements Transport. Connection setup and writes happen on the
+// caller's goroutine; failures drop the message (best effort), leaving
+// retransmission to the protocol layer.
+func (t *TCP) Send(env *wire.Envelope) {
+	env.From = t.local
+	conn := t.route(env.To)
+	if conn == nil {
+		return
+	}
+	buf := wire.EncodeEnvelope(nil, env)
+	if err := conn.writeFrame(buf); err != nil {
+		t.dropRoute(env.To, conn)
+	}
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv() <-chan *wire.Envelope { return t.recv }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*tcpConn, 0, len(t.routes))
+	for _, c := range t.routes {
+		conns = append(conns, c)
+	}
+	t.routes = map[wire.NodeID]*tcpConn{}
+	t.mu.Unlock()
+
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	t.wg.Wait()
+	close(t.recv)
+	return nil
+}
+
+// route returns a connection to peer, dialing if needed and possible.
+func (t *TCP) route(peer wire.NodeID) *tcpConn {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	if c, ok := t.routes[peer]; ok {
+		t.mu.Unlock()
+		return c
+	}
+	addr, ok := t.book[peer]
+	t.mu.Unlock()
+	if !ok {
+		return nil // unreachable peer (e.g. a client with no learned route)
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil
+	}
+	conn := &tcpConn{c: nc, w: bufio.NewWriter(nc)}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		nc.Close()
+		return nil
+	}
+	if existing, ok := t.routes[peer]; ok {
+		// Lost the race with a concurrent dial or inbound accept.
+		t.mu.Unlock()
+		nc.Close()
+		return existing
+	}
+	t.routes[peer] = conn
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.readLoop(conn)
+	return conn
+}
+
+func (t *TCP) dropRoute(peer wire.NodeID, conn *tcpConn) {
+	t.mu.Lock()
+	if t.routes[peer] == conn {
+		delete(t.routes, peer)
+	}
+	t.mu.Unlock()
+	conn.c.Close()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		nc, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := &tcpConn{c: nc, w: bufio.NewWriter(nc)}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			nc.Close()
+			return
+		}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop reads frames from one connection, learning return routes from
+// each envelope's From field.
+func (t *TCP) readLoop(conn *tcpConn) {
+	defer t.wg.Done()
+	defer conn.c.Close()
+	r := bufio.NewReader(conn.c)
+	var learned []wire.NodeID
+	defer func() {
+		t.mu.Lock()
+		for _, id := range learned {
+			if t.routes[id] == conn {
+				delete(t.routes, id)
+			}
+		}
+		t.mu.Unlock()
+	}()
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err != nil || n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		env, err := wire.DecodeEnvelope(buf)
+		if err != nil {
+			return // corrupt peer; sever the connection
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		if _, ok := t.routes[env.From]; !ok {
+			t.routes[env.From] = conn
+			learned = append(learned, env.From)
+		}
+		t.mu.Unlock()
+		select {
+		case t.recv <- env:
+		default: // backpressure overflow: drop
+		}
+	}
+}

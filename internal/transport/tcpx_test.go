@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// startTCPCluster starts nReplicas listening transports on ephemeral ports
+// and returns them plus a shared address book.
+func startTCPCluster(t *testing.T, nReplicas int) ([]*TCP, map[wire.NodeID]string) {
+	t.Helper()
+	book := make(map[wire.NodeID]string)
+	var reps []*TCP
+	for i := 0; i < nReplicas; i++ {
+		id := wire.NodeID(i)
+		book[id] = "127.0.0.1:0"
+		tr, err := ListenTCP(id, book)
+		if err != nil {
+			t.Fatalf("ListenTCP(%v): %v", id, err)
+		}
+		book[id] = tr.Addr() // replace :0 with the bound port
+		reps = append(reps, tr)
+		t.Cleanup(func() { tr.Close() })
+	}
+	// Rebuild every replica's book with the final addresses.
+	for _, tr := range reps {
+		for k, v := range book {
+			tr.book[k] = v
+		}
+	}
+	return reps, book
+}
+
+func tcpRecv(t *testing.T, tr *TCP, within time.Duration) *wire.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-tr.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return env
+	case <-time.After(within):
+		t.Fatal("timed out waiting for TCP delivery")
+		return nil
+	}
+}
+
+func TestTCPReplicaToReplica(t *testing.T) {
+	reps, _ := startTCPCluster(t, 2)
+	env := hb(0, 9)
+	env.To = 1
+	reps[0].Send(env)
+	got := tcpRecv(t, reps[1], 2*time.Second)
+	if got.From != 0 || got.Msg.(*wire.Heartbeat).Epoch != 9 {
+		t.Errorf("got %v from %v", got.Msg, got.From)
+	}
+}
+
+func TestTCPClientRoundTrip(t *testing.T) {
+	reps, book := startTCPCluster(t, 1)
+	cli := DialTCP(wire.ClientIDBase, book)
+	defer cli.Close()
+
+	// Client sends a request; replica replies over the learned route.
+	cli.Send(&wire.Envelope{To: 0, Msg: &wire.RequestMsg{
+		Req: wire.Request{Client: wire.ClientIDBase, Seq: 7, Kind: wire.KindRead, Op: []byte("x")},
+	}})
+	got := tcpRecv(t, reps[0], 2*time.Second)
+	req := got.Msg.(*wire.RequestMsg).Req
+	if req.Seq != 7 || string(req.Op) != "x" {
+		t.Fatalf("request mangled: %+v", req)
+	}
+	reps[0].Send(&wire.Envelope{To: wire.ClientIDBase, Msg: &wire.ReplyMsg{
+		Rep: wire.Reply{Client: wire.ClientIDBase, Seq: 7, Status: wire.StatusOK, Result: []byte("v")},
+	}})
+	rep := tcpRecv(t, cli, 2*time.Second).Msg.(*wire.ReplyMsg).Rep
+	if rep.Seq != 7 || string(rep.Result) != "v" {
+		t.Fatalf("reply mangled: %+v", rep)
+	}
+}
+
+func TestTCPReplyWithoutRouteDropped(t *testing.T) {
+	reps, _ := startTCPCluster(t, 1)
+	// No route to this client was ever learned; Send must not panic.
+	reps[0].Send(&wire.Envelope{To: wire.ClientIDBase + 5, Msg: &wire.ReplyMsg{}})
+}
+
+func TestTCPManyFrames(t *testing.T) {
+	reps, _ := startTCPCluster(t, 2)
+	const k = 1000
+	go func() {
+		for i := 0; i < k; i++ {
+			env := hb(0, uint64(i))
+			env.To = 1
+			reps[0].Send(env)
+		}
+	}()
+	for i := 0; i < k; i++ {
+		got := tcpRecv(t, reps[1], 5*time.Second).Msg.(*wire.Heartbeat)
+		if got.Epoch != uint64(i) {
+			t.Fatalf("TCP must be FIFO: got epoch %d at position %d", got.Epoch, i)
+		}
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	reps, book := startTCPCluster(t, 1)
+	cli := DialTCP(wire.ClientIDBase, book)
+	defer cli.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	cli.Send(&wire.Envelope{To: 0, Msg: &wire.RequestMsg{
+		Req: wire.Request{Client: wire.ClientIDBase, Seq: 1, Kind: wire.KindWrite, Op: big},
+	}})
+	got := tcpRecv(t, reps[0], 5*time.Second).Msg.(*wire.RequestMsg).Req
+	if len(got.Op) != len(big) || got.Op[12345] != big[12345] {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPClose(t *testing.T) {
+	reps, book := startTCPCluster(t, 1)
+	cli := DialTCP(wire.ClientIDBase, book)
+	cli.Send(&wire.Envelope{To: 0, Msg: &wire.Heartbeat{From: wire.ClientIDBase}})
+	tcpRecv(t, reps[0], 2*time.Second)
+	if err := cli.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, ok := <-cli.Recv(); ok {
+		t.Fatal("recv channel must close")
+	}
+	cli.Close() // idempotent
+	// Replica can still be closed cleanly with a dead peer route.
+	if err := reps[0].Close(); err != nil {
+		t.Fatalf("replica Close: %v", err)
+	}
+}
+
+func TestTCPSendToUnknownPeer(t *testing.T) {
+	tr := DialTCP(wire.ClientIDBase, map[wire.NodeID]string{})
+	defer tr.Close()
+	tr.Send(&wire.Envelope{To: 3, Msg: &wire.Heartbeat{}}) // no address: dropped
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	// Address book points at a port nobody listens on.
+	tr := DialTCP(wire.ClientIDBase, map[wire.NodeID]string{0: "127.0.0.1:1"})
+	defer tr.Close()
+	tr.Send(&wire.Envelope{To: 0, Msg: &wire.Heartbeat{}}) // must not panic
+}

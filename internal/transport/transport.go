@@ -1,0 +1,35 @@
+// Package transport moves wire.Envelopes between processes.
+//
+// Two implementations are provided: an in-process transport (chanx.go)
+// whose delivery times are driven by a netem.Model — used by tests and by
+// the benchmark harness to reproduce the paper's three network
+// configurations — and a TCP transport (tcpx.go) with length-prefixed
+// framing for real multi-process deployments, matching the paper's choice
+// of raw TCP sockets (§4).
+package transport
+
+import "gridrep/internal/wire"
+
+// Transport sends and receives protocol envelopes for one local node.
+// Sends are asynchronous and best-effort: the system model is an
+// asynchronous network with no bound on delivery time (§3.1), and the
+// protocol layer owns all retransmission.
+type Transport interface {
+	// Local returns the node this endpoint belongs to.
+	Local() wire.NodeID
+	// Send dispatches env.Msg to env.To. The transport stamps From.
+	// It never blocks on the network; delivery is not guaranteed.
+	Send(env *wire.Envelope)
+	// Recv returns the channel of inbound envelopes. The channel is
+	// closed when the transport is closed.
+	Recv() <-chan *wire.Envelope
+	// Close releases resources and closes the Recv channel.
+	Close() error
+}
+
+// Broadcast sends msg from t to every node in dst.
+func Broadcast(t Transport, dst []wire.NodeID, msg wire.Message) {
+	for _, to := range dst {
+		t.Send(&wire.Envelope{To: to, Msg: msg})
+	}
+}

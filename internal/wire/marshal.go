@@ -1,0 +1,339 @@
+package wire
+
+import "fmt"
+
+// This file implements MarshalTo/UnmarshalFrom for every protocol message.
+// Encodings are versionless and positional; the envelope type byte selects
+// the decoder. Every slice is bounds-checked through Decoder.SliceLen and
+// every blob through Decoder.Bytes8.
+
+func marshalRequest(enc *Encoder, r *Request) {
+	enc.NodeID(r.Client)
+	enc.Uvarint(r.Seq)
+	enc.Uint8(uint8(r.Kind))
+	enc.Uvarint(r.Txn)
+	enc.Uvarint(uint64(r.TxnSeq))
+	enc.Bytes8(r.Op)
+}
+
+func unmarshalRequest(dec *Decoder, r *Request) error {
+	r.Client = dec.NodeID()
+	r.Seq = dec.Uvarint()
+	k := dec.Uint8()
+	if k >= uint8(numRequestKinds) && dec.Err() == nil {
+		return fmt.Errorf("wire: invalid request kind %d", k)
+	}
+	r.Kind = RequestKind(k)
+	r.Txn = dec.Uvarint()
+	r.TxnSeq = uint32(dec.Uvarint())
+	r.Op = dec.Bytes8()
+	return dec.Err()
+}
+
+func marshalProposal(enc *Encoder, p *Proposal) {
+	enc.Uvarint(uint64(len(p.Reqs)))
+	for i := range p.Reqs {
+		marshalRequest(enc, &p.Reqs[i])
+	}
+	enc.Bool(p.HasState)
+	if p.HasState {
+		enc.Uint8(uint8(p.Kind))
+		enc.Bytes8(p.State)
+	}
+	enc.Uvarint(uint64(len(p.Aux)))
+	for _, aux := range p.Aux {
+		enc.Bytes8(aux)
+	}
+	enc.Uvarint(uint64(len(p.Results)))
+	for _, res := range p.Results {
+		enc.Bytes8(res)
+	}
+}
+
+func unmarshalProposal(dec *Decoder, p *Proposal) error {
+	n := dec.SliceLen()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	p.Reqs = make([]Request, n)
+	for i := range p.Reqs {
+		if err := unmarshalRequest(dec, &p.Reqs[i]); err != nil {
+			return err
+		}
+	}
+	p.HasState = dec.Bool()
+	if p.HasState {
+		p.Kind = StateKind(dec.Uint8())
+		p.State = dec.Bytes8()
+	} else {
+		p.Kind = StateFull
+		p.State = nil
+	}
+	na := dec.SliceLen()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if na > 0 {
+		p.Aux = make([][]byte, na)
+		for i := range p.Aux {
+			p.Aux[i] = dec.Bytes8()
+		}
+	} else {
+		p.Aux = nil
+	}
+	m := dec.SliceLen()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if m > 0 {
+		p.Results = make([][]byte, m)
+		for i := range p.Results {
+			p.Results[i] = dec.Bytes8()
+		}
+	} else {
+		p.Results = nil
+	}
+	return dec.Err()
+}
+
+func marshalEntry(enc *Encoder, e *Entry) {
+	enc.Uvarint(e.Instance)
+	enc.Ballot(e.Bal)
+	marshalProposal(enc, &e.Prop)
+}
+
+func unmarshalEntry(dec *Decoder, e *Entry) error {
+	e.Instance = dec.Uvarint()
+	e.Bal = dec.Ballot()
+	return unmarshalProposal(dec, &e.Prop)
+}
+
+func marshalEntries(enc *Encoder, es []Entry) {
+	enc.Uvarint(uint64(len(es)))
+	for i := range es {
+		marshalEntry(enc, &es[i])
+	}
+}
+
+func unmarshalEntries(dec *Decoder) ([]Entry, error) {
+	n := dec.SliceLen()
+	if dec.Err() != nil {
+		return nil, dec.Err()
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	es := make([]Entry, n)
+	for i := range es {
+		if err := unmarshalEntry(dec, &es[i]); err != nil {
+			return nil, err
+		}
+	}
+	return es, nil
+}
+
+func marshalUint64s(enc *Encoder, vs []uint64) {
+	enc.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		enc.Uvarint(v)
+	}
+}
+
+func unmarshalUint64s(dec *Decoder) []uint64 {
+	n := dec.SliceLen()
+	if dec.Err() != nil || n == 0 {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = dec.Uvarint()
+	}
+	return vs
+}
+
+// MarshalTo implements Message.
+func (m *RequestMsg) MarshalTo(enc *Encoder) { marshalRequest(enc, &m.Req) }
+
+// UnmarshalFrom implements Message.
+func (m *RequestMsg) UnmarshalFrom(dec *Decoder) error { return unmarshalRequest(dec, &m.Req) }
+
+// MarshalTo implements Message.
+func (m *ReplyMsg) MarshalTo(enc *Encoder) {
+	r := &m.Rep
+	enc.NodeID(r.Client)
+	enc.Uvarint(r.Seq)
+	enc.Uint8(uint8(r.Status))
+	enc.NodeID(r.Leader)
+	enc.Bytes8(r.Result)
+	enc.String(r.Err)
+}
+
+// UnmarshalFrom implements Message.
+func (m *ReplyMsg) UnmarshalFrom(dec *Decoder) error {
+	r := &m.Rep
+	r.Client = dec.NodeID()
+	r.Seq = dec.Uvarint()
+	r.Status = ReplyStatus(dec.Uint8())
+	r.Leader = dec.NodeID()
+	r.Result = dec.Bytes8()
+	r.Err = dec.String()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *Prepare) MarshalTo(enc *Encoder) {
+	enc.Ballot(m.Bal)
+	enc.Uvarint(m.After)
+	marshalUint64s(enc, m.Gaps)
+}
+
+// UnmarshalFrom implements Message.
+func (m *Prepare) UnmarshalFrom(dec *Decoder) error {
+	m.Bal = dec.Ballot()
+	m.After = dec.Uvarint()
+	m.Gaps = unmarshalUint64s(dec)
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *Promise) MarshalTo(enc *Encoder) {
+	enc.Ballot(m.Bal)
+	enc.NodeID(m.From)
+	enc.Bool(m.OK)
+	enc.Ballot(m.MaxProm)
+	marshalEntries(enc, m.Entries)
+	enc.Uvarint(m.Chosen)
+}
+
+// UnmarshalFrom implements Message.
+func (m *Promise) UnmarshalFrom(dec *Decoder) error {
+	m.Bal = dec.Ballot()
+	m.From = dec.NodeID()
+	m.OK = dec.Bool()
+	m.MaxProm = dec.Ballot()
+	var err error
+	if m.Entries, err = unmarshalEntries(dec); err != nil {
+		return err
+	}
+	m.Chosen = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *Accept) MarshalTo(enc *Encoder) {
+	enc.Ballot(m.Bal)
+	marshalEntries(enc, m.Entries)
+	enc.Uvarint(m.Commit)
+}
+
+// UnmarshalFrom implements Message.
+func (m *Accept) UnmarshalFrom(dec *Decoder) error {
+	m.Bal = dec.Ballot()
+	var err error
+	if m.Entries, err = unmarshalEntries(dec); err != nil {
+		return err
+	}
+	m.Commit = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *Accepted) MarshalTo(enc *Encoder) {
+	enc.Ballot(m.Bal)
+	enc.NodeID(m.From)
+	enc.Bool(m.OK)
+	enc.Ballot(m.MaxProm)
+	marshalUint64s(enc, m.Instances)
+}
+
+// UnmarshalFrom implements Message.
+func (m *Accepted) UnmarshalFrom(dec *Decoder) error {
+	m.Bal = dec.Ballot()
+	m.From = dec.NodeID()
+	m.OK = dec.Bool()
+	m.MaxProm = dec.Ballot()
+	m.Instances = unmarshalUint64s(dec)
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *Commit) MarshalTo(enc *Encoder) {
+	enc.Ballot(m.Bal)
+	enc.Uvarint(m.Index)
+}
+
+// UnmarshalFrom implements Message.
+func (m *Commit) UnmarshalFrom(dec *Decoder) error {
+	m.Bal = dec.Ballot()
+	m.Index = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *Confirm) MarshalTo(enc *Encoder) {
+	enc.Ballot(m.Bal)
+	enc.NodeID(m.From)
+	enc.NodeID(m.Client)
+	enc.Uvarint(m.Seq)
+}
+
+// UnmarshalFrom implements Message.
+func (m *Confirm) UnmarshalFrom(dec *Decoder) error {
+	m.Bal = dec.Ballot()
+	m.From = dec.NodeID()
+	m.Client = dec.NodeID()
+	m.Seq = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *Heartbeat) MarshalTo(enc *Encoder) {
+	enc.NodeID(m.From)
+	enc.Uvarint(m.Epoch)
+	enc.NodeID(m.Leader)
+	enc.Uvarint(m.Chosen)
+}
+
+// UnmarshalFrom implements Message.
+func (m *Heartbeat) UnmarshalFrom(dec *Decoder) error {
+	m.From = dec.NodeID()
+	m.Epoch = dec.Uvarint()
+	m.Leader = dec.NodeID()
+	m.Chosen = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *CatchUpReq) MarshalTo(enc *Encoder) {
+	enc.NodeID(m.From)
+	enc.Uvarint(m.HaveChosen)
+}
+
+// UnmarshalFrom implements Message.
+func (m *CatchUpReq) UnmarshalFrom(dec *Decoder) error {
+	m.From = dec.NodeID()
+	m.HaveChosen = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *CatchUpResp) MarshalTo(enc *Encoder) {
+	enc.NodeID(m.From)
+	marshalEntries(enc, m.Entries)
+	enc.Uvarint(m.Chosen)
+	enc.Bytes8(m.State)
+	enc.Uvarint(m.StateAt)
+}
+
+// UnmarshalFrom implements Message.
+func (m *CatchUpResp) UnmarshalFrom(dec *Decoder) error {
+	m.From = dec.NodeID()
+	var err error
+	if m.Entries, err = unmarshalEntries(dec); err != nil {
+		return err
+	}
+	m.Chosen = dec.Uvarint()
+	m.State = dec.Bytes8()
+	m.StateAt = dec.Uvarint()
+	return dec.Err()
+}

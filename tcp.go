@@ -1,0 +1,112 @@
+package gridrep
+
+import (
+	"fmt"
+	"time"
+
+	"gridrep/internal/client"
+	"gridrep/internal/core"
+	"gridrep/internal/storage"
+	"gridrep/internal/transport"
+	"gridrep/internal/wire"
+)
+
+// ServerOptions configures one TCP replica process.
+type ServerOptions struct {
+	// ID is this replica's index into Peers.
+	ID NodeID
+	// Peers maps every replica ID (including ID) to its host:port
+	// listen address. The paper's prototype used raw TCP sockets
+	// between all processes (§4); so does this deployment mode.
+	Peers map[NodeID]string
+	// Service is this replica's service instance.
+	Service Service
+	// WALPath, when non-empty, enables file-backed stable storage.
+	WALPath string
+	// HeartbeatInterval tunes Ω (default 25ms).
+	HeartbeatInterval time.Duration
+}
+
+// Server is one running TCP replica.
+type Server struct {
+	rep *core.Replica
+	tr  *transport.TCP
+}
+
+// ListenAndServe starts a replica serving the replication protocol over
+// TCP. It returns once the replica is listening; the protocol runs in
+// the background until Close.
+func ListenAndServe(opts ServerOptions) (*Server, error) {
+	if opts.Service == nil {
+		return nil, fmt.Errorf("gridrep: ServerOptions.Service is required")
+	}
+	book := make(map[wire.NodeID]string, len(opts.Peers))
+	peers := make([]wire.NodeID, 0, len(opts.Peers))
+	for id, addr := range opts.Peers {
+		book[id] = addr
+		peers = append(peers, id)
+	}
+	tr, err := transport.ListenTCP(opts.ID, book)
+	if err != nil {
+		return nil, err
+	}
+	var store storage.Store
+	if opts.WALPath != "" {
+		fs, err := storage.OpenFile(opts.WALPath)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		store = fs
+	}
+	rep, err := core.New(core.Config{
+		ID:                opts.ID,
+		Peers:             peers,
+		Service:           opts.Service,
+		Store:             store,
+		Transport:         tr,
+		HeartbeatInterval: opts.HeartbeatInterval,
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	rep.Start()
+	return &Server{rep: rep, tr: tr}, nil
+}
+
+// Addr returns the replica's actual listen address.
+func (s *Server) Addr() string { return s.tr.Addr() }
+
+// Close stops the replica.
+func (s *Server) Close() { s.rep.Stop() }
+
+// DialOptions configures a TCP client.
+type DialOptions struct {
+	// ID must be unique among clients; it is offset into the client ID
+	// space automatically.
+	ID uint32
+	// Replicas maps every replica ID to its host:port address.
+	Replicas map[NodeID]string
+	// Deadline bounds each operation (default 30s).
+	Deadline time.Duration
+}
+
+// Dial connects a client to a TCP-deployed replicated service.
+func Dial(opts DialOptions) (*Client, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("gridrep: DialOptions.Replicas is required")
+	}
+	book := make(map[wire.NodeID]string, len(opts.Replicas))
+	ids := make([]wire.NodeID, 0, len(opts.Replicas))
+	for id, addr := range opts.Replicas {
+		book[id] = addr
+		ids = append(ids, id)
+	}
+	tr := transport.DialTCP(wire.ClientIDBase+wire.NodeID(opts.ID), book)
+	return client.New(client.Config{
+		Transport: tr,
+		Replicas:  ids,
+		Deadline:  opts.Deadline,
+	}), nil
+}
