@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all tier1 race chaos bench clean
+
+all: tier1
+
+# Tier-1: the gate every change must keep green.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race tier: vet + full test suite under the race detector. The chaos
+# and transport tests are required to be race-clean.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Just the socket-level chaos suite (transport + chaos), race-enabled.
+chaos:
+	$(GO) test -race ./internal/transport ./internal/chaos
+
+bench:
+	$(GO) run ./cmd/benchpaxos -exp all
+
+clean:
+	$(GO) clean ./...

@@ -30,6 +30,7 @@ func main() {
 	wal := flag.String("wal", "", "write-ahead log path (empty = in-memory storage)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "RNG seed for nondeterministic services")
 	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
+	statsEvery := flag.Duration("stats", 0, "log transport counters at this interval (0 = off)")
 	flag.Parse()
 
 	peers, err := ParsePeers(*peersFlag)
@@ -65,10 +66,33 @@ func main() {
 	}
 	fmt.Printf("replica %d serving %s on %s (peers: %d)\n", *id, *svcName, srv.Addr(), len(peers))
 
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-ticker.C:
+					st := srv.TransportStats()
+					log.Printf("transport: peers=%d depth=%d dials=%d fails=%d reconnects=%d sent=%d recvd=%d rtt=%v drops{queue=%d route=%d write=%d recv=%d}",
+						st.ConnectedPeers, st.QueueDepth, st.Dials, st.DialFails,
+						st.Reconnects, st.Sent, st.Recvd, st.LastRTT,
+						st.DropsQueueFull, st.DropsNoRoute, st.DropsWriteFail, st.DropsRecvOverflow)
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	close(stopStats)
+	st := srv.TransportStats()
+	log.Printf("transport final: dials=%d reconnects=%d drops=%d", st.Dials, st.Reconnects, st.Drops())
 	srv.Close()
 }
 

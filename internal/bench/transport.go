@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"gridrep/internal/transport"
+)
+
+// TransportWatch samples a transport's counters on a fixed period so a
+// benchmark run can correlate throughput dips with reconnect storms,
+// queue growth, or drop bursts. Sampling runs in the background from
+// WatchTransport until Stop.
+type TransportWatch struct {
+	mu      sync.Mutex
+	samples []transport.Stats
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+// WatchTransport starts sampling src every period (default 250ms). src
+// is typically the Stats method of a *transport.TCP or a closure summing
+// several of them.
+func WatchTransport(src func() transport.Stats, every time.Duration) *TransportWatch {
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	w := &TransportWatch{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	w.record(src())
+	go w.run(src, every)
+	return w
+}
+
+func (w *TransportWatch) run(src func() transport.Stats, every time.Duration) {
+	defer close(w.done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			w.record(src())
+			return
+		case <-ticker.C:
+			w.record(src())
+		}
+	}
+}
+
+func (w *TransportWatch) record(s transport.Stats) {
+	w.mu.Lock()
+	w.samples = append(w.samples, s)
+	w.mu.Unlock()
+}
+
+// Stop ends sampling (taking one final sample) and returns all samples
+// in order. It is safe to call more than once.
+func (w *TransportWatch) Stop() []transport.Stats {
+	w.mu.Lock()
+	if !w.stopped {
+		w.stopped = true
+		close(w.stop)
+	}
+	w.mu.Unlock()
+	<-w.done
+	return w.Samples()
+}
+
+// Samples returns a copy of the samples collected so far.
+func (w *TransportWatch) Samples() []transport.Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]transport.Stats{}, w.samples...)
+}
+
+// Delta returns the counter movement over the watch window (last sample
+// minus first); gauges (QueueDepth, ConnectedPeers, LastRTT) carry the
+// final value.
+func (w *TransportWatch) Delta() transport.Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.samples) == 0 {
+		return transport.Stats{}
+	}
+	first, last := w.samples[0], w.samples[len(w.samples)-1]
+	return transport.Stats{
+		Dials:             last.Dials - first.Dials,
+		DialFails:         last.DialFails - first.DialFails,
+		Reconnects:        last.Reconnects - first.Reconnects,
+		Sent:              last.Sent - first.Sent,
+		Recvd:             last.Recvd - first.Recvd,
+		PingsSent:         last.PingsSent - first.PingsSent,
+		PongsRecvd:        last.PongsRecvd - first.PongsRecvd,
+		LastRTT:           last.LastRTT,
+		DropsQueueFull:    last.DropsQueueFull - first.DropsQueueFull,
+		DropsNoRoute:      last.DropsNoRoute - first.DropsNoRoute,
+		DropsWriteFail:    last.DropsWriteFail - first.DropsWriteFail,
+		DropsRecvOverflow: last.DropsRecvOverflow - first.DropsRecvOverflow,
+		QueueDepth:        last.QueueDepth,
+		ConnectedPeers:    last.ConnectedPeers,
+	}
+}
+
+// QueueDepths extracts the sampled queue-depth series for Summarize.
+func (w *TransportWatch) QueueDepths() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]float64, len(w.samples))
+	for i, s := range w.samples {
+		out[i] = float64(s.QueueDepth)
+	}
+	return out
+}

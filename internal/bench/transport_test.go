@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridrep/internal/transport"
+)
+
+func TestWatchTransportSamplesAndDelta(t *testing.T) {
+	var n atomic.Uint64
+	src := func() transport.Stats {
+		v := n.Add(1)
+		return transport.Stats{
+			Sent:       10 * v,
+			Reconnects: v,
+			QueueDepth: int(v),
+		}
+	}
+	w := WatchTransport(src, 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	samples := w.Stop()
+	if len(samples) < 3 {
+		t.Fatalf("got %d samples, want >= 3", len(samples))
+	}
+	d := w.Delta()
+	want := samples[len(samples)-1].Sent - samples[0].Sent
+	if d.Sent != want {
+		t.Errorf("Delta.Sent = %d, want %d", d.Sent, want)
+	}
+	if d.Reconnects == 0 {
+		t.Error("Delta.Reconnects should have moved")
+	}
+	if d.QueueDepth != samples[len(samples)-1].QueueDepth {
+		t.Errorf("Delta.QueueDepth = %d, want final gauge %d",
+			d.QueueDepth, samples[len(samples)-1].QueueDepth)
+	}
+	if qs := w.QueueDepths(); len(qs) != len(samples) || qs[0] != float64(samples[0].QueueDepth) {
+		t.Errorf("QueueDepths misaligned: %v", qs)
+	}
+	// Stop is idempotent.
+	if again := w.Stop(); len(again) != len(samples) {
+		t.Errorf("second Stop returned %d samples, want %d", len(again), len(samples))
+	}
+}
+
+func TestWatchTransportEmptyDelta(t *testing.T) {
+	var w TransportWatch
+	if d := w.Delta(); d != (transport.Stats{}) {
+		t.Errorf("empty watch delta = %+v", d)
+	}
+}

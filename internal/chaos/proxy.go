@@ -1,0 +1,284 @@
+// Package chaos fault-injects real TCP links. A Proxy is a socket-level
+// man-in-the-middle for one directed link: connections accepted on its
+// listen address are forwarded to a target, and at runtime the link can
+// be severed (all connections cut), blackholed (bytes silently swallowed
+// while connections stay up — the failure mode transport write calls
+// never notice), delayed, or throttled. A Grid builds one Proxy per
+// directed replica pair so tests can torture individual links of a
+// multi-process deployment exactly the way netem tortures the in-process
+// fabric, reproducing the PlanetLab-class churn the paper's prototype
+// lived on.
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a runtime-controllable TCP forwarder for one directed link.
+type Proxy struct {
+	target string
+
+	mu         sync.Mutex
+	ln         net.Listener
+	listenAddr string                // pinned after the first bind so SetDown can rebind
+	conns      map[net.Conn]struct{} // both halves of every live pair
+	blackhole  bool
+	delay      time.Duration
+	throttle   int64 // bytes/second; 0 = unlimited
+	severs     uint64
+	accepted   uint64
+	down       bool
+	closed     bool
+
+	bytes atomic.Uint64
+	wg    sync.WaitGroup
+}
+
+// ProxyStats is a point-in-time snapshot of one link's counters.
+type ProxyStats struct {
+	Accepted uint64 // connections accepted
+	Severs   uint64 // Sever calls that cut at least one connection
+	Bytes    uint64 // payload bytes read from either side
+	Active   int    // currently live connection halves
+}
+
+// NewProxy listens on listenAddr (e.g. "127.0.0.1:0") and forwards each
+// accepted connection to target.
+func NewProxy(listenAddr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target:     target,
+		ln:         ln,
+		listenAddr: ln.Addr().String(),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; dial this instead of the
+// target to route a link through the proxy.
+func (p *Proxy) Addr() string { return p.listenAddr }
+
+// Target returns the address the proxy forwards to.
+func (p *Proxy) Target() string { return p.target }
+
+// Sever cuts every live connection through the proxy. New connections
+// are still accepted, so a self-healing transport reconnects through it.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	if len(conns) > 0 {
+		p.severs++
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// SetDown takes the link fully offline (on=true): the listener closes,
+// live connections are cut, and redials get connection-refused — the
+// partition failure mode, where a supervisor's backoff loop and bounded
+// queue carry the load. SetDown(false) rebinds the same address so the
+// link heals in place.
+func (p *Proxy) SetDown(on bool) error {
+	p.mu.Lock()
+	if p.closed || p.down == on {
+		p.mu.Unlock()
+		return nil
+	}
+	p.down = on
+	if on {
+		ln := p.ln
+		p.ln = nil
+		p.mu.Unlock()
+		ln.Close()
+		p.Sever()
+		return nil
+	}
+	ln, err := net.Listen("tcp", p.listenAddr)
+	if err != nil {
+		p.down = true
+		p.mu.Unlock()
+		return err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// SetBlackhole makes the link swallow every byte (in both directions)
+// while on. Connections stay established and local writes keep
+// succeeding — only an end-to-end heartbeat can detect this failure.
+func (p *Proxy) SetBlackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// SetDelay adds d of extra one-way latency to every forwarded chunk.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// SetThrottle caps the link's forwarding rate in bytes per second
+// (0 = unlimited).
+func (p *Proxy) SetThrottle(bytesPerSec int64) {
+	p.mu.Lock()
+	p.throttle = bytesPerSec
+	p.mu.Unlock()
+}
+
+// Restore clears blackhole, delay, and throttle (severed connections
+// stay dead; the transport is expected to redial).
+func (p *Proxy) Restore() {
+	p.mu.Lock()
+	p.blackhole = false
+	p.delay = 0
+	p.throttle = 0
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the link counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProxyStats{
+		Accepted: p.accepted,
+		Severs:   p.severs,
+		Bytes:    p.bytes.Load(),
+		Active:   len(p.conns),
+	}
+}
+
+// Close shuts the proxy down, severing all connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	p.ln = nil
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	p.Sever()
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) config() (blackhole bool, delay time.Duration, throttle int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blackhole, p.delay, p.throttle
+}
+
+func (p *Proxy) register(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) unregister(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		cli, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.down {
+			p.mu.Unlock()
+			cli.Close()
+			return
+		}
+		p.accepted++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.bridge(cli)
+	}
+}
+
+// bridge dials the target and pumps both directions until either side
+// dies or the link is severed.
+func (p *Proxy) bridge(cli net.Conn) {
+	defer p.wg.Done()
+	srv, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		cli.Close()
+		return
+	}
+	if !p.register(cli) || !p.register(srv) {
+		cli.Close()
+		srv.Close()
+		p.unregister(cli)
+		return
+	}
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	p.wg.Add(2)
+	go func() { defer pumps.Done(); defer p.wg.Done(); p.pump(cli, srv) }()
+	go func() { defer pumps.Done(); defer p.wg.Done(); p.pump(srv, cli) }()
+	pumps.Wait()
+	p.unregister(cli)
+	p.unregister(srv)
+}
+
+// pump forwards src→dst chunk by chunk, applying the link's current
+// blackhole/delay/throttle configuration per chunk. In blackhole mode it
+// keeps reading (so the sender's TCP window stays open and its writes
+// keep "succeeding") but forwards nothing.
+func (p *Proxy) pump(src, dst net.Conn) {
+	defer src.Close()
+	defer dst.Close()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.bytes.Add(uint64(n))
+			blackhole, delay, throttle := p.config()
+			if !blackhole {
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+				if throttle > 0 {
+					time.Sleep(time.Duration(int64(n) * int64(time.Second) / throttle))
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -13,6 +13,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"gridrep/internal/transport"
@@ -42,9 +43,14 @@ type Config struct {
 	Transport transport.Transport
 	// Replicas lists all service replicas.
 	Replicas []wire.NodeID
-	// RetryEvery is the rebroadcast interval while waiting for a reply
-	// (default 500ms).
+	// RetryEvery is the base rebroadcast interval while waiting for a
+	// reply (default 500ms). Successive rebroadcasts of one operation
+	// back off exponentially from this base with full jitter, so a herd
+	// of clients hammering a recovering cluster spreads itself out.
 	RetryEvery time.Duration
+	// RetryMax caps the exponential backoff between rebroadcasts
+	// (default 8×RetryEvery).
+	RetryMax time.Duration
 	// Deadline bounds one operation end to end (default 30s).
 	Deadline time.Duration
 }
@@ -55,6 +61,7 @@ type Config struct {
 type Client struct {
 	cfg    Config
 	id     wire.NodeID
+	rng    *rand.Rand
 	seq    uint64
 	txnSeq uint64
 	closed bool
@@ -65,10 +72,18 @@ func New(cfg Config) *Client {
 	if cfg.RetryEvery == 0 {
 		cfg.RetryEvery = 500 * time.Millisecond
 	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 8 * cfg.RetryEvery
+	}
 	if cfg.Deadline == 0 {
 		cfg.Deadline = 30 * time.Second
 	}
-	return &Client{cfg: cfg, id: cfg.Transport.Local()}
+	id := cfg.Transport.Local()
+	return &Client{
+		cfg: cfg,
+		id:  id,
+		rng: rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id))),
+	}
 }
 
 // ID returns the client's node ID.
@@ -107,7 +122,8 @@ func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte)
 	}
 	deadline := time.Now().Add(c.cfg.Deadline)
 	c.broadcast(&req)
-	retry := time.NewTimer(c.cfg.RetryEvery)
+	attempt := 0
+	retry := time.NewTimer(retryBackoff(c.rng, c.cfg.RetryEvery, c.cfg.RetryMax, attempt, time.Until(deadline)))
 	defer retry.Stop()
 	for {
 		select {
@@ -132,13 +148,34 @@ func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte)
 				continue
 			}
 		case <-retry.C:
-			if time.Now().After(deadline) {
+			if !time.Now().Before(deadline) {
 				return nil, ErrTimeout
 			}
+			attempt++
 			c.broadcast(&req)
-			retry.Reset(c.cfg.RetryEvery)
+			retry.Reset(retryBackoff(c.rng, c.cfg.RetryEvery, c.cfg.RetryMax, attempt, time.Until(deadline)))
 		}
 	}
+}
+
+// retryBackoff returns how long to wait before rebroadcast number
+// attempt+1: exponential in the attempt count with full jitter (uniform
+// over (0, base·2^attempt]), capped at max, and never sleeping past the
+// operation deadline (remain) — the retry that would cross it wakes
+// exactly on it to report the timeout.
+func retryBackoff(rng *rand.Rand, base, max time.Duration, attempt int, remain time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	d = time.Duration(rng.Int63n(int64(d))) + 1
+	if remain > 0 && d > remain {
+		d = remain
+	}
+	return d
 }
 
 func (c *Client) broadcast(req *wire.Request) {

@@ -2,6 +2,7 @@ package client
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -267,4 +268,33 @@ func TestClientClosed(t *testing.T) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	cli.Close() // idempotent
+}
+
+func TestRetryBackoffFullJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := 10 * time.Millisecond
+	max := 80 * time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		cap := base << attempt
+		if cap > max {
+			cap = max
+		}
+		for i := 0; i < 200; i++ {
+			d := retryBackoff(rng, base, max, attempt, time.Hour)
+			if d <= 0 || d > cap {
+				t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, cap)
+			}
+		}
+	}
+}
+
+func TestRetryBackoffCappedAtDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	remain := 3 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		d := retryBackoff(rng, time.Second, 8*time.Second, 5, remain)
+		if d <= 0 || d > remain {
+			t.Fatalf("backoff %v exceeds remaining deadline %v", d, remain)
+		}
+	}
 }

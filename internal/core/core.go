@@ -229,9 +229,18 @@ type Replica struct {
 
 	lastCompact uint64
 
-	stop chan struct{}
-	done chan struct{}
-	ctl  chan func()
+	stop   chan struct{}
+	done   chan struct{}
+	ctl    chan func()
+	health chan peerHealth
+}
+
+// peerHealth is a transport-level link transition for one peer, reported
+// by transports implementing transport.HealthReporter and consumed on
+// the event loop.
+type peerHealth struct {
+	peer wire.NodeID
+	up   bool
 }
 
 // workItem is one unit of wave work: a plain write, or a transaction
@@ -294,6 +303,19 @@ func New(cfg Config) (*Replica, error) {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		ctl:        make(chan func(), 16),
+		health:     make(chan peerHealth, 64),
+	}
+	if hr, ok := cfg.Transport.(transport.HealthReporter); ok {
+		// Feed socket-level peer health into the event loop; leader
+		// election then reacts to real connection death (§3.6 leader
+		// switches), not just missing heartbeats. Non-blocking: a
+		// stalled replica must never back-pressure transport goroutines.
+		hr.SetHealth(func(peer wire.NodeID, up bool) {
+			select {
+			case r.health <- peerHealth{peer: peer, up: up}:
+			default:
+			}
+		})
 	}
 	if mode == StateModeReplay {
 		r.replayer = replayer
@@ -421,6 +443,8 @@ func (r *Replica) run() {
 				return
 			}
 			r.handle(env)
+		case ph := <-r.health:
+			r.onPeerHealth(ph)
 		case now := <-ticker.C:
 			r.tick(now)
 		}
@@ -459,6 +483,20 @@ func (r *Replica) handle(env *wire.Envelope) {
 	case *wire.CatchUpResp:
 		r.onCatchUpResp(m)
 	}
+}
+
+// onPeerHealth applies a transport link transition to the Ω elector. A
+// dead socket revokes the peer's liveness credit immediately — if that
+// peer led, an election starts now instead of after the heartbeat
+// timeout — while a reconnect merely counts as liveness evidence.
+func (r *Replica) onPeerHealth(ph peerHealth) {
+	now := time.Now()
+	if ph.up {
+		r.elector.PeerUp(ph.peer, now)
+		return
+	}
+	r.logf("transport: link to %v down", ph.peer)
+	r.elector.PeerDown(ph.peer, now)
 }
 
 // tick drives heartbeats, leadership transitions, and retransmissions.

@@ -1,0 +1,199 @@
+package failure
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// LinkController abstracts a fabric whose individual directed links can
+// be failed at runtime. chaos.Grid implements it for real TCP sockets;
+// the same injection plans that torture the in-process cluster can then
+// run unchanged against a multi-process deployment.
+type LinkController interface {
+	// Links lists the directed links currently under control.
+	Links() [][2]wire.NodeID
+	// Sever cuts the live connections of one link; a self-healing
+	// transport is expected to reconnect through it.
+	Sever(from, to wire.NodeID)
+	// SetBlackhole makes one link silently swallow bytes while on.
+	SetBlackhole(from, to wire.NodeID, on bool)
+	// Restore clears any blackhole/delay on one link.
+	Restore(from, to wire.NodeID)
+}
+
+// LinkAction identifies one kind of injected link fault.
+type LinkAction int
+
+const (
+	// LinkSever cuts a random link's live connections.
+	LinkSever LinkAction = iota
+	// LinkBlackhole blackholes a random link for BlackholeFor.
+	LinkBlackhole
+)
+
+// LinkPlan schedules background link-fault injection.
+type LinkPlan struct {
+	// Every is the injection period (default 250ms).
+	Every time.Duration
+	// Weights gives the relative probability of each action; zero
+	// disables it. Default: severs only.
+	Weights map[LinkAction]int
+	// BlackholeFor bounds how long a blackholed link stays dark
+	// (default 2×Every).
+	BlackholeFor time.Duration
+}
+
+// LinkReport tallies what a LinkInjector did.
+type LinkReport struct {
+	Severs     int
+	Blackholes int
+}
+
+// LinkInjector drives link faults against one controller.
+type LinkInjector struct {
+	lc  LinkController
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	rep     LinkReport
+	stop    chan struct{}
+	done    chan struct{}
+	closed  bool
+	started bool
+}
+
+// NewLinks returns an injector for the controller.
+func NewLinks(lc LinkController, seed int64) *LinkInjector {
+	return &LinkInjector{
+		lc:   lc,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Sever cuts one specific link now.
+func (i *LinkInjector) Sever(from, to wire.NodeID) {
+	i.lc.Sever(from, to)
+	i.note(func(r *LinkReport) { r.Severs++ })
+}
+
+// Blackhole darkens one specific link for d, then restores it.
+func (i *LinkInjector) Blackhole(from, to wire.NodeID, d time.Duration) {
+	i.lc.SetBlackhole(from, to, true)
+	i.note(func(r *LinkReport) { r.Blackholes++ })
+	time.AfterFunc(d, func() { i.lc.SetBlackhole(from, to, false) })
+}
+
+// SeverRandom cuts one random controlled link.
+func (i *LinkInjector) SeverRandom() ([2]wire.NodeID, bool) {
+	link, ok := i.pick()
+	if !ok {
+		return link, false
+	}
+	i.Sever(link[0], link[1])
+	return link, true
+}
+
+// BlackholeRandom darkens one random controlled link for d.
+func (i *LinkInjector) BlackholeRandom(d time.Duration) ([2]wire.NodeID, bool) {
+	link, ok := i.pick()
+	if !ok {
+		return link, false
+	}
+	i.Blackhole(link[0], link[1], d)
+	return link, true
+}
+
+func (i *LinkInjector) pick() ([2]wire.NodeID, bool) {
+	links := i.lc.Links()
+	if len(links) == 0 {
+		return [2]wire.NodeID{}, false
+	}
+	i.mu.Lock()
+	idx := i.rng.Intn(len(links))
+	i.mu.Unlock()
+	return links[idx], true
+}
+
+func (i *LinkInjector) note(f func(*LinkReport)) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	f(&i.rep)
+}
+
+// Start launches background injection per the plan. Call Stop to end it.
+func (i *LinkInjector) Start(plan LinkPlan) {
+	if plan.Every == 0 {
+		plan.Every = 250 * time.Millisecond
+	}
+	if plan.Weights == nil {
+		plan.Weights = map[LinkAction]int{LinkSever: 1}
+	}
+	if plan.BlackholeFor == 0 {
+		plan.BlackholeFor = 2 * plan.Every
+	}
+	i.mu.Lock()
+	i.started = true
+	i.mu.Unlock()
+	go i.run(plan)
+}
+
+func (i *LinkInjector) run(plan LinkPlan) {
+	defer close(i.done)
+	actions := []LinkAction{LinkSever, LinkBlackhole}
+	var total int
+	for _, a := range actions {
+		total += plan.Weights[a]
+	}
+	if total == 0 {
+		return
+	}
+	ticker := time.NewTicker(plan.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-i.stop:
+			return
+		case <-ticker.C:
+		}
+		i.mu.Lock()
+		pick := i.rng.Intn(total)
+		i.mu.Unlock()
+		var chosen LinkAction
+		for _, a := range actions {
+			if pick < plan.Weights[a] {
+				chosen = a
+				break
+			}
+			pick -= plan.Weights[a]
+		}
+		switch chosen {
+		case LinkSever:
+			i.SeverRandom()
+		case LinkBlackhole:
+			i.BlackholeRandom(plan.BlackholeFor)
+		}
+	}
+}
+
+// Stop ends background injection and returns the tally. It is safe to
+// call on an injector that was never started.
+func (i *LinkInjector) Stop() LinkReport {
+	i.mu.Lock()
+	if !i.closed {
+		i.closed = true
+		close(i.stop)
+	}
+	started := i.started
+	i.mu.Unlock()
+	if started {
+		<-i.done
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rep
+}

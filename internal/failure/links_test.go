@@ -1,0 +1,98 @@
+package failure
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// fakeLinks records link-fault calls for assertions.
+type fakeLinks struct {
+	mu         sync.Mutex
+	severs     map[[2]wire.NodeID]int
+	blackholes map[[2]wire.NodeID]bool
+}
+
+func newFakeLinks() *fakeLinks {
+	return &fakeLinks{
+		severs:     make(map[[2]wire.NodeID]int),
+		blackholes: make(map[[2]wire.NodeID]bool),
+	}
+}
+
+func (f *fakeLinks) Links() [][2]wire.NodeID {
+	return [][2]wire.NodeID{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}}
+}
+
+func (f *fakeLinks) Sever(from, to wire.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.severs[[2]wire.NodeID{from, to}]++
+}
+
+func (f *fakeLinks) SetBlackhole(from, to wire.NodeID, on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blackholes[[2]wire.NodeID{from, to}] = on
+}
+
+func (f *fakeLinks) Restore(from, to wire.NodeID) {
+	f.SetBlackhole(from, to, false)
+}
+
+func TestLinkInjectorDirect(t *testing.T) {
+	fl := newFakeLinks()
+	inj := NewLinks(fl, 1)
+	inj.Sever(0, 1)
+	inj.Blackhole(1, 2, 10*time.Millisecond)
+	fl.mu.Lock()
+	if fl.severs[[2]wire.NodeID{0, 1}] != 1 {
+		t.Error("sever not applied")
+	}
+	if !fl.blackholes[[2]wire.NodeID{1, 2}] {
+		t.Error("blackhole not applied")
+	}
+	fl.mu.Unlock()
+	// The blackhole must clear itself.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fl.mu.Lock()
+		cleared := !fl.blackholes[[2]wire.NodeID{1, 2}]
+		fl.mu.Unlock()
+		if cleared {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blackhole never restored")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep := inj.Stop()
+	if rep.Severs != 1 || rep.Blackholes != 1 {
+		t.Errorf("report = %+v, want 1 sever, 1 blackhole", rep)
+	}
+}
+
+func TestLinkInjectorBackground(t *testing.T) {
+	fl := newFakeLinks()
+	inj := NewLinks(fl, 42)
+	inj.Start(LinkPlan{
+		Every:        5 * time.Millisecond,
+		Weights:      map[LinkAction]int{LinkSever: 3, LinkBlackhole: 1},
+		BlackholeFor: 10 * time.Millisecond,
+	})
+	time.Sleep(100 * time.Millisecond)
+	rep := inj.Stop()
+	if rep.Severs+rep.Blackholes == 0 {
+		t.Fatalf("background injector did nothing: %+v", rep)
+	}
+}
+
+func TestLinkInjectorStopWithoutStart(t *testing.T) {
+	inj := NewLinks(newFakeLinks(), 7)
+	if rep := inj.Stop(); rep.Severs != 0 {
+		t.Errorf("unexpected report %+v", rep)
+	}
+}

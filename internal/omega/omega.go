@@ -150,6 +150,28 @@ func (e *Elector) Suspect(n wire.NodeID) {
 	}
 }
 
+// PeerDown records transport-level evidence that the link to n died (a
+// socket error or missed transport heartbeat). Unlike Suspect, it opens
+// no distrust window: the peer's liveness credit and claim are revoked
+// immediately, but the first heartbeat after a reconnect re-trusts it.
+// This is how real socket failures — not just missing Ω heartbeats —
+// drive the §3.6 leader switches on the TCP deployment.
+func (e *Elector) PeerDown(n wire.NodeID, now time.Time) {
+	e.noteStart(now)
+	if n == e.cfg.Self {
+		return
+	}
+	delete(e.lastSeen, n)
+	delete(e.claims, n)
+	if e.hasLeader && e.leader == n {
+		e.hasLeader = false
+	}
+}
+
+// PeerUp records transport-level evidence that the link to n was
+// (re-)established; it counts as plain liveness evidence.
+func (e *Elector) PeerUp(n wire.NodeID, now time.Time) { e.Observe(n, now) }
+
 // Demote withdraws the local leadership claim (if any); another claimer,
 // or the min-alive rule, takes over.
 func (e *Elector) Demote() {

@@ -282,3 +282,58 @@ func TestDemote(t *testing.T) {
 		}
 	}
 }
+
+func TestPeerDownForcesImmediateSwitch(t *testing.T) {
+	e := newElector(1)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want 0,true", l, ok)
+	}
+	// Socket-level death of the leader: no timeout wait, the claim and
+	// liveness credit vanish at once and node 1 takes over (node 2 is
+	// also down, so node 1 is the smallest live node).
+	e.PeerDown(0, t0.Add(2*time.Millisecond))
+	l, ok = e.Leader(t0.Add(3 * time.Millisecond))
+	if !ok || l != 1 {
+		t.Fatalf("after PeerDown leader = %v,%v; want 1,true", l, ok)
+	}
+}
+
+func TestPeerDownRetrustsOnReconnect(t *testing.T) {
+	e := newElector(1)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	e.Leader(t0.Add(time.Millisecond))
+	e.PeerDown(0, t0.Add(2*time.Millisecond))
+	// Unlike Suspect, a fresh heartbeat right after the reconnect is
+	// believed immediately: node 0's claim stands again.
+	e.OnHeartbeat(claimHB(0, 2), t0.Add(3*time.Millisecond))
+	l, ok := e.Leader(t0.Add(4 * time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("after reconnect leader = %v,%v; want 0,true", l, ok)
+	}
+}
+
+func TestPeerUpCountsAsLiveness(t *testing.T) {
+	e := newElector(0)
+	e.PeerUp(1, t0)
+	// Node 0 heard evidence of a peer, so after its own claim it leads.
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want 0,true", l, ok)
+	}
+	if !e.alive(1, t0.Add(time.Millisecond)) {
+		t.Fatal("PeerUp must grant liveness credit")
+	}
+}
+
+func TestPeerDownSelfIgnored(t *testing.T) {
+	e := newElector(0)
+	e.OnHeartbeat(hb(1), t0)
+	e.Leader(t0.Add(time.Millisecond))
+	e.PeerDown(0, t0.Add(2*time.Millisecond)) // self: no-op
+	l, ok := e.Leader(t0.Add(3 * time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want 0,true", l, ok)
+	}
+}

@@ -28,6 +28,14 @@ type File struct {
 	Sync bool
 
 	rewriteAt int64
+
+	// failed poisons the store after the first append failure. A record
+	// that may be partially on disk leaves the log in an unknown state;
+	// continuing would let the replica promise or accept on storage that
+	// cannot honour it. Fail-stop instead: every later call returns the
+	// original error, and the replica is expected to crash and recover by
+	// replaying the intact prefix.
+	failed error
 }
 
 // Record types in the WAL.
@@ -173,8 +181,21 @@ func (s *File) compactInMemory(keepStateFrom uint64) {
 	}
 }
 
-// append writes one framed, checksummed record.
+// poison records the first append failure and makes it sticky.
+func (s *File) poison(err error) error {
+	if s.failed == nil {
+		s.failed = fmt.Errorf("storage: WAL poisoned by failed append: %w", err)
+	}
+	return s.failed
+}
+
+// append writes one framed, checksummed record. Any failure poisons the
+// store: the record may be partially written, so nothing durable can be
+// promised afterwards.
 func (s *File) append(body []byte) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(body)))
 	var sum [4]byte
@@ -184,20 +205,30 @@ func (s *File) append(body []byte) error {
 	rec = append(rec, body...)
 	rec = append(rec, sum[:]...)
 	if _, err := s.f.Write(rec); err != nil {
-		return err
+		return s.poison(err)
 	}
 	s.size += int64(len(rec))
 	if s.Sync {
-		return s.f.Sync()
+		if err := s.f.Sync(); err != nil {
+			return s.poison(err)
+		}
 	}
 	return nil
 }
 
 // Load implements Store.
-func (s *File) Load() (*PersistentState, error) { return s.state.Clone(), nil }
+func (s *File) Load() (*PersistentState, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	return s.state.Clone(), nil
+}
 
 // SetPromised implements Store.
 func (s *File) SetPromised(b wire.Ballot) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	if !s.state.Promised.Less(b) {
 		return nil
 	}
@@ -214,6 +245,9 @@ func (s *File) SetPromised(b wire.Ballot) error {
 // PutAccepted implements Store. The entries are encoded by reusing the
 // Accept message marshaller.
 func (s *File) PutAccepted(entries []wire.Entry, maxAccepted wire.Ballot) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	enc := wire.NewEncoder(nil)
 	enc.Uint8(recAccepted)
 	enc.Ballot(maxAccepted)
@@ -229,6 +263,9 @@ func (s *File) PutAccepted(entries []wire.Entry, maxAccepted wire.Ballot) error 
 
 // SetChosen implements Store.
 func (s *File) SetChosen(idx uint64) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	if idx <= s.state.Chosen {
 		return nil
 	}
@@ -245,6 +282,9 @@ func (s *File) SetChosen(idx uint64) error {
 // Compact implements Store. Past the rewrite threshold it folds the whole
 // state into one snapshot record in a fresh file.
 func (s *File) Compact(keepStateFrom uint64) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	enc := wire.NewEncoder(nil)
 	enc.Uint8(recCompact)
 	enc.Uvarint(keepStateFrom)

@@ -329,3 +329,41 @@ func TestMemFileEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFilePoisonedAfterFailedAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFile(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetPromised(wire.Ballot{Round: 1, Node: 0}); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	// Pull the file out from under the store: the next append fails and
+	// must poison every later call (fail-stop).
+	st.f.Close()
+	first := st.SetPromised(wire.Ballot{Round: 2, Node: 0})
+	if first == nil {
+		t.Fatal("append on closed file should fail")
+	}
+	if err := st.SetChosen(99); err == nil {
+		t.Error("SetChosen after poison should fail")
+	}
+	if err := st.PutAccepted([]wire.Entry{entry(1, wire.Ballot{Round: 2, Node: 0}, "x", false)}, wire.Ballot{Round: 2, Node: 0}); err == nil {
+		t.Error("PutAccepted after poison should fail")
+	}
+	if err := st.Compact(1); err == nil {
+		t.Error("Compact after poison should fail")
+	}
+	if _, err := st.Load(); err == nil {
+		t.Error("Load after poison should fail")
+	}
+	// The poison is sticky and self-identifying.
+	if again := st.SetChosen(100); again == nil || again.Error() != first.Error() {
+		t.Errorf("poison not sticky: first=%v again=%v", first, again)
+	}
+	// Even a no-op mutation (stale ballot) must refuse.
+	if err := st.SetPromised(wire.Ballot{Round: 0, Node: 0}); err == nil {
+		t.Error("stale SetPromised after poison should fail")
+	}
+}

@@ -248,6 +248,7 @@ type Endpoint struct {
 }
 
 var _ Transport = (*Endpoint)(nil)
+var _ Meter = (*Endpoint)(nil)
 
 // Local implements Transport.
 func (ep *Endpoint) Local() wire.NodeID { return ep.id }
@@ -257,6 +258,9 @@ func (ep *Endpoint) Send(env *wire.Envelope) { ep.net.send(ep.id, env) }
 
 // Recv implements Transport.
 func (ep *Endpoint) Recv() <-chan *wire.Envelope { return ep.recv }
+
+// Drops implements Meter, reporting the fabric-wide drop count.
+func (ep *Endpoint) Drops() uint64 { return ep.net.Drops() }
 
 // Close implements Transport. The endpoint stops receiving; the fabric
 // keeps running for other endpoints.

@@ -5,56 +5,196 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gridrep/internal/wire"
 )
 
 // TCP is a Transport over real TCP connections with length-prefixed
-// framing (uvarint length, then one encoded envelope). Replicas listen on
-// well-known addresses from an address book; clients do not listen —
-// replicas learn the return route for a client from the client's first
-// inbound frame, mirroring how the paper's prototype replied over the
-// client's own TCP connection.
+// framing. Replicas listen on well-known addresses from an address book;
+// clients do not listen — replicas learn the return route for a client
+// from the client's first inbound frame, mirroring how the paper's
+// prototype replied over the client's own TCP connection.
+//
+// Unlike the in-process Network, real links flap: the paper's prototype
+// ran on PlanetLab-class networks where connections die and peers stall.
+// Every outbound route to a peer in the address book is therefore owned
+// by a connection supervisor: a goroutine with a bounded outbound queue
+// that dials with exponential backoff plus jitter, applies a write
+// deadline to every frame, sends transport-level ping frames while the
+// link is idle, and declares the peer dead when pongs stop arriving
+// (which catches blackholed links that writes alone never notice). Peer
+// up/down transitions are reported through SetHealth so the Ω elector
+// can react to real socket failures, not just missing heartbeats.
 type TCP struct {
 	local wire.NodeID
-	book  map[wire.NodeID]string // replica listen addresses
+	opts  Options
 	ln    net.Listener
 	recv  chan *wire.Envelope
+	stats counters
 
-	mu     sync.Mutex
-	routes map[wire.NodeID]*tcpConn
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	book     map[wire.NodeID]string
+	sups     map[wire.NodeID]*supervisor
+	inbound  map[wire.NodeID]*tcpConn // learned client return routes
+	accepted map[*tcpConn]struct{}    // all live accept-side conns
+	health   func(peer wire.NodeID, up bool)
+	closed   bool
+	wg       sync.WaitGroup
 }
+
+// Options tunes the self-healing behaviour of a TCP transport. The zero
+// value selects production defaults; tests shrink the timings.
+type Options struct {
+	// QueueLen bounds each peer supervisor's outbound queue (default
+	// 4096 envelopes). When the queue is full the oldest envelope is
+	// dropped, never the newest — fresh protocol messages supersede
+	// stale ones.
+	QueueLen int
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 20ms
+	// and 2s). Each failed dial doubles the delay up to BackoffMax, and
+	// every sleep is jittered to avoid reconnection stampedes.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// WriteTimeout is the per-frame write deadline and dial timeout
+	// (default 5s). A write that cannot complete within it severs the
+	// connection and triggers a reconnect.
+	WriteTimeout time.Duration
+	// PingEvery is the transport heartbeat period on supervised
+	// connections (default 500ms).
+	PingEvery time.Duration
+	// PingTimeout declares a peer dead when no pong (nor any other
+	// frame) arrives for this long (default 4×PingEvery). This is what
+	// detects blackholed links whose writes still succeed locally.
+	PingTimeout time.Duration
+	// RecvBuf bounds the receive channel (default 65536 envelopes,
+	// matching the in-process Network). Overflow evicts the oldest
+	// buffered envelope.
+	RecvBuf int
+}
+
+func (o *Options) fillDefaults() {
+	if o.QueueLen == 0 {
+		o.QueueLen = 4096
+	}
+	if o.BackoffMin == 0 {
+		o.BackoffMin = 20 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.PingEvery == 0 {
+		o.PingEvery = 500 * time.Millisecond
+	}
+	if o.PingTimeout == 0 {
+		o.PingTimeout = 4 * o.PingEvery
+	}
+	if o.RecvBuf == 0 {
+		o.RecvBuf = 65536
+	}
+}
+
+// Frame kinds on the wire: every frame is uvarint(len) | kind | payload.
+// Envelope frames carry one encoded wire.Envelope; ping/pong frames carry
+// an opaque 8-byte nonce echoed back by the receiver.
+const (
+	frameEnv  = 0x00
+	framePing = 0x01
+	framePong = 0x02
+)
 
 // maxFrame bounds a single frame on the wire.
 const maxFrame = wire.MaxBlob + (1 << 16)
 
+// counters aggregates transport events; read via Stats.
+type counters struct {
+	dials, dialFails, reconnects    atomic.Uint64
+	sent, recvd                     atomic.Uint64
+	pingsSent, pongsRecvd           atomic.Uint64
+	dropQueueFull, dropNoRoute      atomic.Uint64
+	dropWriteFail, dropRecvOverflow atomic.Uint64
+	lastRTT                         atomic.Int64 // nanoseconds
+}
+
+// Stats is a point-in-time snapshot of the transport's counters, the
+// observability surface the TCP deployment logs and benchmarks sample.
+type Stats struct {
+	// Dials counts successful connection establishments; DialFails
+	// counts failed attempts. Reconnects counts re-establishments after
+	// a previously healthy link died.
+	Dials, DialFails, Reconnects uint64
+	// Sent and Recvd count envelope frames moved on the wire.
+	Sent, Recvd uint64
+	// PingsSent / PongsRecvd count transport heartbeats on supervised
+	// links; LastRTT is the most recent measured ping round trip.
+	PingsSent, PongsRecvd uint64
+	LastRTT               time.Duration
+	// Drops, by cause. DropsQueueFull: a supervisor queue overflowed
+	// (oldest envelope discarded). DropsNoRoute: no address and no
+	// learned return route. DropsWriteFail: a frame died with its
+	// connection. DropsRecvOverflow: the receive buffer overflowed
+	// (oldest envelope discarded).
+	DropsQueueFull, DropsNoRoute, DropsWriteFail, DropsRecvOverflow uint64
+	// QueueDepth is the current total of enqueued outbound envelopes
+	// across all peer supervisors; ConnectedPeers counts supervised
+	// links that are currently up.
+	QueueDepth     int
+	ConnectedPeers int
+}
+
+// Drops returns the total number of dropped envelopes, matching the
+// accounting Network.Drops provides for the in-process transport.
+func (s Stats) Drops() uint64 {
+	return s.DropsQueueFull + s.DropsNoRoute + s.DropsWriteFail + s.DropsRecvOverflow
+}
+
 type tcpConn struct {
 	c  net.Conn
 	w  *bufio.Writer
-	mu sync.Mutex // serializes frame writes
+	wt time.Duration // per-frame write deadline
+	mu sync.Mutex    // serializes frame writes
 }
 
-func (tc *tcpConn) writeFrame(buf []byte) error {
+func newTCPConn(nc net.Conn, wt time.Duration) *tcpConn {
+	return &tcpConn{c: nc, w: bufio.NewWriter(nc), wt: wt}
+}
+
+func (tc *tcpConn) writeFrame(kind byte, payload []byte) error {
 	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(buf)))
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)+1))
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	if tc.wt > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(tc.wt))
+	}
 	if _, err := tc.w.Write(hdr[:n]); err != nil {
 		return err
 	}
-	if _, err := tc.w.Write(buf); err != nil {
+	if err := tc.w.WriteByte(kind); err != nil {
+		return err
+	}
+	if _, err := tc.w.Write(payload); err != nil {
 		return err
 	}
 	return tc.w.Flush()
 }
 
-// ListenTCP starts a listening transport for a replica. book maps every
-// replica ID (including local) to its host:port listen address.
+// ListenTCP starts a listening transport for a replica with default
+// options. book maps every replica ID (including local) to its host:port
+// listen address.
 func ListenTCP(local wire.NodeID, book map[wire.NodeID]string) (*TCP, error) {
+	return ListenTCPOpts(local, book, Options{})
+}
+
+// ListenTCPOpts is ListenTCP with explicit self-healing options.
+func ListenTCPOpts(local wire.NodeID, book map[wire.NodeID]string, opts Options) (*TCP, error) {
 	addr, ok := book[local]
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for local node %v", local)
@@ -63,34 +203,45 @@ func ListenTCP(local wire.NodeID, book map[wire.NodeID]string) (*TCP, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := newTCP(local, book)
+	t := newTCP(local, book, opts)
 	t.ln = ln
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
 }
 
-// DialTCP starts a non-listening transport for a client. The client can
-// send to any replica in the book; replicas reply over the connections the
-// client opened.
+// DialTCP starts a non-listening transport for a client with default
+// options. The client can send to any replica in the book; replicas
+// reply over the connections the client opened.
 func DialTCP(local wire.NodeID, book map[wire.NodeID]string) *TCP {
-	return newTCP(local, book)
+	return DialTCPOpts(local, book, Options{})
 }
 
-func newTCP(local wire.NodeID, book map[wire.NodeID]string) *TCP {
+// DialTCPOpts is DialTCP with explicit self-healing options.
+func DialTCPOpts(local wire.NodeID, book map[wire.NodeID]string, opts Options) *TCP {
+	return newTCP(local, book, opts)
+}
+
+func newTCP(local wire.NodeID, book map[wire.NodeID]string, opts Options) *TCP {
+	opts.fillDefaults()
 	b := make(map[wire.NodeID]string, len(book))
 	for k, v := range book {
 		b[k] = v
 	}
 	return &TCP{
-		local:  local,
-		book:   b,
-		recv:   make(chan *wire.Envelope, 65536),
-		routes: make(map[wire.NodeID]*tcpConn),
+		local:    local,
+		opts:     opts,
+		book:     b,
+		recv:     make(chan *wire.Envelope, opts.RecvBuf),
+		sups:     make(map[wire.NodeID]*supervisor),
+		inbound:  make(map[wire.NodeID]*tcpConn),
+		accepted: make(map[*tcpConn]struct{}),
 	}
 }
 
 var _ Transport = (*TCP)(nil)
+var _ HealthReporter = (*TCP)(nil)
+var _ Meter = (*TCP)(nil)
 
 // Local implements Transport.
 func (t *TCP) Local() wire.NodeID { return t.local }
@@ -104,19 +255,100 @@ func (t *TCP) Addr() string {
 	return t.ln.Addr().String()
 }
 
-// Send implements Transport. Connection setup and writes happen on the
-// caller's goroutine; failures drop the message (best effort), leaving
-// retransmission to the protocol layer.
+// SetAddr updates (or adds) a peer's address in the book. Supervisors
+// pick the new address up on their next dial attempt, which is how a
+// deployment repoints a route at a restarted or migrated replica.
+func (t *TCP) SetAddr(id wire.NodeID, addr string) {
+	t.mu.Lock()
+	t.book[id] = addr
+	t.mu.Unlock()
+}
+
+// SetHealth implements HealthReporter: fn is invoked (from transport
+// goroutines) with up=true when a supervised peer link is established and
+// up=false when it dies. Register before traffic starts.
+func (t *TCP) SetHealth(fn func(peer wire.NodeID, up bool)) {
+	t.mu.Lock()
+	t.health = fn
+	t.mu.Unlock()
+}
+
+func (t *TCP) notifyHealth(peer wire.NodeID, up bool) {
+	t.mu.Lock()
+	fn, closed := t.health, t.closed
+	t.mu.Unlock()
+	if fn != nil && !closed {
+		fn(peer, up)
+	}
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *TCP) Stats() Stats {
+	s := Stats{
+		Dials:             t.stats.dials.Load(),
+		DialFails:         t.stats.dialFails.Load(),
+		Reconnects:        t.stats.reconnects.Load(),
+		Sent:              t.stats.sent.Load(),
+		Recvd:             t.stats.recvd.Load(),
+		PingsSent:         t.stats.pingsSent.Load(),
+		PongsRecvd:        t.stats.pongsRecvd.Load(),
+		LastRTT:           time.Duration(t.stats.lastRTT.Load()),
+		DropsQueueFull:    t.stats.dropQueueFull.Load(),
+		DropsNoRoute:      t.stats.dropNoRoute.Load(),
+		DropsWriteFail:    t.stats.dropWriteFail.Load(),
+		DropsRecvOverflow: t.stats.dropRecvOverflow.Load(),
+	}
+	t.mu.Lock()
+	for _, sup := range t.sups {
+		s.QueueDepth += len(sup.q)
+		if sup.isUp() {
+			s.ConnectedPeers++
+		}
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Drops implements Meter: total envelopes dropped so far, in parity with
+// Network.Drops on the in-process transport.
+func (t *TCP) Drops() uint64 { return t.Stats().Drops() }
+
+// Send implements Transport. Envelopes to peers in the address book are
+// handed to that peer's connection supervisor (started on first use) and
+// written off the caller's goroutine; failures never block the caller.
+// Replies to learned client routes are written inline, best effort.
 func (t *TCP) Send(env *wire.Envelope) {
 	env.From = t.local
-	conn := t.route(env.To)
-	if conn == nil {
+	buf := wire.EncodeEnvelope(nil, env)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
 		return
 	}
-	buf := wire.EncodeEnvelope(nil, env)
-	if err := conn.writeFrame(buf); err != nil {
-		t.dropRoute(env.To, conn)
+	if sup, ok := t.sups[env.To]; ok {
+		t.mu.Unlock()
+		sup.enqueue(buf)
+		return
 	}
+	if _, inBook := t.book[env.To]; inBook {
+		sup := t.startSupervisorLocked(env.To)
+		t.mu.Unlock()
+		sup.enqueue(buf)
+		return
+	}
+	conn, ok := t.inbound[env.To]
+	t.mu.Unlock()
+	if !ok {
+		t.stats.dropNoRoute.Add(1)
+		return
+	}
+	if err := conn.writeFrame(frameEnv, buf); err != nil {
+		t.stats.dropWriteFail.Add(1)
+		t.dropInbound(env.To, conn)
+		return
+	}
+	t.stats.sent.Add(1)
 }
 
 // Recv implements Transport.
@@ -130,15 +362,21 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*tcpConn, 0, len(t.routes))
-	for _, c := range t.routes {
+	sups := make([]*supervisor, 0, len(t.sups))
+	for _, s := range t.sups {
+		sups = append(sups, s)
+	}
+	conns := make([]*tcpConn, 0, len(t.accepted))
+	for c := range t.accepted {
 		conns = append(conns, c)
 	}
-	t.routes = map[wire.NodeID]*tcpConn{}
 	t.mu.Unlock()
 
 	if t.ln != nil {
 		t.ln.Close()
+	}
+	for _, s := range sups {
+		s.shutdown()
 	}
 	for _, c := range conns {
 		c.c.Close()
@@ -148,52 +386,32 @@ func (t *TCP) Close() error {
 	return nil
 }
 
-// route returns a connection to peer, dialing if needed and possible.
-func (t *TCP) route(peer wire.NodeID) *tcpConn {
+func (t *TCP) addrOf(peer wire.NodeID) (string, bool) {
 	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil
-	}
-	if c, ok := t.routes[peer]; ok {
-		t.mu.Unlock()
-		return c
-	}
+	defer t.mu.Unlock()
 	addr, ok := t.book[peer]
-	t.mu.Unlock()
-	if !ok {
-		return nil // unreachable peer (e.g. a client with no learned route)
-	}
-
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil
-	}
-	conn := &tcpConn{c: nc, w: bufio.NewWriter(nc)}
-
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		nc.Close()
-		return nil
-	}
-	if existing, ok := t.routes[peer]; ok {
-		// Lost the race with a concurrent dial or inbound accept.
-		t.mu.Unlock()
-		nc.Close()
-		return existing
-	}
-	t.routes[peer] = conn
-	t.wg.Add(1)
-	t.mu.Unlock()
-	go t.readLoop(conn)
-	return conn
+	return addr, ok
 }
 
-func (t *TCP) dropRoute(peer wire.NodeID, conn *tcpConn) {
+// startSupervisorLocked creates and launches the supervisor owning the
+// route to peer. Caller holds t.mu.
+func (t *TCP) startSupervisorLocked(peer wire.NodeID) *supervisor {
+	sup := &supervisor{
+		t:    t,
+		peer: peer,
+		q:    make(chan []byte, t.opts.QueueLen),
+		stop: make(chan struct{}),
+	}
+	t.sups[peer] = sup
+	t.wg.Add(1)
+	go sup.run()
+	return sup
+}
+
+func (t *TCP) dropInbound(peer wire.NodeID, conn *tcpConn) {
 	t.mu.Lock()
-	if t.routes[peer] == conn {
-		delete(t.routes, peer)
+	if t.inbound[peer] == conn {
+		delete(t.inbound, peer)
 	}
 	t.mu.Unlock()
 	conn.c.Close()
@@ -206,61 +424,339 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return
 		}
-		conn := &tcpConn{c: nc, w: bufio.NewWriter(nc)}
+		conn := newTCPConn(nc, t.opts.WriteTimeout)
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
 			nc.Close()
 			return
 		}
+		t.accepted[conn] = struct{}{}
 		t.wg.Add(1)
 		t.mu.Unlock()
-		go t.readLoop(conn)
+		go t.readLoop(conn, true, nil)
 	}
 }
 
-// readLoop reads frames from one connection, learning return routes from
-// each envelope's From field.
-func (t *TCP) readLoop(conn *tcpConn) {
+// deliver hands env to the receive channel. On overflow the oldest
+// buffered envelope is evicted in favour of the new one — fresh protocol
+// messages supersede stale ones — and the drop is counted.
+func (t *TCP) deliver(env *wire.Envelope) {
+	select {
+	case t.recv <- env:
+		return
+	default:
+	}
+	select {
+	case <-t.recv:
+		t.stats.dropRecvOverflow.Add(1)
+	default:
+	}
+	select {
+	case t.recv <- env:
+	default:
+		// Lost the refill race; the new envelope is the casualty.
+		t.stats.dropRecvOverflow.Add(1)
+	}
+}
+
+// readLoop reads frames from one connection. Accept-side loops learn
+// return routes for clients (nodes with no book address) from each
+// envelope's From field; supervisor-side loops report pongs to their
+// supervisor via the pong channel.
+func (t *TCP) readLoop(conn *tcpConn, acceptSide bool, pong chan<- int64) {
 	defer t.wg.Done()
 	defer conn.c.Close()
+	if acceptSide {
+		defer func() {
+			t.mu.Lock()
+			delete(t.accepted, conn)
+			t.mu.Unlock()
+		}()
+	}
 	r := bufio.NewReader(conn.c)
 	var learned []wire.NodeID
 	defer func() {
 		t.mu.Lock()
 		for _, id := range learned {
-			if t.routes[id] == conn {
-				delete(t.routes, id)
+			if t.inbound[id] == conn {
+				delete(t.inbound, id)
 			}
 		}
 		t.mu.Unlock()
 	}()
 	for {
 		n, err := binary.ReadUvarint(r)
-		if err != nil || n > maxFrame {
+		if err != nil || n == 0 || n > maxFrame {
 			return
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return
-		}
-		env, err := wire.DecodeEnvelope(buf)
+		kind, err := r.ReadByte()
 		if err != nil {
-			return // corrupt peer; sever the connection
-		}
-		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
 			return
 		}
-		if _, ok := t.routes[env.From]; !ok {
-			t.routes[env.From] = conn
-			learned = append(learned, env.From)
+		payload := make([]byte, n-1)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
 		}
-		t.mu.Unlock()
+		switch kind {
+		case framePing:
+			if conn.writeFrame(framePong, payload) != nil {
+				return
+			}
+		case framePong:
+			if pong != nil && len(payload) == 8 {
+				select {
+				case pong <- int64(binary.BigEndian.Uint64(payload)):
+				default:
+				}
+			}
+		case frameEnv:
+			env, err := wire.DecodeEnvelope(payload)
+			if err != nil {
+				return // corrupt peer; sever the connection
+			}
+			t.stats.recvd.Add(1)
+			if acceptSide {
+				t.learn(env.From, conn, &learned)
+			}
+			t.deliver(env)
+		default:
+			return // unknown frame kind; sever
+		}
+	}
+}
+
+func (t *TCP) learn(from wire.NodeID, conn *tcpConn, learned *[]wire.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if _, inBook := t.book[from]; inBook {
+		return // book peers have supervised outbound routes
+	}
+	if _, ok := t.inbound[from]; !ok {
+		t.inbound[from] = conn
+		*learned = append(*learned, from)
+	}
+}
+
+// supervisor owns the outbound route to one peer: it dials with backoff,
+// drains the bounded queue onto the connection, pings while idle, and
+// reconnects whenever the link dies.
+type supervisor struct {
+	t    *TCP
+	peer wire.NodeID
+	q    chan []byte
+	stop chan struct{}
+
+	mu   sync.Mutex
+	conn *tcpConn // live connection, nil while down
+	down bool     // stop flag, guarded by mu for shutdown idempotence
+}
+
+// enqueue adds an encoded envelope to the outbound queue, evicting the
+// oldest queued envelope when full.
+func (s *supervisor) enqueue(buf []byte) {
+	select {
+	case s.q <- buf:
+		return
+	default:
+	}
+	select {
+	case <-s.q:
+		s.t.stats.dropQueueFull.Add(1)
+	default:
+	}
+	select {
+	case s.q <- buf:
+	default:
+		s.t.stats.dropQueueFull.Add(1)
+	}
+}
+
+func (s *supervisor) isUp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn != nil
+}
+
+func (s *supervisor) setConn(c *tcpConn) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+// shutdown stops the supervisor and severs its connection.
+func (s *supervisor) shutdown() {
+	s.mu.Lock()
+	if !s.down {
+		s.down = true
+		close(s.stop)
+	}
+	c := s.conn
+	s.mu.Unlock()
+	if c != nil {
+		c.c.Close()
+	}
+}
+
+// sleep waits for d or until shutdown; it reports false on shutdown.
+func (s *supervisor) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// jitter spreads d uniformly over [d/2, d] so reconnecting peers do not
+// stampede a restarted replica in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// pumpResult says why a supervisor abandoned its connection.
+type pumpResult int
+
+const (
+	pumpStopped  pumpResult = iota // transport closing
+	pumpConnDead                   // write failed or reader saw EOF
+	pumpStalled                    // no pong within PingTimeout (blackhole)
+)
+
+// run is the supervisor loop: dial (with backoff), pump, repeat.
+//
+// Health reporting is debounced so that transient connection resets do
+// not destabilize leader election: a link that dies but redials
+// successfully on the immediate next attempt never reports down. Down is
+// reported only for end-to-end stalls (ping timeout — the blackhole
+// case, where dials may even keep succeeding) and for links that stay
+// broken (a failed dial), and is reported once per transition.
+func (s *supervisor) run() {
+	defer s.t.wg.Done()
+	backoff := s.t.opts.BackoffMin
+	everConnected := false
+	up := false           // last health state reported
+	reportedDown := false // so repeated dial failures report down once
+	reportDown := func() {
+		if up || !reportedDown {
+			s.t.notifyHealth(s.peer, false)
+			reportedDown = true
+		}
+		up = false
+	}
+	for {
 		select {
-		case t.recv <- env:
-		default: // backpressure overflow: drop
+		case <-s.stop:
+			return
+		default:
+		}
+		addr, ok := s.t.addrOf(s.peer)
+		if !ok {
+			if !s.sleep(jitter(s.t.opts.BackoffMax)) {
+				return
+			}
+			continue
+		}
+		nc, err := net.DialTimeout("tcp", addr, s.t.opts.WriteTimeout)
+		if err != nil {
+			s.t.stats.dialFails.Add(1)
+			reportDown()
+			if !s.sleep(jitter(backoff)) {
+				return
+			}
+			if backoff *= 2; backoff > s.t.opts.BackoffMax {
+				backoff = s.t.opts.BackoffMax
+			}
+			continue
+		}
+		s.t.stats.dials.Add(1)
+		if everConnected {
+			s.t.stats.reconnects.Add(1)
+		}
+		everConnected = true
+		backoff = s.t.opts.BackoffMin
+
+		conn := newTCPConn(nc, s.t.opts.WriteTimeout)
+		s.setConn(conn)
+		if !up {
+			up = true
+			s.t.notifyHealth(s.peer, true)
+		}
+
+		pong := make(chan int64, 4)
+		readerDone := make(chan struct{})
+		s.t.wg.Add(1)
+		go func() {
+			defer close(readerDone)
+			s.t.readLoop(conn, false, pong)
+		}()
+
+		res := s.pump(conn, readerDone, pong)
+
+		s.setConn(nil)
+		conn.c.Close()
+		<-readerDone
+		switch res {
+		case pumpStopped:
+			return
+		case pumpStalled:
+			// The peer is unreachable end to end even though the
+			// socket looked healthy; tell Ω now rather than after a
+			// failed redial (dials through a blackhole still succeed).
+			reportDown()
+		case pumpConnDead:
+			// Plain connection death: redial immediately; health only
+			// turns down if the redial fails.
+		}
+		if !s.sleep(jitter(s.t.opts.BackoffMin)) {
+			return
+		}
+	}
+}
+
+// pump drains the queue onto conn and keeps the link verified with
+// pings. It returns when the connection must be abandoned: a write
+// failed, the reader saw EOF, or the peer stopped answering pings.
+func (s *supervisor) pump(conn *tcpConn, readerDone <-chan struct{}, pong <-chan int64) pumpResult {
+	ping := time.NewTicker(s.t.opts.PingEvery)
+	defer ping.Stop()
+	lastHeard := time.Now()
+	for {
+		select {
+		case <-s.stop:
+			return pumpStopped
+		case <-readerDone:
+			return pumpConnDead
+		case sentAt := <-pong:
+			lastHeard = time.Now()
+			s.t.stats.pongsRecvd.Add(1)
+			if rtt := time.Now().UnixNano() - sentAt; rtt > 0 {
+				s.t.stats.lastRTT.Store(rtt)
+			}
+		case buf := <-s.q:
+			if err := conn.writeFrame(frameEnv, buf); err != nil {
+				s.t.stats.dropWriteFail.Add(1)
+				return pumpConnDead
+			}
+			s.t.stats.sent.Add(1)
+		case <-ping.C:
+			if time.Since(lastHeard) > s.t.opts.PingTimeout {
+				return pumpStalled // peer stalled or link blackholed
+			}
+			var p [8]byte
+			binary.BigEndian.PutUint64(p[:], uint64(time.Now().UnixNano()))
+			if err := conn.writeFrame(framePing, p[:]); err != nil {
+				return pumpConnDead
+			}
+			s.t.stats.pingsSent.Add(1)
 		}
 	}
 }

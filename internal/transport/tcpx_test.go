@@ -27,10 +27,21 @@ func startTCPCluster(t *testing.T, nReplicas int) ([]*TCP, map[wire.NodeID]strin
 	// Rebuild every replica's book with the final addresses.
 	for _, tr := range reps {
 		for k, v := range book {
-			tr.book[k] = v
+			tr.SetAddr(k, v)
 		}
 	}
 	return reps, book
+}
+
+// fastOpts are aggressive self-healing timings for churn tests.
+func fastOpts() Options {
+	return Options{
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+		WriteTimeout: time.Second,
+		PingEvery:    10 * time.Millisecond,
+		PingTimeout:  80 * time.Millisecond,
+	}
 }
 
 func tcpRecv(t *testing.T, tr *TCP, within time.Duration) *wire.Envelope {
@@ -151,4 +162,199 @@ func TestTCPDialFailure(t *testing.T) {
 	tr := DialTCP(wire.ClientIDBase, map[wire.NodeID]string{0: "127.0.0.1:1"})
 	defer tr.Close()
 	tr.Send(&wire.Envelope{To: 0, Msg: &wire.Heartbeat{}}) // must not panic
+}
+
+// TestTCPSupervisorReconnect kills a replica's listener mid-traffic,
+// restarts it on the same address, and asserts the peer supervisor
+// reconnects and traffic resumes (the churn case the paper's PlanetLab
+// deployment had to survive).
+func TestTCPSupervisorReconnect(t *testing.T) {
+	a, err := ListenTCPOpts(0, map[wire.NodeID]string{0: "127.0.0.1:0"}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCPOpts(1, map[wire.NodeID]string{1: "127.0.0.1:0"}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := b.Addr()
+	a.SetAddr(1, addrB)
+	b.SetAddr(0, a.Addr())
+
+	env := hb(0, 1)
+	env.To = 1
+	a.Send(env)
+	if got := tcpRecv(t, b, 2*time.Second).Msg.(*wire.Heartbeat); got.Epoch != 1 {
+		t.Fatalf("pre-churn epoch = %d, want 1", got.Epoch)
+	}
+
+	// Kill the listener mid-traffic.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A message sent into the outage sits in the supervisor queue (or is
+	// dropped, best effort) — it must never block or panic.
+	env = hb(0, 2)
+	env.To = 1
+	a.Send(env)
+
+	// Restart on the same address. Retry briefly: the OS may need a
+	// moment to release the port to a fresh listener.
+	var b2 *TCP
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b2, err = ListenTCPOpts(1, map[wire.NodeID]string{1: addrB}, fastOpts())
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addrB, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer b2.Close()
+
+	// Traffic must resume: send until the restarted listener hears us.
+	got := make(chan uint64, 1)
+	go func() {
+		for env := range b2.Recv() {
+			if hb, ok := env.Msg.(*wire.Heartbeat); ok && hb.Epoch >= 3 {
+				select {
+				case got <- hb.Epoch:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		env := hb(0, 3)
+		env.To = 1
+		a.Send(env)
+		select {
+		case <-got:
+		case <-time.After(20 * time.Millisecond):
+			if time.Now().Before(deadline) {
+				continue
+			}
+			t.Fatal("traffic did not resume after listener restart")
+		}
+		break
+	}
+	if st := a.Stats(); st.Reconnects < 1 || st.Dials < 2 {
+		t.Errorf("stats = %+v, want >=1 reconnect and >=2 dials", st)
+	}
+}
+
+// TestTCPRecvOverflowDropsOldest verifies the receive buffer evicts the
+// oldest envelope on overflow and accounts for every drop, matching the
+// in-process transport's Drops() accounting.
+func TestTCPRecvOverflowDropsOldest(t *testing.T) {
+	opts := fastOpts()
+	opts.RecvBuf = 4
+	b, err := ListenTCPOpts(1, map[wire.NodeID]string{1: "127.0.0.1:0"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a := DialTCPOpts(wire.ClientIDBase, map[wire.NodeID]string{1: b.Addr()}, fastOpts())
+	defer a.Close()
+
+	for i := 0; i < 10; i++ {
+		env := hb(wire.ClientIDBase, uint64(i))
+		env.To = 1
+		a.Send(env)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Drops() < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drops = %d, want 6", b.Drops())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for want := uint64(6); want < 10; want++ {
+		got := tcpRecv(t, b, time.Second).Msg.(*wire.Heartbeat).Epoch
+		if got != want {
+			t.Fatalf("surviving epoch = %d, want %d (oldest must be evicted first)", got, want)
+		}
+	}
+	if st := b.Stats(); st.DropsRecvOverflow != 6 {
+		t.Errorf("DropsRecvOverflow = %d, want 6", st.DropsRecvOverflow)
+	}
+}
+
+// TestTCPHealthCallback asserts peer up/down transitions reach the
+// registered health callback when the remote listener dies.
+func TestTCPHealthCallback(t *testing.T) {
+	b, err := ListenTCPOpts(1, map[wire.NodeID]string{1: "127.0.0.1:0"}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	type event struct {
+		peer wire.NodeID
+		up   bool
+	}
+	events := make(chan event, 16)
+	a := DialTCPOpts(0, map[wire.NodeID]string{1: b.Addr()}, fastOpts())
+	defer a.Close()
+	a.SetHealth(func(peer wire.NodeID, up bool) {
+		select {
+		case events <- event{peer, up}:
+		default:
+		}
+	})
+
+	env := hb(0, 1)
+	env.To = 1
+	a.Send(env)
+	select {
+	case ev := <-events:
+		if ev.peer != 1 || !ev.up {
+			t.Fatalf("first event = %+v, want peer 1 up", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no up event after connect")
+	}
+
+	b.Close()
+	select {
+	case ev := <-events:
+		if ev.peer != 1 || ev.up {
+			t.Fatalf("second event = %+v, want peer 1 down", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no down event after listener death")
+	}
+}
+
+// TestTCPPingRTT checks that supervised links exchange transport
+// heartbeats and measure a round trip.
+func TestTCPPingRTT(t *testing.T) {
+	b, err := ListenTCPOpts(1, map[wire.NodeID]string{1: "127.0.0.1:0"}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a := DialTCPOpts(0, map[wire.NodeID]string{1: b.Addr()}, fastOpts())
+	defer a.Close()
+	env := hb(0, 1)
+	env.To = 1
+	a.Send(env)
+	tcpRecv(t, b, 2*time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := a.Stats()
+		if st.PingsSent >= 1 && st.PongsRecvd >= 1 && st.LastRTT > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no ping round trip: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

@@ -27,6 +27,23 @@ type Transport interface {
 	Close() error
 }
 
+// HealthReporter is implemented by transports that can observe
+// link-level peer health (connection establishment and death). The
+// callback runs on transport goroutines; receivers must not block.
+// Replicas feed these events into the Ω elector so leader election
+// reacts to real socket failures, not just missing heartbeats.
+type HealthReporter interface {
+	SetHealth(fn func(peer wire.NodeID, up bool))
+}
+
+// Meter is implemented by transports that account for dropped messages.
+// Both the in-process Network endpoints and the TCP transport implement
+// it with the same semantics: a monotonic count of envelopes the
+// transport discarded (overflow, dead routes, model loss).
+type Meter interface {
+	Drops() uint64
+}
+
 // Broadcast sends msg from t to every node in dst.
 func Broadcast(t Transport, dst []wire.NodeID, msg wire.Message) {
 	for _, to := range dst {

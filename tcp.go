@@ -11,6 +11,15 @@ import (
 	"gridrep/internal/wire"
 )
 
+// TransportOptions tunes the self-healing TCP transport: queue bounds,
+// reconnect backoff, write deadlines, and the heartbeat that detects
+// dead links. The zero value picks sensible defaults.
+type TransportOptions = transport.Options
+
+// TransportStats is a snapshot of the TCP transport's counters: dials,
+// reconnects, drops by cause, queue depth, and heartbeat RTT.
+type TransportStats = transport.Stats
+
 // ServerOptions configures one TCP replica process.
 type ServerOptions struct {
 	// ID is this replica's index into Peers.
@@ -25,6 +34,8 @@ type ServerOptions struct {
 	WALPath string
 	// HeartbeatInterval tunes Ω (default 25ms).
 	HeartbeatInterval time.Duration
+	// Transport tunes the TCP transport (zero value = defaults).
+	Transport TransportOptions
 }
 
 // Server is one running TCP replica.
@@ -46,7 +57,7 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 		book[id] = addr
 		peers = append(peers, id)
 	}
-	tr, err := transport.ListenTCP(opts.ID, book)
+	tr, err := transport.ListenTCPOpts(opts.ID, book, opts.Transport)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +89,9 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 // Addr returns the replica's actual listen address.
 func (s *Server) Addr() string { return s.tr.Addr() }
 
+// TransportStats snapshots the replica's transport counters.
+func (s *Server) TransportStats() TransportStats { return s.tr.Stats() }
+
 // Close stops the replica.
 func (s *Server) Close() { s.rep.Stop() }
 
@@ -90,6 +104,8 @@ type DialOptions struct {
 	Replicas map[NodeID]string
 	// Deadline bounds each operation (default 30s).
 	Deadline time.Duration
+	// Transport tunes the TCP transport (zero value = defaults).
+	Transport TransportOptions
 }
 
 // Dial connects a client to a TCP-deployed replicated service.
@@ -103,7 +119,7 @@ func Dial(opts DialOptions) (*Client, error) {
 		book[id] = addr
 		ids = append(ids, id)
 	}
-	tr := transport.DialTCP(wire.ClientIDBase+wire.NodeID(opts.ID), book)
+	tr := transport.DialTCPOpts(wire.ClientIDBase+wire.NodeID(opts.ID), book, opts.Transport)
 	return client.New(client.Config{
 		Transport: tr,
 		Replicas:  ids,
