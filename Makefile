@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos bench clean
+.PHONY: all tier1 race chaos bench bench-quick microbench benchstat clean
 
 all: tier1
 
@@ -21,6 +21,22 @@ chaos:
 
 bench:
 	$(GO) run ./cmd/benchpaxos -exp all
+
+# Scaled-down full suite (~30-60s): every experiment, shape-checkable.
+bench-quick:
+	$(GO) run ./cmd/benchpaxos -exp all -quick
+
+# Hot-path microbenchmarks: wire codec + both transports, with allocs.
+microbench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 ./internal/wire ./internal/transport
+
+# Compare current microbenchmarks against the checked-in baseline.
+# Fails when allocs/op regresses beyond 10%; run
+#   make microbench > bench_baseline.txt
+# to re-baseline after an intentional change.
+benchstat:
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 ./internal/wire ./internal/transport > /tmp/bench_current.txt || (cat /tmp/bench_current.txt; exit 1)
+	$(GO) run ./cmd/benchdiff bench_baseline.txt /tmp/bench_current.txt
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,140 @@
+// Command benchdiff compares two `go test -bench` output files and
+// prints per-benchmark deltas for time, bytes, and allocations — a
+// self-contained stand-in for benchstat, so the perf-regression gate
+// needs no tools outside this repo:
+//
+//	go test -bench . -benchmem ./internal/wire ./internal/transport > new.txt
+//	go run ./cmd/benchdiff bench_baseline.txt new.txt
+//
+// Exit status 1 when any benchmark's allocs/op regressed by more than
+// -tolerance (default 10%), so `make benchstat` fails on a hot-path
+// regression. Time deltas are reported but never gate: wall-clock is too
+// noisy on shared hosts, while allocation counts are deterministic.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark's metrics (zero when a metric is absent).
+type result struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	have        bool
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+func parse(path string) (map[string]result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so files from different hosts
+		// compare.
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := out[name]
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "B/op":
+				r.bytesPerOp = v
+			case "allocs/op":
+				r.allocsPerOp = v
+			}
+		}
+		if !r.have {
+			order = append(order, name)
+		}
+		r.have = true
+		out[name] = r
+	}
+	return out, order, sc.Err()
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "     ~"
+		}
+		return "  +inf"
+	}
+	return fmt.Sprintf("%+5.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op regression before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.1] old.txt new.txt")
+		os.Exit(2)
+	}
+	oldRes, order, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRes, newOrder, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	// Report benchmarks present in either file, old-file order first.
+	seen := make(map[string]bool)
+	for _, n := range order {
+		seen[n] = true
+	}
+	for _, n := range newOrder {
+		if !seen[n] {
+			order = append(order, n)
+		}
+	}
+
+	fmt.Printf("%-44s %12s %12s %7s   %9s %9s %7s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δtime", "old alloc", "new alloc", "Δalloc")
+	regressed := false
+	for _, name := range order {
+		o, n := oldRes[name], newRes[name]
+		if !o.have || !n.have {
+			fmt.Printf("%-44s %s\n", name, "(only in one file)")
+			continue
+		}
+		fmt.Printf("%-44s %12.1f %12.1f %7s   %9.0f %9.0f %7s\n",
+			name, o.nsPerOp, n.nsPerOp, delta(o.nsPerOp, n.nsPerOp),
+			o.allocsPerOp, n.allocsPerOp, delta(o.allocsPerOp, n.allocsPerOp))
+		if n.allocsPerOp > o.allocsPerOp*(1+*tolerance)+0.5 {
+			regressed = true
+		}
+	}
+	if regressed {
+		fmt.Println("\nFAIL: allocs/op regressed beyond tolerance")
+		os.Exit(1)
+	}
+}

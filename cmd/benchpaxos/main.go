@@ -6,17 +6,29 @@
 //
 //	go run ./cmd/benchpaxos -exp all          # everything (slow)
 //	go run ./cmd/benchpaxos -exp rrt-sysnet   # one experiment
-//	go run ./cmd/benchpaxos -exp fig5 -quick  # reduced request counts
+//	go run ./cmd/benchpaxos -exp all -quick   # CI smoke: ~30s full suite
+//	go run ./cmd/benchpaxos -exp fig6 -json out.json
 //
 // Experiment IDs: rrt-sysnet, fig5, fig6, rrt-b2p, fig7, rrt-wan, fig8,
 // table1, fig9a, fig9b, t2.
+//
+// -quick shrinks both the sample counts and the client grids so the full
+// suite finishes in tens of seconds while preserving every paper-shape
+// criterion (ordering of the three request classes, the Figure 6 knee,
+// the B2P coincidence, the WAN read/write gap). Defaults keep the paper
+// parameters. -json writes the same numbers machine-readably, one object
+// per experiment, for the repo's BENCH_*.json perf trajectory.
+// -cpuprofile/-memprofile capture pprof profiles of the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,28 +38,42 @@ import (
 )
 
 var (
-	quick   = flag.Bool("quick", false, "reduce sample counts for a fast smoke run")
-	samples = flag.Int("samples", 0, "override RRT sample count (0 = default)")
+	quick      = flag.Bool("quick", false, "reduce sample counts and client grids for a fast smoke run")
+	samples    = flag.Int("samples", 0, "override RRT sample count (0 = default)")
+	jsonPath   = flag.String("json", "", "write machine-readable results to this file")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 )
 
 // scale returns n, or a reduced count under -quick.
 func scale(n int) int {
 	if *quick {
 		if n > 100 {
-			return n / 10
+			return n / 20
 		}
 		if n > 10 {
-			return n / 2
+			return n / 4
 		}
 	}
 	return n
+}
+
+// grid returns the full client grid, or first/middle/last under -quick.
+func grid(full []int) []int {
+	if !*quick || len(full) <= 3 {
+		return full
+	}
+	return []int{full[0], full[len(full)/2], full[len(full)-1]}
 }
 
 func rrtSamples() int {
 	if *samples > 0 {
 		return *samples
 	}
-	return scale(400)
+	if *quick {
+		return 30
+	}
+	return 400
 }
 
 func newCluster(profile netem.Profile, n int) *cluster.Cluster {
@@ -62,13 +88,78 @@ func newCluster(profile netem.Profile, n int) *cluster.Cluster {
 	return c
 }
 
+// --- machine-readable results (-json) ---
+
+// RRTResult is one response-time row (per request class or txn mode).
+type RRTResult struct {
+	Label  string  `json:"label"`
+	N      int     `json:"n"`
+	MeanMS float64 `json:"mean_ms"`
+	CI99   float64 `json:"ci99_ms"`
+	P50    float64 `json:"p50_ms"`
+	P95    float64 `json:"p95_ms"`
+}
+
+// SeriesPoint is one (clients, throughput) sample.
+type SeriesPoint struct {
+	Clients int     `json:"clients"`
+	PerSec  float64 `json:"per_sec"`
+}
+
+// SeriesResult is one throughput curve of a figure.
+type SeriesResult struct {
+	Label  string        `json:"label"`
+	Points []SeriesPoint `json:"points"`
+}
+
+// ExpResult is everything one experiment measured.
+type ExpResult struct {
+	ID       string         `json:"id"`
+	Paper    string         `json:"paper"`
+	ElapsedS float64        `json:"elapsed_s"`
+	RRT      []RRTResult    `json:"rrt,omitempty"`
+	Series   []SeriesResult `json:"series,omitempty"`
+	Replicas []int          `json:"replicas,omitempty"`
+}
+
+// Report is the top-level -json document.
+type Report struct {
+	GeneratedAt string      `json:"generated_at"`
+	Quick       bool        `json:"quick"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	Experiments []ExpResult `json:"experiments"`
+}
+
+var report = Report{}
+
+func statsRow(label string, s bench.Stats) RRTResult {
+	return RRTResult{Label: label, N: s.N, MeanMS: s.Mean, CI99: s.CI99, P50: s.P50, P95: s.P95}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (see package doc) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (see package doc), comma-separated list, or 'all'")
 	flag.Parse()
+	want := make(map[string]bool)
+	for _, id := range strings.Split(*exp, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
 
 	exps := []struct {
 		id    string
-		run   func()
+		run   func(res *ExpResult)
 		paper string
 	}{
 		{"rrt-sysnet", rrtSysnet, "§4.1 text: 0.181 / 0.263 / 0.338 ms"},
@@ -83,19 +174,49 @@ func main() {
 		{"fig9b", fig9b, "Figure 9b: txn throughput, 5 req/txn"},
 		{"t2", t2, "§4.3: replica-count ablation on WAN"},
 	}
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	report.Quick = *quick
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+
 	found := false
 	for _, e := range exps {
-		if *exp == "all" || *exp == e.id {
+		if want["all"] || want[e.id] {
 			found = true
 			fmt.Printf("=== %s — paper: %s ===\n", e.id, e.paper)
+			res := ExpResult{ID: e.id, Paper: e.paper}
 			start := time.Now()
-			e.run()
+			e.run(&res)
+			res.ElapsedS = time.Since(start).Seconds()
+			report.Experiments = append(report.Experiments, res)
 			fmt.Printf("--- %s done in %v ---\n\n", e.id, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
 	}
 }
 
@@ -107,40 +228,43 @@ func rrtRow(c *cluster.Cluster, class bench.ReqClass) bench.Stats {
 	return s
 }
 
-func printRRT(c *cluster.Cluster) (orig, read, write bench.Stats) {
+func printRRT(c *cluster.Cluster, res *ExpResult) (orig, read, write bench.Stats) {
 	orig = rrtRow(c, bench.ClassOriginal)
 	read = rrtRow(c, bench.ClassRead)
 	write = rrtRow(c, bench.ClassWrite)
 	fmt.Printf("  original: %s\n", orig.FmtMS())
 	fmt.Printf("  read    : %s\n", read.FmtMS())
 	fmt.Printf("  write   : %s\n", write.FmtMS())
+	res.RRT = append(res.RRT,
+		statsRow("original", orig), statsRow("read", read), statsRow("write", write))
 	return
 }
 
-func rrtSysnet() {
+func rrtSysnet(res *ExpResult) {
 	c := newCluster(netem.Sysnet(), 3)
 	defer c.Close()
-	_, read, write := printRRT(c)
+	_, read, write := printRRT(c, res)
 	fmt.Printf("  X-Paxos read vs basic write: %.1f%% lower RRT (paper: 22%%)\n",
 		100*(1-read.Mean/write.Mean))
 }
 
-func rrtB2P() {
+func rrtB2P(res *ExpResult) {
 	c := newCluster(netem.B2P(), 3)
 	defer c.Close()
-	printRRT(c)
+	printRRT(c, res)
 	fmt.Println("  expectation: all three within ~1.5% (replication ~free here)")
 }
 
-func rrtWAN() {
+func rrtWAN(res *ExpResult) {
 	c := newCluster(netem.WAN(0), 3)
 	defer c.Close()
-	_, read, write := printRRT(c)
+	_, read, write := printRRT(c, res)
 	fmt.Printf("  X-Paxos read vs basic write: %.1f%% lower RRT (paper: 29%%)\n",
 		100*(1-read.Mean/write.Mean))
 }
 
-func throughputFigure(profile netem.Profile, clients []int, total int) {
+func throughputFigure(res *ExpResult, profile netem.Profile, clients []int, total int) {
+	clients = grid(clients)
 	fmt.Printf("  %-8s", "clients")
 	for _, cc := range clients {
 		fmt.Printf("%10d", cc)
@@ -155,37 +279,40 @@ func throughputFigure(profile netem.Profile, clients []int, total int) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		sr := SeriesResult{Label: class.String()}
 		fmt.Printf("  %-8s", class.String())
 		for _, p := range pts {
 			fmt.Printf("%10.0f", p.PerSecond)
+			sr.Points = append(sr.Points, SeriesPoint{Clients: p.Clients, PerSec: p.PerSecond})
 		}
 		fmt.Println(" req/s")
+		res.Series = append(res.Series, sr)
 	}
 }
 
-func fig5() {
+func fig5(res *ExpResult) {
 	// The paper used 1000 total requests per sample and averaged
 	// hundreds of samples; one longer run per point gives equivalent
 	// stability here.
-	throughputFigure(netem.Sysnet(), []int{1, 2, 4, 8, 16}, scale(8000))
+	throughputFigure(res, netem.Sysnet(), []int{1, 2, 4, 8, 16}, scale(8000))
 }
 
-func fig6() {
+func fig6(res *ExpResult) {
 	// The paper used 1000 requests per sample; on this substrate each
 	// point then lasts only tens of milliseconds and scheduler jitter
 	// dominates, so the sweep uses a longer run per point.
-	throughputFigure(netem.Sysnet(), []int{8, 16, 32, 64, 128}, scale(12000))
+	throughputFigure(res, netem.Sysnet(), []int{8, 16, 32, 64, 128}, scale(12000))
 }
 
-func fig7() {
-	throughputFigure(netem.B2P(), []int{1, 2, 4, 8, 16}, scale(200))
+func fig7(res *ExpResult) {
+	throughputFigure(res, netem.B2P(), []int{1, 2, 4, 8, 16}, scale(200))
 }
 
-func fig8() {
-	throughputFigure(netem.WAN(0), []int{1, 2, 4, 8, 16}, scale(200))
+func fig8(res *ExpResult) {
+	throughputFigure(res, netem.WAN(0), []int{1, 2, 4, 8, 16}, scale(200))
 }
 
-func table1() {
+func table1(res *ExpResult) {
 	c := newCluster(netem.Sysnet(), 3)
 	defer c.Close()
 	n := scale(200)
@@ -207,6 +334,7 @@ func table1() {
 		}
 		results[r] = s
 		fmt.Printf("  %-12s %6d   %8.3f ms   ±%.3f ms\n", r.mode, r.nReqs, s.Mean, s.CI99)
+		res.RRT = append(res.RRT, statsRow(fmt.Sprintf("%s/%d", r.mode, r.nReqs), s))
 	}
 	for _, k := range []int{3, 5} {
 		rw := results[row{bench.TxnReadWrite, k}].Mean
@@ -218,8 +346,8 @@ func table1() {
 	fmt.Println("  (paper: 28%/34% at 3 req, 31%/39% at 5 req)")
 }
 
-func txnFigure(nReqs int) {
-	clients := []int{1, 2, 4, 8, 16}
+func txnFigure(res *ExpResult, nReqs int) {
+	clients := grid([]int{1, 2, 4, 8, 16})
 	total := scale(500)
 	fmt.Printf("  %-12s", "clients")
 	for _, cc := range clients {
@@ -233,23 +361,31 @@ func txnFigure(nReqs int) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		sr := SeriesResult{Label: mode.String()}
 		fmt.Printf("  %-12s", mode.String())
 		for _, p := range pts {
 			fmt.Printf("%10.0f", p.PerSecond)
+			sr.Points = append(sr.Points, SeriesPoint{Clients: p.Clients, PerSec: p.PerSecond})
 		}
 		fmt.Println(" txn/s")
+		res.Series = append(res.Series, sr)
 	}
 }
 
-func fig9a() { txnFigure(3) }
-func fig9b() { txnFigure(5) }
+func fig9a(res *ExpResult) { txnFigure(res, 3) }
+func fig9b(res *ExpResult) { txnFigure(res, 5) }
 
 // t2 explores §4.3: replica counts beyond t=1 on the WAN profile, where
 // X-Paxos's extra wide-area confirm paths matter most.
-func t2() {
+func t2(res *ExpResult) {
 	n := scale(60)
+	counts := []int{3, 5, 7}
+	if *quick {
+		counts = []int{3, 5}
+	}
+	res.Replicas = counts
 	fmt.Println("  replicas   original        read            write")
-	for _, nrep := range []int{3, 5, 7} {
+	for _, nrep := range counts {
 		c, err := cluster.New(cluster.Config{
 			N: nrep, Seed: 1, ClientDeadline: 120 * time.Second,
 			Profile: wanProfileN(),
@@ -267,6 +403,7 @@ func t2() {
 				log.Fatal(err)
 			}
 			row = append(row, fmt.Sprintf("%7.2f±%.2f", s.Mean, s.CI99))
+			res.RRT = append(res.RRT, statsRow(fmt.Sprintf("n%d/%s", nrep, class), s))
 		}
 		c.Close()
 		fmt.Printf("  %8d   %s ms\n", nrep, strings.Join(row, "   "))

@@ -17,6 +17,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -31,7 +33,34 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "RNG seed for nondeterministic services")
 	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
 	statsEvery := flag.Duration("stats", 0, "log transport counters at this interval (0 = off)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file (stopped on shutdown)")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on shutdown")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
+	}
 
 	peers, err := ParsePeers(*peersFlag)
 	if err != nil {

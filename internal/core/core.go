@@ -130,6 +130,13 @@ type Config struct {
 	// CompactEvery triggers log-state compaction after this many
 	// committed instances (default 1024).
 	CompactEvery uint64
+	// CommitFlushDelay bounds how long a committed wave's notification
+	// may wait for the next accept wave to carry it (default 1ms).
+	// Commits always piggyback on the next wave's accept broadcast;
+	// this timer only covers the case where the queue drains and no
+	// next wave follows, so the last wave's commit is never delayed
+	// beyond this bound.
+	CommitFlushDelay time.Duration
 	// NoBatch disables multi-instance accept waves (ablation knob): each
 	// wave carries exactly one request, so the strictly sequential
 	// reading of §3.3 is enforced even under load. Default off — the
@@ -158,6 +165,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CompactEvery == 0 {
 		c.CompactEvery = 1024
+	}
+	if c.CommitFlushDelay == 0 {
+		c.CommitFlushDelay = time.Millisecond
 	}
 }
 
@@ -217,8 +227,16 @@ type Replica struct {
 	nextInstance uint64
 	applied      uint64 // instance whose post-state the service reflects
 
+	// pendingCommit is set when a wave committed but no broadcast has
+	// told the backups yet; the next accept wave carries it for free,
+	// and commitFlush fires a standalone Commit if no wave follows
+	// within CommitFlushDelay.
+	pendingCommit bool
+	commitFlush   *time.Timer
+
 	reads      map[wire.Key]*pendingRead
 	confirmBuf map[wire.Key][]wire.NodeID
+	confirmQ   []wire.Key     // reads awaiting one coalesced Confirm send
 	deferred   []wire.Request // requests received while preparing
 
 	txns    map[txnKey]*txnState
@@ -304,6 +322,10 @@ func New(cfg Config) (*Replica, error) {
 		done:       make(chan struct{}),
 		ctl:        make(chan func(), 16),
 		health:     make(chan peerHealth, 64),
+	}
+	r.commitFlush = time.NewTimer(time.Hour)
+	if !r.commitFlush.Stop() {
+		<-r.commitFlush.C
 	}
 	if hr, ok := cfg.Transport.(transport.HealthReporter); ok {
 		// Feed socket-level peer health into the event loop; leader
@@ -431,6 +453,7 @@ func (r *Replica) run() {
 	}
 	ticker := time.NewTicker(tickEvery)
 	defer ticker.Stop()
+	defer r.commitFlush.Stop()
 	r.tick(time.Now())
 	for {
 		select {
@@ -443,12 +466,51 @@ func (r *Replica) run() {
 				return
 			}
 			r.handle(env)
+			// Opportunistically drain the burst that arrived with this
+			// envelope before selecting again: the batch is the natural
+			// coalescing window for read confirms, and it keeps a loaded
+			// replica from interleaving timer work between every message.
+			for i := 0; i < burstDrainMax; i++ {
+				var more *wire.Envelope
+				select {
+				case more, ok = <-r.tr.Recv():
+					if !ok {
+						return
+					}
+				default:
+				}
+				if more == nil {
+					break
+				}
+				r.handle(more)
+			}
+			r.flushConfirms()
 		case ph := <-r.health:
 			r.onPeerHealth(ph)
+		case <-r.commitFlush.C:
+			r.flushCommit()
 		case now := <-ticker.C:
 			r.tick(now)
 		}
 	}
+}
+
+// burstDrainMax bounds how many queued envelopes one loop iteration may
+// consume before re-checking timers and control channels.
+const burstDrainMax = 256
+
+// flushCommit broadcasts a deferred commit notification: the queue
+// drained with no follow-on wave to piggyback it, so the backups must
+// hear about the chosen instances now.
+func (r *Replica) flushCommit() {
+	if !r.pendingCommit {
+		return
+	}
+	r.pendingCommit = false
+	if r.role != RoleLeading {
+		return
+	}
+	r.othersDo(&wire.Commit{Bal: r.bal, Index: r.acc.Chosen()})
 }
 
 func (r *Replica) handle(env *wire.Envelope) {
@@ -615,6 +677,9 @@ func (r *Replica) stepDown() {
 	r.queue, r.blocked, r.deferred = nil, nil, nil
 	r.pending = make(map[wire.Key]bool)
 	r.confirmBuf = make(map[wire.Key][]wire.NodeID)
+	// Any unflushed commit is moot: backups will learn the commit index
+	// from the next leader's traffic or from heartbeats.
+	r.pendingCommit = false
 	r.nextInstance = r.acc.Chosen() + 1
 	r.logf("stepped down at chosen=%d", r.acc.Chosen())
 }

@@ -76,10 +76,12 @@ func TestStrayConfirmsIgnored(t *testing.T) {
 	// Garbage confirms: unknown read keys, zero and absurd ballots.
 	for i := 0; i < 50; i++ {
 		ep.Send(&wire.Envelope{To: leaderID, Msg: &wire.Confirm{
-			Bal:    wire.Ballot{Round: uint64(i % 3), Node: wire.NodeID(i % 5)},
-			From:   wire.NodeID(i % 3),
-			Client: wire.ClientIDBase + wire.NodeID(i),
-			Seq:    uint64(i),
+			Bal:  wire.Ballot{Round: uint64(i % 3), Node: wire.NodeID(i % 5)},
+			From: wire.NodeID(i % 3),
+			Reads: []wire.Key{
+				{Client: wire.ClientIDBase + wire.NodeID(i), Seq: uint64(i)},
+				{Client: wire.ClientIDBase + wire.NodeID(i+1), Seq: uint64(i + 1)},
+			},
 		}})
 	}
 	// Service must still work.

@@ -231,6 +231,9 @@ func (r *Replica) launchWave(w *wave) {
 		return
 	}
 	r.othersDo(msg)
+	// The accept's Commit field just told every backup about all chosen
+	// instances; any deferred commit notification rode along for free.
+	r.pendingCommit = false
 	if done, _ := w.round.Add(acked, r.cfg.ID); done {
 		r.commitWave()
 	}
@@ -259,6 +262,12 @@ func (r *Replica) onAccepted(from wire.NodeID, m *wire.Accepted) {
 
 // commitWave marks the wave's instances chosen, informs the backups,
 // replies to clients, and starts the next wave.
+//
+// Backups are not told with a standalone broadcast: the commit
+// piggybacks on the next wave's accept message (its Commit field), which
+// under load folds the two per-wave broadcasts into one. Only when no
+// wave follows within CommitFlushDelay does flushCommit send the
+// old-style Commit message.
 func (r *Replica) commitWave() {
 	w := r.wave
 	r.wave = nil
@@ -267,7 +276,12 @@ func (r *Replica) commitWave() {
 		r.fatal("mark chosen: %v", err)
 		return
 	}
-	r.othersDo(&wire.Commit{Bal: r.bal, Index: top})
+	r.pendingCommit = true
+	defer func() {
+		if r.pendingCommit {
+			r.commitFlush.Reset(r.cfg.CommitFlushDelay)
+		}
+	}()
 
 	if w.recovery {
 		// Adopt the recovered state: the previous leader executed these
@@ -337,8 +351,26 @@ func (r *Replica) maybeCompact() {
 // --- X-Paxos read path (§3.4) ---
 
 // sendConfirm implements the backup half of X-Paxos: confirm the read to
-// the proposer of the highest ballot this replica has accepted.
+// the proposer of the highest ballot this replica has accepted. The key
+// is only queued here; flushConfirms sends one coalesced Confirm for all
+// reads that arrived in the same event-loop burst.
 func (r *Replica) sendConfirm(req wire.Request) {
+	if len(r.confirmQ) < 65536 {
+		r.confirmQ = append(r.confirmQ, req.Key())
+	}
+}
+
+// flushConfirms sends the queued read confirmations as one Confirm
+// message. The ballot and destination are evaluated at send time, which
+// is what makes each listed key valid per-read evidence: the message
+// leaves after every listed read was received, carrying the highest
+// ballot this replica has accepted as of now.
+func (r *Replica) flushConfirms() {
+	if len(r.confirmQ) == 0 {
+		return
+	}
+	keys := r.confirmQ
+	r.confirmQ = nil
 	bal := r.acc.Promised()
 	target := bal.Node
 	if bal.IsZero() {
@@ -352,7 +384,7 @@ func (r *Replica) sendConfirm(req wire.Request) {
 	if target == r.cfg.ID {
 		return // we believe we lead but are not active; client will retry
 	}
-	r.send(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Client: req.Client, Seq: req.Seq})
+	r.send(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys})
 }
 
 // registerRead starts X-Paxos coordination for a read at the leader: the
@@ -382,25 +414,28 @@ func (r *Replica) registerRead(req wire.Request) {
 	r.tryFinishRead(pr)
 }
 
-// onConfirm counts a backup's confirm toward the matching pending read.
-// Only confirms for the leader's own current ballot prove leadership; a
-// confirm carrying any other ballot is ignored (§3.4: only the leader
-// with the highest accepted ballot can assemble a majority).
+// onConfirm counts a backup's confirms toward the matching pending
+// reads. One message may vouch for many reads (backup-side coalescing);
+// every key is independent evidence for its own read. Only confirms for
+// the leader's own current ballot prove leadership; a confirm carrying
+// any other ballot is ignored (§3.4: only the leader with the highest
+// accepted ballot can assemble a majority).
 func (r *Replica) onConfirm(m *wire.Confirm) {
 	if r.role != RoleLeading || !m.Bal.Equal(r.bal) {
 		return
 	}
-	key := wire.Key{Client: m.Client, Seq: m.Seq}
-	pr, ok := r.reads[key]
-	if !ok {
-		// The confirm can outrun the client's request; buffer it.
-		if len(r.confirmBuf) < 65536 {
-			r.confirmBuf[key] = append(r.confirmBuf[key], m.From)
+	for _, key := range m.Reads {
+		pr, ok := r.reads[key]
+		if !ok {
+			// The confirm can outrun the client's request; buffer it.
+			if len(r.confirmBuf) < 65536 {
+				r.confirmBuf[key] = append(r.confirmBuf[key], m.From)
+			}
+			continue
 		}
-		return
+		pr.confirms[m.From] = true
+		r.tryFinishRead(pr)
 	}
-	pr.confirms[m.From] = true
-	r.tryFinishRead(pr)
 }
 
 func (r *Replica) tryFinishRead(pr *pendingRead) {

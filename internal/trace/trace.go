@@ -97,6 +97,9 @@ func describe(m wire.Message) string {
 	case *wire.Commit:
 		return fmt.Sprintf("commit<=%d", v.Index)
 	case *wire.Confirm:
+		if len(v.Reads) > 1 {
+			return fmt.Sprintf("confirm[%d]", len(v.Reads))
+		}
 		return "confirm"
 	case *wire.Heartbeat:
 		return "hb"

@@ -146,9 +146,17 @@ func (n *Network) send(from wire.NodeID, env *wire.Envelope) {
 		n.drops.Add(1)
 		return
 	}
-	// Round-trip through the codec: realistic cost, zero aliasing.
-	buf := wire.EncodeEnvelope(nil, env)
-	copyEnv, err := wire.DecodeEnvelope(buf)
+	// Round-trip through the codec: realistic cost, and the receiver
+	// never aliases the sender's message. Encoding reuses a pooled
+	// buffer; the decode side gets its own exact-size copy whose
+	// ownership transfers to the delivered envelope, mirroring how the
+	// TCP read loop hands each frame an owned payload.
+	bp := wire.GetBuf()
+	*bp = wire.EncodeEnvelope((*bp)[:0], env)
+	owned := make([]byte, len(*bp))
+	copy(owned, *bp)
+	wire.PutBuf(bp)
+	copyEnv, err := wire.DecodeEnvelopeOwned(owned)
 	if err != nil {
 		panic(fmt.Sprintf("transport: self-encode failed: %v", err))
 	}

@@ -317,33 +317,42 @@ func (t *TCP) Drops() uint64 { return t.Stats().Drops() }
 // handed to that peer's connection supervisor (started on first use) and
 // written off the caller's goroutine; failures never block the caller.
 // Replies to learned client routes are written inline, best effort.
+//
+// Encoding uses pooled buffers: the frame bytes live in a wire.GetBuf
+// buffer that returns to the pool once written (or dropped), so a warm
+// send path allocates nothing per envelope.
 func (t *TCP) Send(env *wire.Envelope) {
 	env.From = t.local
-	buf := wire.EncodeEnvelope(nil, env)
+	bp := wire.GetBuf()
+	*bp = wire.EncodeEnvelope((*bp)[:0], env)
 
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
+		wire.PutBuf(bp)
 		return
 	}
 	if sup, ok := t.sups[env.To]; ok {
 		t.mu.Unlock()
-		sup.enqueue(buf)
+		sup.enqueue(bp)
 		return
 	}
 	if _, inBook := t.book[env.To]; inBook {
 		sup := t.startSupervisorLocked(env.To)
 		t.mu.Unlock()
-		sup.enqueue(buf)
+		sup.enqueue(bp)
 		return
 	}
 	conn, ok := t.inbound[env.To]
 	t.mu.Unlock()
 	if !ok {
 		t.stats.dropNoRoute.Add(1)
+		wire.PutBuf(bp)
 		return
 	}
-	if err := conn.writeFrame(frameEnv, buf); err != nil {
+	err := conn.writeFrame(frameEnv, *bp)
+	wire.PutBuf(bp)
+	if err != nil {
 		t.stats.dropWriteFail.Add(1)
 		t.dropInbound(env.To, conn)
 		return
@@ -399,7 +408,7 @@ func (t *TCP) startSupervisorLocked(peer wire.NodeID) *supervisor {
 	sup := &supervisor{
 		t:    t,
 		peer: peer,
-		q:    make(chan []byte, t.opts.QueueLen),
+		q:    make(chan *[]byte, t.opts.QueueLen),
 		stop: make(chan struct{}),
 	}
 	t.sups[peer] = sup
@@ -485,6 +494,7 @@ func (t *TCP) readLoop(conn *tcpConn, acceptSide bool, pong chan<- int64) {
 		}
 		t.mu.Unlock()
 	}()
+	var scratch [16]byte // reused for ping/pong payloads: no alloc per heartbeat
 	for {
 		n, err := binary.ReadUvarint(r)
 		if err != nil || n == 0 || n > maxFrame {
@@ -494,7 +504,16 @@ func (t *TCP) readLoop(conn *tcpConn, acceptSide bool, pong chan<- int64) {
 		if err != nil {
 			return
 		}
-		payload := make([]byte, n-1)
+		var payload []byte
+		if kind != frameEnv && n-1 <= uint64(len(scratch)) {
+			payload = scratch[:n-1]
+		} else {
+			// Envelope payloads get a fresh exact-size buffer because
+			// DecodeEnvelopeOwned aliases it: ownership moves to the
+			// decoded message, which the consumer may retain (the
+			// acceptor keeps entry slices in its log).
+			payload = make([]byte, n-1)
+		}
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return
 		}
@@ -511,7 +530,7 @@ func (t *TCP) readLoop(conn *tcpConn, acceptSide bool, pong chan<- int64) {
 				}
 			}
 		case frameEnv:
-			env, err := wire.DecodeEnvelope(payload)
+			env, err := wire.DecodeEnvelopeOwned(payload)
 			if err != nil {
 				return // corrupt peer; sever the connection
 			}
@@ -547,7 +566,7 @@ func (t *TCP) learn(from wire.NodeID, conn *tcpConn, learned *[]wire.NodeID) {
 type supervisor struct {
 	t    *TCP
 	peer wire.NodeID
-	q    chan []byte
+	q    chan *[]byte // pooled frame buffers; consumer returns them
 	stop chan struct{}
 
 	mu   sync.Mutex
@@ -555,23 +574,26 @@ type supervisor struct {
 	down bool     // stop flag, guarded by mu for shutdown idempotence
 }
 
-// enqueue adds an encoded envelope to the outbound queue, evicting the
-// oldest queued envelope when full.
-func (s *supervisor) enqueue(buf []byte) {
+// enqueue adds an encoded envelope (in a pooled buffer whose ownership
+// transfers to the queue) to the outbound queue, evicting the oldest
+// queued envelope when full.
+func (s *supervisor) enqueue(bp *[]byte) {
 	select {
-	case s.q <- buf:
+	case s.q <- bp:
 		return
 	default:
 	}
 	select {
-	case <-s.q:
+	case old := <-s.q:
+		wire.PutBuf(old)
 		s.t.stats.dropQueueFull.Add(1)
 	default:
 	}
 	select {
-	case s.q <- buf:
+	case s.q <- bp:
 	default:
 		s.t.stats.dropQueueFull.Add(1)
+		wire.PutBuf(bp)
 	}
 }
 
@@ -741,8 +763,10 @@ func (s *supervisor) pump(conn *tcpConn, readerDone <-chan struct{}, pong <-chan
 			if rtt := time.Now().UnixNano() - sentAt; rtt > 0 {
 				s.t.stats.lastRTT.Store(rtt)
 			}
-		case buf := <-s.q:
-			if err := conn.writeFrame(frameEnv, buf); err != nil {
+		case bp := <-s.q:
+			err := conn.writeFrame(frameEnv, *bp)
+			wire.PutBuf(bp)
+			if err != nil {
 				s.t.stats.dropWriteFail.Add(1)
 				return pumpConnDead
 			}

@@ -1,0 +1,60 @@
+package wire
+
+import "testing"
+
+// Allocation regression tests for the codec hot path. The budgets are
+// the measured steady-state costs of this implementation; a change that
+// exceeds them has regressed the wire path and should be caught here,
+// not in a throughput run three PRs later.
+
+// TestEncodeEnvelopeAllocs: encoding into a pooled buffer is
+// allocation-free once the buffer has grown to the message size.
+func TestEncodeEnvelopeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts on pooled paths are not meaningful under -race (sync.Pool drops items)")
+	}
+	for _, tc := range benchEnvelopes() {
+		// Warm the pool so the buffer has capacity and the pooled
+		// Encoder exists.
+		bp := GetBuf()
+		*bp = EncodeEnvelope((*bp)[:0], tc.env)
+		PutBuf(bp)
+		avg := testing.AllocsPerRun(200, func() {
+			bp := GetBuf()
+			*bp = EncodeEnvelope((*bp)[:0], tc.env)
+			PutBuf(bp)
+		})
+		if avg > 0.1 {
+			t.Errorf("%s: pooled encode allocates %.2f/op, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestDecodeEnvelopeAllocs: the owned (zero-copy) decoder allocates only
+// the envelope+message block and the unavoidable slice headers — byte
+// payloads alias the input buffer.
+func TestDecodeEnvelopeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts on pooled paths are not meaningful under -race (sync.Pool drops items)")
+	}
+	budgets := map[string]float64{
+		"request":     1,  // fused envelope+message only
+		"accept-wave": 10, // + entries slice + per-entry req/result slices
+		"accepted":    2,  // + instances slice
+		"confirm":     2,  // + read-key slice
+	}
+	for _, tc := range benchEnvelopes() {
+		buf := EncodeEnvelope(nil, tc.env)
+		if _, err := DecodeEnvelopeOwned(buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			if _, err := DecodeEnvelopeOwned(buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if budget := budgets[tc.name]; avg > budget {
+			t.Errorf("%s: owned decode allocates %.2f/op, budget %.0f", tc.name, avg, budget)
+		}
+	}
+}

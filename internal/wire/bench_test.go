@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"testing"
+)
+
+// Representative hot-path envelopes. benchAccept mirrors a loaded accept
+// wave (several requests, results, and a snapshot on the top instance);
+// benchAccepted, benchConfirm, and benchRequest are the small control
+// messages that dominate message *count* on a busy cluster.
+
+func benchRequest() *Envelope {
+	return &Envelope{
+		From: ClientIDBase + 7, To: 0,
+		Msg: &RequestMsg{Req: Request{
+			Client: ClientIDBase + 7, Seq: 42, Kind: KindWrite,
+			Op: make([]byte, 128),
+		}},
+	}
+}
+
+func benchAccept() *Envelope {
+	entries := make([]Entry, 4)
+	for i := range entries {
+		e := Entry{
+			Instance: uint64(100 + i),
+			Bal:      Ballot{Round: 3, Node: 1},
+			Prop: Proposal{
+				Reqs: []Request{{
+					Client: ClientIDBase + NodeID(i), Seq: uint64(i), Kind: KindWrite,
+					Op: make([]byte, 128),
+				}},
+				Results: [][]byte{make([]byte, 32)},
+			},
+		}
+		if i == len(entries)-1 {
+			e.Prop.HasState = true
+			e.Prop.Kind = StateFull
+			e.Prop.State = make([]byte, 1024)
+		}
+		entries[i] = e
+	}
+	return &Envelope{From: 0, To: 1, Msg: &Accept{
+		Bal: Ballot{Round: 3, Node: 1}, Entries: entries, Commit: 99,
+	}}
+}
+
+func benchAccepted() *Envelope {
+	return &Envelope{From: 1, To: 0, Msg: &Accepted{
+		Bal: Ballot{Round: 3, Node: 1}, From: 1, OK: true,
+		Instances: []uint64{100, 101, 102, 103},
+	}}
+}
+
+func benchConfirm() *Envelope {
+	keys := make([]Key, 8)
+	for i := range keys {
+		keys[i] = Key{Client: ClientIDBase + NodeID(i), Seq: uint64(i)}
+	}
+	return &Envelope{From: 1, To: 0, Msg: &Confirm{
+		Bal: Ballot{Round: 3, Node: 1}, From: 1, Reads: keys,
+	}}
+}
+
+func benchEnvelopes() []struct {
+	name string
+	env  *Envelope
+} {
+	return []struct {
+		name string
+		env  *Envelope
+	}{
+		{"request", benchRequest()},
+		{"accept-wave", benchAccept()},
+		{"accepted", benchAccepted()},
+		{"confirm", benchConfirm()},
+	}
+}
+
+// BenchmarkEncodeEnvelope measures the transport send path's encoding
+// cost: one envelope serialized per op, exactly as tcpx.Send and
+// Network.send do it.
+func BenchmarkEncodeEnvelope(b *testing.B) {
+	for _, tc := range benchEnvelopes() {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bp := GetBuf()
+				*bp = EncodeEnvelope((*bp)[:0], tc.env)
+				PutBuf(bp)
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeEnvelope measures the transport receive path's decoding
+// cost: one owned frame payload parsed per op, exactly as the tcpx read
+// loop and Network.send's delivery copy do it.
+func BenchmarkDecodeEnvelope(b *testing.B) {
+	for _, tc := range benchEnvelopes() {
+		buf := EncodeEnvelope(nil, tc.env)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeEnvelopeOwned(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeEnvelopeCopy pins the cost of the copying decoder so the
+// zero-copy win stays measured against it.
+func BenchmarkDecodeEnvelopeCopy(b *testing.B) {
+	for _, tc := range benchEnvelopes() {
+		buf := EncodeEnvelope(nil, tc.env)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeEnvelope(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeDecodeRoundTrip is the full codec round trip for one
+// loaded accept wave, the per-message work a backup's link does under
+// write load.
+func BenchmarkEncodeDecodeRoundTrip(b *testing.B) {
+	env := benchAccept()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bp := GetBuf()
+		*bp = EncodeEnvelope((*bp)[:0], env)
+		owned := append([]byte(nil), *bp...)
+		PutBuf(bp)
+		if _, err := DecodeEnvelopeOwned(owned); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Codec errors.
@@ -90,13 +91,21 @@ func (e *Encoder) Ballot(b Ballot) {
 // record the first error and subsequently return zero values, so call
 // sites can decode a whole struct and check Err once.
 type Decoder struct {
-	buf []byte
-	off int
-	err error
+	buf   []byte
+	off   int
+	err   error
+	alias bool
 }
 
 // NewDecoder returns a Decoder reading from buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// NewDecoderNoCopy returns a Decoder whose Bytes8 results alias buf
+// instead of copying it. Ownership of buf transfers to the decoded
+// values: the caller must not modify or reuse buf afterwards. Aliased
+// slices are capped at their own length, so appending to one never
+// clobbers neighbouring fields.
+func NewDecoderNoCopy(buf []byte) *Decoder { return &Decoder{buf: buf, alias: true} }
 
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }
@@ -183,8 +192,9 @@ func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
 // Float64 consumes an IEEE-754 bit pattern.
 func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
 
-// Bytes8 consumes a length-prefixed byte string. The result is a copy and
-// remains valid after the source buffer is reused.
+// Bytes8 consumes a length-prefixed byte string. With NewDecoder the
+// result is a copy and remains valid after the source buffer is reused;
+// with NewDecoderNoCopy it aliases the source buffer.
 func (d *Decoder) Bytes8() []byte {
 	n := d.Uvarint()
 	if d.err != nil {
@@ -200,6 +210,12 @@ func (d *Decoder) Bytes8() []byte {
 	}
 	if n == 0 {
 		return nil
+	}
+	if d.alias {
+		end := d.off + int(n)
+		out := d.buf[d.off:end:end]
+		d.off = end
+		return out
 	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.off:])
@@ -240,36 +256,162 @@ func (d *Decoder) Ballot() Ballot {
 //	uvarint from | uvarint to | uint8 type | body...
 //
 // Framing (length prefixes for stream transports) is the transport's job.
+//
+// The Encoder itself is pooled: it escapes through the MarshalTo
+// interface call, so without pooling every encoded envelope would pay
+// one Encoder allocation. With a pooled or pre-sized buf the whole
+// encode is allocation-free.
 func EncodeEnvelope(buf []byte, env *Envelope) []byte {
-	enc := NewEncoder(buf)
+	enc := encPool.Get().(*Encoder)
+	enc.buf = buf
 	enc.NodeID(env.From)
 	enc.NodeID(env.To)
 	enc.Uint8(uint8(env.Msg.Type()))
 	env.Msg.MarshalTo(enc)
-	return enc.Bytes()
+	out := enc.buf
+	enc.buf = nil // drop the reference before pooling
+	encPool.Put(enc)
+	return out
 }
 
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
 // DecodeEnvelope parses one envelope from buf, which must contain exactly
-// one encoded envelope.
+// one encoded envelope. Byte fields are copied out of buf, so the caller
+// may reuse buf immediately.
 func DecodeEnvelope(buf []byte) (*Envelope, error) {
-	dec := NewDecoder(buf)
-	var env Envelope
-	env.From = dec.NodeID()
-	env.To = dec.NodeID()
+	return decodeEnvelopePooled(buf, false)
+}
+
+// DecodeEnvelopeOwned parses one envelope from buf without copying byte
+// fields: Op, Result, and State slices in the returned message alias buf
+// directly. Ownership of buf transfers to the envelope — the caller must
+// not modify, reuse, or pool buf after a successful return. Use this on
+// receive paths that hand each frame its own buffer; use DecodeEnvelope
+// when the buffer is reused.
+func DecodeEnvelopeOwned(buf []byte) (*Envelope, error) {
+	return decodeEnvelopePooled(buf, true)
+}
+
+// decPool recycles Decoder structs: passing a decoder through the
+// Message.UnmarshalFrom interface makes it escape, so without pooling
+// every decoded envelope pays one Decoder allocation.
+var decPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+func decodeEnvelopePooled(buf []byte, alias bool) (*Envelope, error) {
+	dec := decPool.Get().(*Decoder)
+	*dec = Decoder{buf: buf, alias: alias}
+	env, err := decodeEnvelope(dec)
+	*dec = Decoder{} // drop the buf reference before pooling
+	decPool.Put(dec)
+	return env, err
+}
+
+func decodeEnvelope(dec *Decoder) (*Envelope, error) {
+	from := dec.NodeID()
+	to := dec.NodeID()
 	t := MsgType(dec.Uint8())
 	if err := dec.Err(); err != nil {
 		return nil, err
 	}
-	msg := New(t)
-	if msg == nil {
+	env := newEnvelopeFor(t)
+	if env == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadType, t)
 	}
-	if err := msg.UnmarshalFrom(dec); err != nil {
+	env.From, env.To = from, to
+	if err := env.Msg.UnmarshalFrom(dec); err != nil {
 		return nil, err
 	}
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
-	env.Msg = msg
-	return &env, nil
+	return env, nil
+}
+
+// newEnvelopeFor returns an envelope whose Msg is a zero message of the
+// given type, or nil if the type is unknown. Envelope and message come
+// from a single allocation — they have identical lifetimes, and fusing
+// them halves the fixed per-decode allocation cost.
+func newEnvelopeFor(t MsgType) *Envelope {
+	switch t {
+	case MsgRequest:
+		x := new(struct {
+			e Envelope
+			m RequestMsg
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgReply:
+		x := new(struct {
+			e Envelope
+			m ReplyMsg
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgPrepare:
+		x := new(struct {
+			e Envelope
+			m Prepare
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgPromise:
+		x := new(struct {
+			e Envelope
+			m Promise
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgAccept:
+		x := new(struct {
+			e Envelope
+			m Accept
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgAccepted:
+		x := new(struct {
+			e Envelope
+			m Accepted
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgCommit:
+		x := new(struct {
+			e Envelope
+			m Commit
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgConfirm:
+		x := new(struct {
+			e Envelope
+			m Confirm
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgHeartbeat:
+		x := new(struct {
+			e Envelope
+			m Heartbeat
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgCatchUpReq:
+		x := new(struct {
+			e Envelope
+			m CatchUpReq
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgCatchUpResp:
+		x := new(struct {
+			e Envelope
+			m CatchUpResp
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	default:
+		return nil
+	}
 }

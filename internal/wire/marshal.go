@@ -273,16 +273,28 @@ func (m *Commit) UnmarshalFrom(dec *Decoder) error {
 func (m *Confirm) MarshalTo(enc *Encoder) {
 	enc.Ballot(m.Bal)
 	enc.NodeID(m.From)
-	enc.NodeID(m.Client)
-	enc.Uvarint(m.Seq)
+	enc.Uvarint(uint64(len(m.Reads)))
+	for _, k := range m.Reads {
+		enc.NodeID(k.Client)
+		enc.Uvarint(k.Seq)
+	}
 }
 
 // UnmarshalFrom implements Message.
 func (m *Confirm) UnmarshalFrom(dec *Decoder) error {
 	m.Bal = dec.Ballot()
 	m.From = dec.NodeID()
-	m.Client = dec.NodeID()
-	m.Seq = dec.Uvarint()
+	n := dec.SliceLen()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if n > 0 {
+		m.Reads = make([]Key, n)
+		for i := range m.Reads {
+			m.Reads[i].Client = dec.NodeID()
+			m.Reads[i].Seq = dec.Uvarint()
+		}
+	}
 	return dec.Err()
 }
 

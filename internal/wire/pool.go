@@ -1,0 +1,44 @@
+package wire
+
+import "sync"
+
+// maxPooledBuf caps the capacity of buffers returned to the pool.
+// Occasional giant frames (full-state snapshots) would otherwise pin
+// megabytes per pooled slot indefinitely.
+const maxPooledBuf = 1 << 20
+
+// bufPool recycles encode buffers across frames. It stores *[]byte so
+// that Get/Put don't allocate an interface box per call.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled encode buffer with zero length and some spare
+// capacity. Pass (*bp)[:0] to EncodeEnvelope and store the result back
+// through the pointer, then PutBuf when the encoded bytes are no longer
+// referenced:
+//
+//	bp := wire.GetBuf()
+//	*bp = wire.EncodeEnvelope((*bp)[:0], env)
+//	... write *bp to the connection ...
+//	wire.PutBuf(bp)
+//
+// Never PutBuf a buffer whose contents were handed to
+// DecodeEnvelopeOwned — ownership moved to the decoded envelope.
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. Oversized
+// buffers are dropped so snapshot-carrying frames don't pin their
+// capacity forever.
+func PutBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}

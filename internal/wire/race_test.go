@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is on. Under -race,
+// sync.Pool deliberately drops items at random to widen race coverage,
+// so allocation counts on pooled paths are not meaningful.
+const raceEnabled = true

@@ -365,11 +365,15 @@ func (*Commit) Type() MsgType { return MsgCommit }
 // Confirm is the X-Paxos read confirmation (§3.4): upon receiving a read
 // request from a client, every non-leader replica sends a Confirm for that
 // read to the process that proposed the highest ballot it has accepted.
+// Reads that arrive at a backup in one burst coalesce into a single
+// Confirm carrying every read's key, so N concurrent reads cost one
+// confirm message per backup instead of N. Each key is still independent
+// per-read evidence: the confirm was sent after each listed read was
+// received, which is what the linearizability argument needs.
 type Confirm struct {
-	Bal    Ballot // highest ballot the sender has accepted
-	From   NodeID
-	Client NodeID // the read request being confirmed
-	Seq    uint64
+	Bal   Ballot // highest ballot the sender has accepted
+	From  NodeID
+	Reads []Key // the read requests being confirmed
 }
 
 func (*Confirm) Type() MsgType { return MsgConfirm }

@@ -156,7 +156,10 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&Accepted{Bal: Ballot{5, 2}, From: 2, OK: true, Instances: []uint64{88, 89, 91}},
 		&Accepted{Bal: Ballot{5, 2}, From: 2, OK: false, MaxProm: Ballot{9, 1}},
 		&Commit{Bal: Ballot{5, 2}, Index: 91},
-		&Confirm{Bal: Ballot{5, 2}, From: 1, Client: ClientIDBase + 3, Seq: 17},
+		&Confirm{Bal: Ballot{5, 2}, From: 1, Reads: []Key{{ClientIDBase + 3, 17}}},
+		&Confirm{Bal: Ballot{5, 2}, From: 1, Reads: []Key{
+			{ClientIDBase + 3, 17}, {ClientIDBase + 4, 2}, {ClientIDBase + 9, 1}}},
+		&Confirm{Bal: Ballot{5, 2}, From: 1},
 		&Heartbeat{From: 0, Epoch: 123, Leader: 0},
 		&CatchUpReq{From: 2, HaveChosen: 80},
 		&CatchUpResp{From: 0, Entries: []Entry{sampleEntry()}, Chosen: 91},
