@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos bench bench-quick microbench benchstat clean
+.PHONY: all tier1 race chaos bench bench-quick bench-durable-quick microbench benchstat clean
 
 all: tier1
 
@@ -26,16 +26,23 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/benchpaxos -exp all -quick
 
-# Hot-path microbenchmarks: wire codec + both transports, with allocs.
+# Scaled-down durable-mode run: fig5/fig6 over file-backed WALs with
+# group commit, plus the inline-fsync ablation baseline.
+bench-durable-quick:
+	$(GO) run ./cmd/benchpaxos -exp fig5,fig6 -quick -durable
+	$(GO) run ./cmd/benchpaxos -exp fig5,fig6 -quick -durable -nopersist -syncpolicy always
+
+# Hot-path microbenchmarks: wire codec, both transports, and the WAL
+# write path (per-record vs group commit), with allocs.
 microbench:
-	$(GO) test -run '^$$' -bench . -benchmem -count 1 ./internal/wire ./internal/transport
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 ./internal/wire ./internal/transport ./internal/storage
 
 # Compare current microbenchmarks against the checked-in baseline.
 # Fails when allocs/op regresses beyond 10%; run
 #   make microbench > bench_baseline.txt
 # to re-baseline after an intentional change.
 benchstat:
-	$(GO) test -run '^$$' -bench . -benchmem -count 1 ./internal/wire ./internal/transport > /tmp/bench_current.txt || (cat /tmp/bench_current.txt; exit 1)
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 ./internal/wire ./internal/transport ./internal/storage > /tmp/bench_current.txt || (cat /tmp/bench_current.txt; exit 1)
 	$(GO) run ./cmd/benchdiff bench_baseline.txt /tmp/bench_current.txt
 
 clean:

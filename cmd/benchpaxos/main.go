@@ -27,14 +27,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"gridrep/internal/bench"
 	"gridrep/internal/cluster"
 	"gridrep/internal/netem"
+	"gridrep/internal/storage"
 )
 
 var (
@@ -43,6 +46,16 @@ var (
 	jsonPath   = flag.String("json", "", "write machine-readable results to this file")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+
+	// Durable mode: every replica runs over a real storage.File WAL
+	// (Sync on) in a temp dir, so the numbers include the fsync path the
+	// in-memory default hides. -nopersist is the before-side of the
+	// group-commit comparison: per-record inline fsync on the event
+	// loop, the pre-durability-pipeline behavior.
+	durable    = flag.Bool("durable", false, "run over file-backed WALs (storage.File, Sync on) in a temp dir")
+	syncPolicy = flag.String("syncpolicy", "batch", "durable-mode sync policy: always|batch|interval")
+	syncEvery  = flag.Duration("syncinterval", 0, "durable-mode fsync interval for -syncpolicy interval (default 2ms)")
+	noPersist  = flag.Bool("nopersist", false, "durable-mode ablation: inline per-record fsync, no persister (the pre-group-commit baseline)")
 )
 
 // scale returns n, or a reduced count under -quick.
@@ -76,9 +89,46 @@ func rrtSamples() int {
 	return 400
 }
 
+var (
+	durableMu   sync.Mutex
+	durableRoot string
+	durableSeq  int
+)
+
+// clusterConfig assembles the shared cluster parameters, including the
+// -durable WAL directory (a fresh subdir per cluster, removed at exit).
+func clusterConfig(profile netem.Profile, n int) cluster.Config {
+	cfg := cluster.Config{N: n, Profile: profile, Seed: 1,
+		ClientDeadline: 120 * time.Second}
+	if !*durable {
+		return cfg
+	}
+	pol, err := storage.ParseSyncPolicy(*syncPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	durableMu.Lock()
+	if durableRoot == "" {
+		dir, err := os.MkdirTemp("", "benchpaxos-wal-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		durableRoot = dir
+	}
+	durableSeq++
+	cfg.DataDir = filepath.Join(durableRoot, fmt.Sprintf("c%03d", durableSeq))
+	durableMu.Unlock()
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	cfg.SyncPolicy = pol
+	cfg.SyncInterval = *syncEvery
+	cfg.NoPersist = *noPersist
+	return cfg
+}
+
 func newCluster(profile netem.Profile, n int) *cluster.Cluster {
-	c, err := cluster.New(cluster.Config{N: n, Profile: profile, Seed: 1,
-		ClientDeadline: 120 * time.Second})
+	c, err := cluster.New(clusterConfig(profile, n))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,6 +177,9 @@ type Report struct {
 	GeneratedAt string      `json:"generated_at"`
 	Quick       bool        `json:"quick"`
 	GoMaxProcs  int         `json:"gomaxprocs"`
+	Durable     bool        `json:"durable,omitempty"`
+	SyncPolicy  string      `json:"sync_policy,omitempty"`
+	NoPersist   bool        `json:"no_persist,omitempty"`
 	Experiments []ExpResult `json:"experiments"`
 }
 
@@ -177,6 +230,21 @@ func main() {
 	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	report.Quick = *quick
 	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	if *durable {
+		report.Durable = true
+		report.SyncPolicy = *syncPolicy
+		report.NoPersist = *noPersist
+		mode := "group commit, off-loop persister"
+		if *noPersist {
+			mode = "inline per-record fsync (baseline)"
+		}
+		fmt.Printf("durable mode: storage.File WALs, policy=%s, %s\n\n", *syncPolicy, mode)
+	}
+	defer func() {
+		if durableRoot != "" {
+			os.RemoveAll(durableRoot)
+		}
+	}()
 
 	found := false
 	for _, e := range exps {
@@ -386,10 +454,7 @@ func t2(res *ExpResult) {
 	res.Replicas = counts
 	fmt.Println("  replicas   original        read            write")
 	for _, nrep := range counts {
-		c, err := cluster.New(cluster.Config{
-			N: nrep, Seed: 1, ClientDeadline: 120 * time.Second,
-			Profile: wanProfileN(),
-		})
+		c, err := cluster.New(clusterConfig(wanProfileN(), nrep))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -30,6 +30,8 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated id=host:port list for all replicas")
 	svcName := flag.String("service", "kv", "service to replicate: kv, broker, sched, noop")
 	wal := flag.String("wal", "", "write-ahead log path (empty = in-memory storage)")
+	syncFlag := flag.String("sync", "batch", "WAL sync policy: always, batch, or interval")
+	syncEvery := flag.Duration("syncinterval", 0, "fsync period for -sync interval (default 2ms)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "RNG seed for nondeterministic services")
 	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
 	statsEvery := flag.Duration("stats", 0, "log transport counters at this interval (0 = off)")
@@ -83,11 +85,17 @@ func main() {
 	default:
 		log.Fatalf("replicad: unknown service %q", *svcName)
 	}
+	pol, err := gridrep.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		log.Fatalf("replicad: %v", err)
+	}
 	srv, err := gridrep.ListenAndServe(gridrep.ServerOptions{
 		ID:                gridrep.NodeID(*id),
 		Peers:             peers,
 		Service:           svc,
 		WALPath:           *wal,
+		SyncPolicy:        pol,
+		SyncEvery:         *syncEvery,
 		HeartbeatInterval: *hb,
 	})
 	if err != nil {

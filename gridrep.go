@@ -65,7 +65,26 @@ type (
 
 	// StateMode selects the §3.3 state-transfer reduction.
 	StateMode = core.StateMode
+
+	// SyncPolicy selects when a WAL-backed replica forces a group-commit
+	// batch to disk.
+	SyncPolicy = storage.SyncPolicy
 )
+
+// Sync policies for WAL-backed deployments. SyncBatch is the default:
+// one fsync per burst of critical records, the group-commit durable
+// path. SyncAlways fsyncs every flushed batch; SyncInterval bounds —
+// rather than eliminates — the loss window, trading the §3.1 recovery
+// guarantee for disk-independent throughput.
+const (
+	SyncBatch    = storage.SyncPolicyBatch
+	SyncAlways   = storage.SyncPolicyAlways
+	SyncInterval = storage.SyncPolicyInterval
+)
+
+// ParseSyncPolicy parses "always", "batch" or "interval" (the -sync flag
+// vocabulary of replicad and benchpaxos).
+var ParseSyncPolicy = storage.ParseSyncPolicy
 
 // State-transfer modes (§3.3). StateAuto picks the cheapest mode the
 // service supports.
@@ -149,6 +168,11 @@ type ClusterOptions struct {
 	// DataDir, when non-empty, gives each replica a file-backed
 	// write-ahead log under it; empty means in-memory stable storage.
 	DataDir string
+	// SyncPolicy governs group-commit fsyncs for DataDir-backed WALs
+	// (default SyncBatch); SyncEvery only applies to SyncInterval.
+	SyncPolicy SyncPolicy
+	// SyncEvery is the SyncInterval period (default 2ms).
+	SyncEvery time.Duration
 	// ClientDeadline bounds each client operation (default 30s).
 	ClientDeadline time.Duration
 	// StateMode selects how proposals carry service state (default
@@ -182,6 +206,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
+			st.SetPolicy(opts.SyncPolicy, opts.SyncEvery)
 			cfg.Stores[wire.NodeID(i)] = st
 		}
 	}

@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 	"log"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -34,6 +35,15 @@ type Config struct {
 	// Stores optionally provides stable storage per replica (default
 	// in-memory); retained across Crash/Restart.
 	Stores map[wire.NodeID]storage.Store
+	// DataDir, when set and no store is supplied for a replica, gives
+	// each replica a file-backed WAL at <DataDir>/replica-<id>.wal
+	// instead of the in-memory default.
+	DataDir string
+	// SyncPolicy and SyncInterval configure DataDir-created WALs (see
+	// storage.SyncPolicy; interval only applies to
+	// storage.SyncPolicyInterval).
+	SyncPolicy   storage.SyncPolicy
+	SyncInterval time.Duration
 
 	// HeartbeatInterval, ElectionTimeout, RetryTimeout override the
 	// replica timing; zero values derive sensible defaults from the
@@ -56,6 +66,10 @@ type Config struct {
 	// NoBatch forwards the core ablation knob: one request per accept
 	// wave.
 	NoBatch bool
+	// NoPersist forwards the core durability-pipeline ablation knob:
+	// file-backed stores write and fsync inline on the event loop, the
+	// pre-group-commit behavior.
+	NoPersist bool
 	// StateMode forwards the §3.3 state-transfer mode to every replica.
 	StateMode core.StateMode
 }
@@ -130,7 +144,16 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 	defer c.mu.Unlock()
 	st, ok := c.cfg.Stores[id]
 	if !ok {
-		st = storage.NewMem()
+		if c.cfg.DataDir != "" {
+			fs, err := storage.OpenFile(filepath.Join(c.cfg.DataDir, fmt.Sprintf("replica-%d.wal", id)))
+			if err != nil {
+				return err
+			}
+			fs.SetPolicy(c.cfg.SyncPolicy, c.cfg.SyncInterval)
+			st = fs
+		} else {
+			st = storage.NewMem()
+		}
 		c.cfg.Stores[id] = st
 	}
 	ep, err := c.Net.Endpoint(id)
@@ -147,6 +170,7 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 		ElectionTimeout:   c.cfg.ElectionTimeout,
 		RetryTimeout:      c.cfg.RetryTimeout,
 		NoBatch:           c.cfg.NoBatch,
+		NoPersist:         c.cfg.NoPersist,
 		StateMode:         c.cfg.StateMode,
 		Logger:            c.cfg.Logger,
 	})
@@ -259,6 +283,25 @@ func (c *Cluster) Restart(id wire.NodeID) error {
 	}
 	c.Net.Model().SetDown(id, false)
 	return c.startReplica(id)
+}
+
+// SetStore replaces a crashed replica's store before Restart. Crash
+// tests use it to model memory loss faithfully: the retained Store object
+// still holds staged (never-flushed) records in RAM, so a test reopens
+// the WAL file fresh and swaps it in, keeping only what a real restart
+// would replay from disk. The replica must not be running.
+func (c *Cluster) SetStore(id wire.NodeID, st storage.Store) {
+	c.mu.Lock()
+	c.cfg.Stores[id] = st
+	c.mu.Unlock()
+}
+
+// Store returns the stable storage currently assigned to a replica.
+func (c *Cluster) Store(id wire.NodeID) (storage.Store, bool) {
+	c.mu.Lock()
+	st, ok := c.cfg.Stores[id]
+	c.mu.Unlock()
+	return st, ok
 }
 
 // SuspectLeader forces every replica's Ω module to distrust the current

@@ -23,7 +23,9 @@ func (r *Replica) onPrepare(from wire.NodeID, m *wire.Prepare) {
 		return
 	}
 	p.From = r.cfg.ID
-	r.send(from, p)
+	// The promise claims durable acceptor state; it leaves only after
+	// the staged record is flushed.
+	r.sendDurable(from, p)
 }
 
 // onAccept answers a phase-2a message. The accepted entries are persisted
@@ -44,7 +46,11 @@ func (r *Replica) onAccept(from wire.NodeID, m *wire.Accept) {
 		return
 	}
 	acked.From = r.cfg.ID
-	r.send(from, acked)
+	// The phase-2b vote is the message §3.3's durability argument is
+	// about: it must not leave before the accepted entries are on disk.
+	// Deferring it through the persister overlaps the fsync with the
+	// leader-side network round trip instead of serializing them.
+	r.sendDurable(from, acked)
 	if !acked.OK {
 		return
 	}

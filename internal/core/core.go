@@ -32,6 +32,7 @@ package core
 import (
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"gridrep/internal/omega"
@@ -143,6 +144,11 @@ type Config struct {
 	// paper's own recovery path sends multi-instance accepts, and
 	// batching is what lets write throughput scale in Figure 5.
 	NoBatch bool
+	// NoPersist disables the durability pipeline (ablation knob): even
+	// when Store implements storage.Flusher, mutations are written and
+	// fsynced inline on the event loop and dependent sends go out
+	// immediately — the pre-group-commit behavior. Default off.
+	NoPersist bool
 	// StateMode selects the state-transfer reduction of §3.3.
 	StateMode StateMode
 
@@ -247,10 +253,21 @@ type Replica struct {
 
 	lastCompact uint64
 
-	stop   chan struct{}
-	done   chan struct{}
-	ctl    chan func()
-	health chan peerHealth
+	// Durability pipeline (persist.go): non-nil persist means the store
+	// buffers records and the persister goroutine owns Flush. deferEnvs
+	// and deferFns accumulate one burst's post-durability work; persisted
+	// carries completion closures back from the persister.
+	persist   *persister
+	persisted chan []func()
+	deferEnvs []*wire.Envelope
+	deferFns  []func()
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	downOnce sync.Once
+	done     chan struct{}
+	ctl      chan func()
+	health   chan peerHealth
 }
 
 // peerHealth is a transport-level link transition for one peer, reported
@@ -327,6 +344,16 @@ func New(cfg Config) (*Replica, error) {
 	if !r.commitFlush.Stop() {
 		<-r.commitFlush.C
 	}
+	if fl, ok := cfg.Store.(storage.Flusher); ok && !cfg.NoPersist {
+		// The store supports group commit: stage mutations on the loop,
+		// flush them from the persister goroutine, and route dependent
+		// sends through it (persist.go has the ordering contract).
+		fl.SetBuffered(true)
+		r.persisted = make(chan []func(), 64)
+		r.persist = newPersister(fl, cfg.Transport, r.persisted, func(err error) {
+			r.fatalOffLoop("persist flush: %v", err)
+		})
+	}
 	if hr, ok := cfg.Transport.(transport.HealthReporter); ok {
 		// Feed socket-level peer health into the event loop; leader
 		// election then reacts to real connection death (§3.6 leader
@@ -356,19 +383,27 @@ func New(cfg Config) (*Replica, error) {
 	return r, nil
 }
 
-// Start launches the event loop.
-func (r *Replica) Start() { go r.run() }
-
-// Stop terminates the event loop and closes the transport endpoint.
-func (r *Replica) Stop() {
-	select {
-	case <-r.stop:
-		return // already stopped
-	default:
+// Start launches the event loop (and the persister, if any).
+func (r *Replica) Start() {
+	if r.persist != nil {
+		r.persist.start()
 	}
-	close(r.stop)
+	go r.run()
+}
+
+// Stop terminates the event loop, the persister, and the transport
+// endpoint. Staged records that were never flushed are dropped — a
+// deliberate crash model: an acknowledged write is durable on a quorum,
+// never on the goodwill of one replica's shutdown path.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
 	<-r.done
-	r.tr.Close()
+	r.downOnce.Do(func() {
+		if r.persist != nil {
+			r.persist.stop()
+		}
+		r.tr.Close()
+	})
 }
 
 // Inspect runs f on the replica's event loop and waits for it; tests and
@@ -456,11 +491,17 @@ func (r *Replica) run() {
 	defer r.commitFlush.Stop()
 	r.tick(time.Now())
 	for {
+		// Whatever the previous iteration staged or deferred becomes one
+		// persister job before the loop blocks again (a no-op without a
+		// persister, or when nothing is pending).
+		r.submitPersist()
 		select {
 		case <-r.stop:
 			return
 		case f := <-r.ctl:
 			f()
+		case fns := <-r.persisted:
+			r.runPersisted(fns)
 		case env, ok := <-r.tr.Recv():
 			if !ok {
 				return
@@ -468,8 +509,9 @@ func (r *Replica) run() {
 			r.handle(env)
 			// Opportunistically drain the burst that arrived with this
 			// envelope before selecting again: the batch is the natural
-			// coalescing window for read confirms, and it keeps a loaded
-			// replica from interleaving timer work between every message.
+			// coalescing window for read confirms — and for the group
+			// commit below — and it keeps a loaded replica from
+			// interleaving timer work between every message.
 			for i := 0; i < burstDrainMax; i++ {
 				var more *wire.Envelope
 				select {
@@ -491,6 +533,64 @@ func (r *Replica) run() {
 			r.flushCommit()
 		case now := <-ticker.C:
 			r.tick(now)
+		}
+	}
+}
+
+// sendDurable routes a message that claims durable acceptor state — a
+// Promise, an Accepted, a Confirm — through the persister, so it leaves
+// only after the staged records backing the claim are flushed. Without a
+// persister the inline store already made them durable; send now.
+func (r *Replica) sendDurable(to wire.NodeID, msg wire.Message) {
+	if r.persist != nil {
+		r.deferEnvs = append(r.deferEnvs, &wire.Envelope{To: to, Msg: msg})
+		return
+	}
+	r.send(to, msg)
+}
+
+// deferLoop schedules fn to run on the event loop once every record
+// staged so far is durable; without a persister it runs immediately. The
+// leader's own quorum votes go through here.
+func (r *Replica) deferLoop(fn func()) {
+	if r.persist != nil {
+		r.deferFns = append(r.deferFns, fn)
+		return
+	}
+	fn()
+}
+
+// runPersisted executes post-durability closures on the event loop.
+func (r *Replica) runPersisted(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// submitPersist packages the burst's deferred sends and closures — plus
+// any staged records with no dependent send, which still need a flush —
+// into one persister job. The submit select keeps draining completions so
+// the loop and the persister can never deadlock on each other; closures
+// run mid-submit may defer more work, which the outer loop picks up.
+func (r *Replica) submitPersist() {
+	if r.persist == nil {
+		return
+	}
+	needFlush := r.persist.fl.Staged()
+	for needFlush || len(r.deferEnvs) > 0 || len(r.deferFns) > 0 {
+		needFlush = false // one flush-only job per call is enough
+		job := persistJob{envs: r.deferEnvs, fns: r.deferFns}
+		r.deferEnvs, r.deferFns = nil, nil
+	submit:
+		for {
+			select {
+			case r.persist.jobs <- job:
+				break submit
+			case fns := <-r.persisted:
+				r.runPersisted(fns)
+			case <-r.stop:
+				return
+			}
 		}
 	}
 }
@@ -623,16 +723,26 @@ func (r *Replica) startPrepare(now time.Time) {
 	r.prepSentAt = now
 	r.logf("prepare %v after=%d", r.bal, r.acc.Chosen())
 
-	// Self-promise first, then one message to everyone else (§3.3).
+	// Self-promise first, then one message to everyone else (§3.3). The
+	// broadcast claims nothing about local durable state and goes out
+	// immediately; the self-vote counts toward the quorum only once the
+	// staged promise record is flushed (deferLoop), guarded against the
+	// round having moved on by the time the closure runs.
 	p, err := r.acc.OnPrepare(&wire.Prepare{Bal: r.bal, After: r.acc.Chosen()})
 	if err != nil {
 		r.fatal("self-prepare: %v", err)
 		return
 	}
 	r.othersDo(&wire.Prepare{Bal: r.bal, After: r.acc.Chosen()})
-	if done, _ := r.prep.Add(p, r.cfg.ID); done {
-		r.onPrepared()
-	}
+	prep := r.prep
+	r.deferLoop(func() {
+		if r.prep != prep || r.role != RolePreparing {
+			return
+		}
+		if done, _ := prep.Add(p, r.cfg.ID); done {
+			r.onPrepared()
+		}
+	})
 }
 
 // stepDown returns to the backup role, rolling back every speculative
@@ -688,11 +798,18 @@ func (r *Replica) stepDown() {
 // replica stops participating, which the protocol tolerates as a crash.
 func (r *Replica) fatal(format string, args ...interface{}) {
 	r.logf("FATAL: "+format, args...)
-	select {
-	case <-r.stop:
-	default:
-		close(r.stop)
+	r.stopOnce.Do(func() { close(r.stop) })
+}
+
+// fatalOffLoop is fatal for goroutines other than the event loop (the
+// persister); it touches no loop-confined state — not even the role that
+// logf would format.
+func (r *Replica) fatalOffLoop(format string, args ...interface{}) {
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Printf("replica %v [persister]: FATAL: "+format,
+			append([]interface{}{r.cfg.ID}, args...)...)
 	}
+	r.stopOnce.Do(func() { close(r.stop) })
 }
 
 func (r *Replica) reply(req wire.Request, status wire.ReplyStatus, result []byte, errStr string) {

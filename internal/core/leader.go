@@ -234,9 +234,20 @@ func (r *Replica) launchWave(w *wave) {
 	// The accept's Commit field just told every backup about all chosen
 	// instances; any deferred commit notification rode along for free.
 	r.pendingCommit = false
-	if done, _ := w.round.Add(acked, r.cfg.ID); done {
-		r.commitWave()
-	}
+	// The leader's own vote joins the quorum only once the staged accept
+	// record is durable. The backups' votes arrive already durable, so a
+	// quorum of backups can commit the wave before the local fsync
+	// finishes — the leader's disk overlaps the network round trip. The
+	// closure guards against the wave having committed or been rolled
+	// back by then.
+	r.deferLoop(func() {
+		if r.wave != w || r.role != RoleLeading {
+			return
+		}
+		if done, _ := w.round.Add(acked, r.cfg.ID); done {
+			r.commitWave()
+		}
+	})
 }
 
 // onAccepted folds a phase-2b vote into the in-flight wave.
@@ -384,7 +395,10 @@ func (r *Replica) flushConfirms() {
 	if target == r.cfg.ID {
 		return // we believe we lead but are not active; client will retry
 	}
-	r.send(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys})
+	// A confirm asserts this replica's promise/accept horizon; if that
+	// ballot's promise is still staged, sending now would let a §3.4 read
+	// majority count a vote the disk could forget. Durable-gate it.
+	r.sendDurable(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys})
 }
 
 // registerRead starts X-Paxos coordination for a read at the leader: the

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"gridrep/internal/storage"
+	"gridrep/internal/transport"
+	"gridrep/internal/wire"
+	"sync"
+)
+
+// The durability pipeline (DESIGN.md §9).
+//
+// When the replica's Store implements storage.Flusher, the event loop
+// never waits on disk: acceptor mutations stage into the store's group-
+// commit buffer, and at the end of every loop iteration submitPersist
+// hands the persister goroutine one job — the burst's deferred protocol
+// sends plus any on-loop completion closures. The persister drains all
+// queued jobs, calls Flush once for the lot (group commit), then performs
+// the jobs' sends itself (transports are safe for concurrent senders) and
+// ships the closures back to the event loop. The ordering contract:
+//
+//   - A message that claims durable acceptor state — a Promise, an
+//     Accepted, an X-Paxos Confirm — is deferred via sendDurable and
+//     leaves only after the Flush covering the staged records returns.
+//   - The leader's own phase-1b/2b votes count toward quorum only via
+//     deferred closures (deferLoop), so commit — and therefore the client
+//     reply — implies a quorum of durable votes. Backups' votes arrive
+//     already durable, so a commit can complete before the leader's own
+//     fsync does: the leader's disk overlaps the network round trip.
+//   - Everything else (Prepare/Accept broadcasts, Commit notifications,
+//     heartbeats, catch-up traffic, client replies) claims nothing about
+//     local durable state and is sent immediately from the loop.
+//
+// Jobs from one replica are flushed and dispatched strictly in submission
+// order, preserving the per-link FIFO the protocol's retransmission logic
+// assumes. A Flush failure poisons the store; the persister then
+// fail-stops the replica, same as an inline storage failure would.
+
+// persistJob is one event-loop burst's deferred work: envelopes to send
+// and closures to run on the loop, both only after the staged records are
+// durable.
+type persistJob struct {
+	envs []*wire.Envelope
+	fns  []func()
+}
+
+// persister owns a replica's WAL flushes and post-durability dispatch.
+type persister struct {
+	fl      storage.Flusher
+	tr      transport.Transport
+	jobs    chan persistJob
+	deliver chan []func() // completion closures back to the event loop
+	fail    func(error)   // fatal hook (safe off-loop)
+	quit    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+func newPersister(fl storage.Flusher, tr transport.Transport, deliver chan []func(), fail func(error)) *persister {
+	return &persister{
+		fl:      fl,
+		tr:      tr,
+		jobs:    make(chan persistJob, 128),
+		deliver: deliver,
+		fail:    fail,
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+func (p *persister) start() { go p.run() }
+
+// stop terminates the persister without a final flush: staged records die
+// with the process, the same crash the protocol already tolerates (an
+// acknowledged write is durable on a quorum, not on any one replica).
+func (p *persister) stop() {
+	p.once.Do(func() { close(p.quit) })
+	<-p.done
+}
+
+func (p *persister) run() {
+	defer close(p.done)
+	var batch []persistJob
+	for {
+		batch = batch[:0]
+		select {
+		case <-p.quit:
+			return
+		case j := <-p.jobs:
+			batch = append(batch, j)
+		}
+		// Coalesce every job already queued: one Flush covers them all.
+	drain:
+		for {
+			select {
+			case j := <-p.jobs:
+				batch = append(batch, j)
+			default:
+				break drain
+			}
+		}
+		if err := p.fl.Flush(); err != nil {
+			p.fail(err)
+			return
+		}
+		var fns []func()
+		for _, j := range batch {
+			for _, env := range j.envs {
+				p.tr.Send(env)
+			}
+			fns = append(fns, j.fns...)
+		}
+		if len(fns) > 0 {
+			select {
+			case p.deliver <- fns:
+			case <-p.quit:
+				return
+			}
+		}
+	}
+}

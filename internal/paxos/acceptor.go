@@ -45,20 +45,13 @@ func (a *Acceptor) Chosen() uint64 { return a.st.Chosen }
 
 // Get returns the accepted proposal for an instance, if any.
 func (a *Acceptor) Get(inst uint64) (wire.Entry, bool) {
-	e, ok := a.st.Accepted[inst]
-	return e, ok
+	return a.st.Accepted.Get(inst)
 }
 
 // MaxInstance returns the highest instance with an accepted proposal, or
 // 0 when none exists.
 func (a *Acceptor) MaxInstance() uint64 {
-	var max uint64
-	for inst := range a.st.Accepted {
-		if inst > max {
-			max = inst
-		}
-	}
-	return max
+	return a.st.Accepted.Max()
 }
 
 // OnPrepare handles a phase-1a message and returns the promise to send
@@ -90,16 +83,15 @@ func (a *Acceptor) OnPrepare(p *wire.Prepare) (*wire.Promise, error) {
 func (a *Acceptor) entriesFor(after uint64, gaps []uint64) []wire.Entry {
 	var out []wire.Entry
 	for _, g := range gaps {
-		if e, ok := a.st.Accepted[g]; ok {
-			out = append(out, e)
-		}
-	}
-	for inst, e := range a.st.Accepted {
-		if inst > after {
+		if e, ok := a.st.Accepted.Get(g); ok && g <= after {
 			out = append(out, e)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	a.st.Accepted.Ascend(after, 0, func(e wire.Entry) bool {
+		out = append(out, e)
+		return true
+	})
 	stripIntermediateFullStates(out)
 	return out
 }
@@ -142,7 +134,7 @@ func (a *Acceptor) OnAccept(ac *wire.Accept) (*wire.Accepted, error) {
 		return nil, err
 	}
 	for _, e := range stamped {
-		a.st.Accepted[e.Instance] = e
+		a.st.Accepted.Put(e)
 	}
 	if a.st.MaxAccepted.Less(ac.Bal) {
 		a.st.MaxAccepted = ac.Bal
@@ -168,13 +160,7 @@ func (a *Acceptor) Compact(keepStateFrom uint64) error {
 	if err := a.store.Compact(keepStateFrom); err != nil {
 		return err
 	}
-	for inst, e := range a.st.Accepted {
-		if inst < keepStateFrom && e.Prop.HasState {
-			e.Prop.HasState = false
-			e.Prop.State = nil
-			a.st.Accepted[inst] = e
-		}
-	}
+	a.st.Accepted.StripStatesBelow(keepStateFrom)
 	return nil
 }
 
@@ -183,12 +169,10 @@ func (a *Acceptor) Compact(keepStateFrom uint64) error {
 // final entry, matching the §3.3 convention.
 func (a *Acceptor) EntriesBetween(lo, hi uint64) []wire.Entry {
 	var out []wire.Entry
-	for inst, e := range a.st.Accepted {
-		if inst > lo && inst <= hi {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	a.st.Accepted.Ascend(lo, hi, func(e wire.Entry) bool {
+		out = append(out, e)
+		return true
+	})
 	stripIntermediateFullStates(out)
 	return out
 }
@@ -209,7 +193,7 @@ func (a *Acceptor) Install(entries []wire.Entry, chosen uint64) error {
 			return err
 		}
 		for _, e := range entries {
-			a.st.Accepted[e.Instance] = e
+			a.st.Accepted.Put(e)
 		}
 		if a.st.MaxAccepted.Less(maxBal) {
 			a.st.MaxAccepted = maxBal

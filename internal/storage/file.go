@@ -7,35 +7,139 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"gridrep/internal/wire"
 )
 
+// SyncPolicy selects when a buffered File forces its batch to disk.
+type SyncPolicy int
+
+const (
+	// SyncPolicyBatch (the default, and the zero value so zero-valued
+	// configs inherit it) fsyncs a batch only when it contains a
+	// critical record — a promise or an accepted proposal. Chosen and
+	// compaction records are written immediately but ride the next
+	// critical batch's fsync: losing them in a crash is safe, because the
+	// commit index is re-learned from the quorum (heartbeats, the next
+	// accept's Commit field, or catch-up).
+	SyncPolicyBatch SyncPolicy = iota
+	// SyncPolicyAlways fsyncs every flushed batch, even one that only
+	// carries chosen-index or compaction records.
+	SyncPolicyAlways
+	// SyncPolicyInterval fsyncs at most once per configured interval.
+	// This bounds — rather than eliminates — the window in which an
+	// acknowledged record can be lost, so it weakens the §3.1 recovery
+	// guarantee; it models deployments that accept a bounded loss window
+	// in exchange for disk-independent throughput.
+	SyncPolicyInterval
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncPolicyAlways:
+		return "always"
+	case SyncPolicyBatch:
+		return "batch"
+	case SyncPolicyInterval:
+		return "interval"
+	default:
+		return fmt.Sprintf("syncpolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -sync flag values used by replicad and
+// benchpaxos.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncPolicyAlways, nil
+	case "batch", "":
+		return SyncPolicyBatch, nil
+	case "interval":
+		return SyncPolicyInterval, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown sync policy %q (want always|batch|interval)", s)
+	}
+}
+
+// FileStats is a point-in-time snapshot of a File's I/O counters.
+type FileStats struct {
+	// Records appended (staged or written through).
+	Records uint64
+	// Batches flushed by group commit and the bytes they carried.
+	Batches    uint64
+	BatchBytes uint64
+	// Syncs actually issued to the device.
+	Syncs uint64
+	// Rewrites completed and rewrite attempts that failed.
+	Rewrites    uint64
+	RewriteErrs uint64
+}
+
 // File is an append-only write-ahead log implementing Store. Every
 // mutation is one CRC-protected record; Load replays the log and stops at
 // the first torn or corrupt record (the tail a crash may have produced).
-// When the log grows past rewriteAt bytes, Compact rewrites it as a single
+// When the log grows past rewriteAt bytes, it is rewritten as a single
 // snapshot record.
+//
+// File has two write modes. Unbuffered (the default, and the only mode
+// before the durability pipeline existed) writes and — when Sync is set —
+// fsyncs each record inline, on the caller's goroutine. Buffered mode
+// (SetBuffered; see Flusher) stages the records of one event-loop burst
+// in memory and makes them durable together at the next Flush: one write
+// into a preallocated region, one fdatasync, governed by the SyncPolicy.
+// In buffered mode a mutation is NOT durable when the method returns; the
+// replica's persister goroutine calls Flush before releasing any protocol
+// message that claims the staged state.
 type File struct {
-	path  string
-	f     *os.File
-	state *PersistentState // mirror of the durable state
-	size  int64
+	path string
 
-	// Sync controls whether each record is fsynced. Benchmarks may turn
-	// it off to model battery-backed stable storage; correctness tests
-	// leave it on.
+	// Sync controls whether records are fsynced at all. Benchmarks may
+	// turn it off to model battery-backed stable storage; correctness
+	// tests leave it on.
 	Sync bool
+
+	// policy and syncEvery govern buffered flushes only; unbuffered
+	// writes always sync per record (when Sync is set).
+	policy    SyncPolicy
+	syncEvery time.Duration
 
 	rewriteAt int64
 
-	// failed poisons the store after the first append failure. A record
-	// that may be partially on disk leaves the log in an unknown state;
-	// continuing would let the replica promise or accept on storage that
-	// cannot honour it. Fail-stop instead: every later call returns the
-	// original error, and the replica is expected to crash and recover by
-	// replaying the intact prefix.
+	// mu guards the in-memory mirror, the staging buffer, and the poison
+	// flag. It is never held across file I/O.
+	mu         sync.Mutex
+	state      *PersistentState // mirror of the (durable + staged) state
+	buffered   bool
+	staged     []byte        // framed records awaiting the next Flush
+	stagedCrit bool          // staged batch holds a promise/accepted record
+	spare      []byte        // previously flushed buffer, recycled
+	scratch    *wire.Encoder // reusable record encoder; see encScratch
+
+	// failed poisons the store after the first write or sync failure. A
+	// record that may be partially on disk leaves the log in an unknown
+	// state; continuing would let the replica promise or accept on
+	// storage that cannot honour it. Fail-stop instead: every later call
+	// returns the original error, and the replica is expected to crash
+	// and recover by replaying the intact prefix.
 	failed error
+
+	// wmu serializes file writes, syncs, and the rewrite swap.
+	wmu       sync.Mutex
+	f         *os.File
+	size      int64 // logical end of the log
+	allocEnd  int64 // preallocated extent; size <= allocEnd
+	dirty     bool  // bytes written since the last sync
+	dirtyCrit bool  // ... including a critical record
+	lastSync  time.Time
+	rewriting bool           // a background rewrite is in flight
+	tail      []byte         // records flushed while the rewrite snapshot was built
+	rewriteWG sync.WaitGroup // joins the rewrite goroutine on Close
+
+	records, batches, batchBytes, syncs, rewrites, rewriteErrs atomic.Uint64
 }
 
 // Record types in the WAL.
@@ -47,13 +151,27 @@ const (
 	recSnapshot = 5
 )
 
+// preallocChunk is how far ahead of the logical end the file extent is
+// reserved, so batched appends change no allocation metadata and
+// fdatasync stays a pure data flush.
+const preallocChunk = 1 << 20
+
 // OpenFile opens (or creates) a WAL at path and replays it.
 func OpenFile(path string) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	st := &File{path: path, f: f, state: NewPersistentState(), Sync: true, rewriteAt: 8 << 20}
+	st := &File{
+		path:      path,
+		f:         f,
+		state:     NewPersistentState(),
+		scratch:   wire.NewEncoder(nil),
+		Sync:      true,
+		policy:    SyncPolicyBatch,
+		syncEvery: 2 * time.Millisecond,
+		rewriteAt: 8 << 20,
+	}
 	if err := st.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -61,9 +179,53 @@ func OpenFile(path string) (*File, error) {
 	return st, nil
 }
 
-var _ Store = (*File)(nil)
+var (
+	_ Store   = (*File)(nil)
+	_ Flusher = (*File)(nil)
+)
 
-// replay loads every intact record; a torn tail is truncated away.
+// SetPolicy selects the buffered-mode sync policy. every is only used by
+// SyncPolicyInterval (default 2ms). Call before the store is shared.
+func (s *File) SetPolicy(p SyncPolicy, every time.Duration) {
+	s.policy = p
+	if every > 0 {
+		s.syncEvery = every
+	}
+}
+
+// Policy returns the buffered-mode sync policy.
+func (s *File) Policy() SyncPolicy { return s.policy }
+
+// SetBuffered implements Flusher. Turning buffering off with records
+// staged is the caller's bug; Flush first.
+func (s *File) SetBuffered(on bool) {
+	s.mu.Lock()
+	s.buffered = on
+	s.mu.Unlock()
+}
+
+// Staged implements Flusher.
+func (s *File) Staged() bool {
+	s.mu.Lock()
+	n := len(s.staged)
+	s.mu.Unlock()
+	return n > 0
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *File) Stats() FileStats {
+	return FileStats{
+		Records:     s.records.Load(),
+		Batches:     s.batches.Load(),
+		BatchBytes:  s.batchBytes.Load(),
+		Syncs:       s.syncs.Load(),
+		Rewrites:    s.rewrites.Load(),
+		RewriteErrs: s.rewriteErrs.Load(),
+	}
+}
+
+// replay loads every intact record; a torn tail (including the zero bytes
+// of a preallocated extent) is truncated away.
 func (s *File) replay() error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return err
@@ -96,6 +258,7 @@ func (s *File) replay() error {
 		}
 	}
 	s.size = int64(good)
+	s.allocEnd = s.size
 	_, err = s.f.Seek(int64(good), io.SeekStart)
 	return err
 }
@@ -158,7 +321,7 @@ func (s *File) applyRecord(body []byte) error {
 				return err
 			}
 			for _, e := range acc.Entries {
-				st.Accepted[e.Instance] = e
+				st.Accepted.Put(e)
 			}
 		}
 		if err := dec.Done(); err != nil {
@@ -172,52 +335,172 @@ func (s *File) applyRecord(body []byte) error {
 }
 
 func (s *File) compactInMemory(keepStateFrom uint64) {
-	for inst, e := range s.state.Accepted {
-		if inst < keepStateFrom && e.Prop.HasState {
-			e.Prop.HasState = false
-			e.Prop.State = nil
-			s.state.Accepted[inst] = e
-		}
-	}
+	s.state.Accepted.StripStatesBelow(keepStateFrom)
 }
 
-// poison records the first append failure and makes it sticky.
+// poison records the first write failure and makes it sticky.
 func (s *File) poison(err error) error {
+	s.mu.Lock()
 	if s.failed == nil {
 		s.failed = fmt.Errorf("storage: WAL poisoned by failed append: %w", err)
 	}
-	return s.failed
+	err = s.failed
+	s.mu.Unlock()
+	return err
 }
 
-// append writes one framed, checksummed record. Any failure poisons the
-// store: the record may be partially written, so nothing durable can be
-// promised afterwards.
-func (s *File) append(body []byte) error {
-	if s.failed != nil {
-		return s.failed
-	}
+// appendFrame appends one length-prefixed, checksummed record frame to
+// dst.
+func appendFrame(dst, body []byte) []byte {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	dst = append(dst, hdr[:n]...)
+	dst = append(dst, body...)
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body))
-	rec := make([]byte, 0, n+len(body)+4)
-	rec = append(rec, hdr[:n]...)
-	rec = append(rec, body...)
-	rec = append(rec, sum[:]...)
-	if _, err := s.f.Write(rec); err != nil {
+	return append(dst, sum[:]...)
+}
+
+// encScratch resets and returns the shared record encoder. Mutations all
+// run on the replica's event loop, one at a time, and both stage and
+// writeRecord copy the encoded bytes out before returning, so one
+// buffer serves every record without a per-mutation allocation.
+func (s *File) encScratch() *wire.Encoder {
+	s.scratch.Reset()
+	return s.scratch
+}
+
+// stage buffers one record for the next Flush. Caller holds mu.
+func (s *File) stage(body []byte, critical bool) {
+	s.staged = appendFrame(s.staged, body)
+	if critical {
+		s.stagedCrit = true
+	}
+	s.records.Add(1)
+}
+
+// writeRecord writes one framed record through to the file and — when
+// Sync is set — fsyncs it, exactly the pre-group-commit semantics. Any
+// failure poisons the store.
+func (s *File) writeRecord(body []byte) error {
+	rec := appendFrame(nil, body)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
 		return s.poison(err)
 	}
 	s.size += int64(len(rec))
+	if s.rewriting {
+		s.tail = append(s.tail, rec...)
+	}
+	s.records.Add(1)
 	if s.Sync {
 		if err := s.f.Sync(); err != nil {
 			return s.poison(err)
 		}
+		s.syncs.Add(1)
+		s.lastSync = time.Now()
+	} else {
+		s.dirty = true
 	}
 	return nil
 }
 
-// Load implements Store.
+// Flush implements Flusher: it writes every staged record as one batch
+// into the preallocated extent and syncs it per the policy. A failed
+// write or sync poisons the store — the whole batch is in an unknown
+// state on disk, so the fail-stop contract is per batch. Safe to call
+// concurrently with staging; records staged after Flush reads the buffer
+// wait for the next Flush.
+func (s *File) Flush() error {
+	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	batch := s.staged
+	crit := s.stagedCrit
+	s.staged = s.spare[:0]
+	s.spare = nil
+	s.stagedCrit = false
+	s.mu.Unlock()
+
+	s.wmu.Lock()
+	if len(batch) > 0 {
+		if err := s.preallocLocked(s.size + int64(len(batch))); err != nil {
+			s.wmu.Unlock()
+			return s.poison(err)
+		}
+		if _, err := s.f.WriteAt(batch, s.size); err != nil {
+			s.wmu.Unlock()
+			return s.poison(err)
+		}
+		s.size += int64(len(batch))
+		if s.rewriting {
+			s.tail = append(s.tail, batch...)
+		}
+		s.dirty = true
+		s.dirtyCrit = s.dirtyCrit || crit
+		s.batches.Add(1)
+		s.batchBytes.Add(uint64(len(batch)))
+	}
+	if s.shouldSyncLocked() {
+		if err := fdatasync(s.f); err != nil {
+			s.wmu.Unlock()
+			return s.poison(err)
+		}
+		s.dirty, s.dirtyCrit = false, false
+		s.lastSync = time.Now()
+		s.syncs.Add(1)
+	}
+	s.maybeRewriteLocked()
+	s.wmu.Unlock()
+
+	// Recycle the flushed buffer for the next burst.
+	s.mu.Lock()
+	if s.spare == nil {
+		s.spare = batch[:0]
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// shouldSyncLocked decides whether this flush forces the batch to the
+// device. Caller holds wmu.
+func (s *File) shouldSyncLocked() bool {
+	if !s.Sync || !s.dirty {
+		return false
+	}
+	switch s.policy {
+	case SyncPolicyBatch:
+		return s.dirtyCrit
+	case SyncPolicyInterval:
+		return time.Since(s.lastSync) >= s.syncEvery
+	default:
+		return true
+	}
+}
+
+// preallocLocked extends the reserved extent ahead of need. Caller holds
+// wmu.
+func (s *File) preallocLocked(need int64) error {
+	if need <= s.allocEnd {
+		return nil
+	}
+	end := need + preallocChunk
+	if err := preallocExtend(s.f, s.allocEnd, end-s.allocEnd); err != nil {
+		return err
+	}
+	s.allocEnd = end
+	return nil
+}
+
+// Load implements Store. In buffered mode the returned state includes
+// staged (not yet durable) mutations — the event loop's own view.
 func (s *File) Load() (*PersistentState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.failed != nil {
 		return nil, s.failed
 	}
@@ -226,122 +509,286 @@ func (s *File) Load() (*PersistentState, error) {
 
 // SetPromised implements Store.
 func (s *File) SetPromised(b wire.Ballot) error {
+	s.mu.Lock()
 	if s.failed != nil {
-		return s.failed
-	}
-	if !s.state.Promised.Less(b) {
-		return nil
-	}
-	enc := wire.NewEncoder(nil)
-	enc.Uint8(recPromise)
-	enc.Ballot(b)
-	if err := s.append(enc.Bytes()); err != nil {
+		err := s.failed
+		s.mu.Unlock()
 		return err
 	}
+	if !s.state.Promised.Less(b) {
+		s.mu.Unlock()
+		return nil
+	}
+	enc := s.encScratch()
+	enc.Uint8(recPromise)
+	enc.Ballot(b)
+	if s.buffered {
+		s.stage(enc.Bytes(), true)
+		s.state.Promised = b
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.writeRecord(enc.Bytes()); err != nil {
+		return err
+	}
+	s.mu.Lock()
 	s.state.Promised = b
+	s.mu.Unlock()
 	return nil
 }
 
 // PutAccepted implements Store. The entries are encoded by reusing the
 // Accept message marshaller.
 func (s *File) PutAccepted(entries []wire.Entry, maxAccepted wire.Ballot) error {
+	s.mu.Lock()
 	if s.failed != nil {
-		return s.failed
+		err := s.failed
+		s.mu.Unlock()
+		return err
 	}
-	enc := wire.NewEncoder(nil)
+	enc := s.encScratch()
 	enc.Uint8(recAccepted)
 	enc.Ballot(maxAccepted)
 	enc.Uvarint(1)
 	acc := wire.Accept{Entries: entries}
 	acc.MarshalTo(enc)
-	if err := s.append(enc.Bytes()); err != nil {
-		return err
-	}
-	s.state.putAccepted(entries, maxAccepted)
-	return nil
-}
-
-// SetChosen implements Store.
-func (s *File) SetChosen(idx uint64) error {
-	if s.failed != nil {
-		return s.failed
-	}
-	if idx <= s.state.Chosen {
+	if s.buffered {
+		s.stage(enc.Bytes(), true)
+		s.state.putAccepted(entries, maxAccepted)
+		s.mu.Unlock()
 		return nil
 	}
-	enc := wire.NewEncoder(nil)
+	s.mu.Unlock()
+	if err := s.writeRecord(enc.Bytes()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.state.putAccepted(entries, maxAccepted)
+	s.mu.Unlock()
+	return nil
+}
+
+// SetChosen implements Store. Chosen records are non-critical: in
+// buffered mode they never force a sync of their own (see
+// SyncPolicyBatch).
+func (s *File) SetChosen(idx uint64) error {
+	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	if idx <= s.state.Chosen {
+		s.mu.Unlock()
+		return nil
+	}
+	enc := s.encScratch()
 	enc.Uint8(recChosen)
 	enc.Uvarint(idx)
-	if err := s.append(enc.Bytes()); err != nil {
+	if s.buffered {
+		s.stage(enc.Bytes(), false)
+		s.state.Chosen = idx
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.writeRecord(enc.Bytes()); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.state.Chosen = idx
+	s.mu.Unlock()
 	return nil
 }
 
-// Compact implements Store. Past the rewrite threshold it folds the whole
-// state into one snapshot record in a fresh file.
+// Compact implements Store. Past the rewrite threshold the whole state is
+// folded into one snapshot record in a fresh file — synchronously in
+// unbuffered mode, in the background in buffered mode (triggered by the
+// next Flush).
 func (s *File) Compact(keepStateFrom uint64) error {
+	s.mu.Lock()
 	if s.failed != nil {
-		return s.failed
+		err := s.failed
+		s.mu.Unlock()
+		return err
 	}
-	enc := wire.NewEncoder(nil)
+	enc := s.encScratch()
 	enc.Uint8(recCompact)
 	enc.Uvarint(keepStateFrom)
-	if err := s.append(enc.Bytes()); err != nil {
+	if s.buffered {
+		s.stage(enc.Bytes(), false)
+		s.compactInMemory(keepStateFrom)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.writeRecord(enc.Bytes()); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.compactInMemory(keepStateFrom)
-	if s.size >= s.rewriteAt {
-		return s.rewrite()
+	s.mu.Unlock()
+
+	s.wmu.Lock()
+	need := s.size >= s.rewriteAt && !s.rewriting
+	s.wmu.Unlock()
+	if !need {
+		return nil
 	}
-	return nil
+	s.mu.Lock()
+	snap := s.state.Clone()
+	s.mu.Unlock()
+	return s.rewriteTo(snap)
 }
 
-// rewrite replaces the log with a single snapshot record, atomically via
-// rename.
-func (s *File) rewrite() error {
+// maybeRewriteLocked starts a background rewrite once the log passes the
+// threshold. Caller holds wmu. The rewriting flag is raised before the
+// snapshot is cloned, so every record flushed from here on is captured in
+// tail and replayed into the fresh file at swap time; a record may end up
+// in both the snapshot and the tail, which is harmless because replaying
+// a record is idempotent.
+func (s *File) maybeRewriteLocked() {
+	if s.rewriting || s.size < s.rewriteAt || !s.buffered {
+		return
+	}
+	s.rewriting = true
+	s.tail = s.tail[:0]
+	s.rewriteWG.Add(1)
+	go func() {
+		defer s.rewriteWG.Done()
+		s.rewriteAsync()
+	}()
+}
+
+func (s *File) rewriteAsync() {
+	s.mu.Lock()
+	snap := s.state.Clone()
+	s.mu.Unlock()
+	if err := s.rewriteTo(snap); err != nil {
+		// The old log is intact and still the live file, so a failed
+		// rewrite is not fatal: count it and retry at a later flush.
+		s.rewriteErrs.Add(1)
+		s.wmu.Lock()
+		s.rewriting = false
+		s.tail = nil
+		s.wmu.Unlock()
+		os.Remove(s.path + ".tmp")
+	}
+}
+
+// rewriteTo writes snap as a single snapshot record into a temp file,
+// syncs it, appends the tail of records that raced the snapshot, and
+// atomically renames it over the live log. The parent directory is
+// fsynced once, after the rename: without that, a crash could lose the
+// new file's directory entry — and with it every record flushed after the
+// swap — even though the rename "succeeded".
+func (s *File) rewriteTo(snap *PersistentState) error {
 	enc := wire.NewEncoder(nil)
 	enc.Uint8(recSnapshot)
-	enc.Ballot(s.state.Promised)
-	enc.Ballot(s.state.MaxAccepted)
-	enc.Uvarint(s.state.Chosen)
-	enc.Uvarint(uint64(len(s.state.Accepted)))
-	for _, e := range s.state.Accepted {
+	enc.Ballot(snap.Promised)
+	enc.Ballot(snap.MaxAccepted)
+	enc.Uvarint(snap.Chosen)
+	enc.Uvarint(uint64(snap.Accepted.Len()))
+	snap.Accepted.Ascend(0, 0, func(e wire.Entry) bool {
 		acc := wire.Accept{Entries: []wire.Entry{e}}
 		acc.MarshalTo(enc)
-	}
-	body := enc.Bytes()
+		return true
+	})
+	buf := appendFrame(nil, enc.Bytes())
 
 	tmp := s.path + ".tmp"
 	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	old := s.f
-	oldSize := s.size
-	s.f, s.size = nf, 0
-	if err := s.append(body); err != nil {
+	fail := func(err error) error {
 		nf.Close()
 		os.Remove(tmp)
-		s.f, s.size = old, oldSize
 		return err
+	}
+	// The bulk of the snapshot is written and synced outside the write
+	// lock; appends to the live log are never blocked behind it.
+	if _, err := nf.Write(buf); err != nil {
+		return fail(err)
+	}
+	if s.Sync {
+		if err := nf.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	nsize := int64(len(buf))
+	if len(s.tail) > 0 {
+		if _, err := nf.WriteAt(s.tail, nsize); err != nil {
+			return fail(err)
+		}
+		nsize += int64(len(s.tail))
+	}
+	if s.Sync {
+		if err := nf.Sync(); err != nil {
+			return fail(err)
+		}
 	}
 	if err := os.Rename(tmp, s.path); err != nil {
-		nf.Close()
-		os.Remove(tmp)
-		s.f, s.size = old, oldSize
-		return err
+		return fail(err)
 	}
+	old := s.f
+	s.f, s.size, s.allocEnd = nf, nsize, nsize
+	s.tail = nil
+	s.rewriting = false
+	s.dirty, s.dirtyCrit = false, false
+	s.lastSync = time.Now()
 	old.Close()
+	s.rewrites.Add(1)
 	if s.Sync {
-		if d, err := os.Open(filepath.Dir(s.path)); err == nil {
-			d.Sync()
-			d.Close()
+		if err := syncDir(filepath.Dir(s.path)); err != nil {
+			// The swap is installed in memory but its directory entry may
+			// not be durable; acknowledging later records against the new
+			// file would be unsafe, so fail-stop.
+			return s.poison(err)
 		}
 	}
 	return nil
 }
 
-// Close implements Store.
-func (s *File) Close() error { return s.f.Close() }
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close implements Store. Staged records that were never flushed are
+// dropped — the crash semantics the replica's Stop path relies on;
+// callers wanting durability flush first. Written-but-unsynced bytes are
+// synced so a graceful close loses nothing.
+func (s *File) Close() error {
+	// Join any in-flight background rewrite first: it owns file handles
+	// and a .tmp path, and must not race the close (or, in tests, the
+	// removal of the WAL's directory).
+	s.rewriteWG.Wait()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.dirty && s.Sync {
+		if err := s.f.Sync(); err == nil {
+			s.dirty, s.dirtyCrit = false, false
+		}
+	}
+	if s.size < s.allocEnd {
+		// Drop the preallocated zero tail so the file's length is its
+		// logical length again.
+		if err := s.f.Truncate(s.size); err == nil {
+			s.allocEnd = s.size
+		}
+	}
+	return s.f.Close()
+}

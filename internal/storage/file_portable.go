@@ -1,0 +1,12 @@
+//go:build !linux
+
+package storage
+
+import "os"
+
+// fdatasync falls back to a full fsync where the syscall is unavailable.
+func fdatasync(f *os.File) error { return f.Sync() }
+
+// preallocExtend falls back to a sparse extension; replay treats the zero
+// region as the torn tail, so correctness is unaffected.
+func preallocExtend(f *os.File, off, n int64) error { return f.Truncate(off + n) }

@@ -26,18 +26,120 @@ type PersistentState struct {
 	// Accepted holds accepted proposals by instance. Per §3.3 a replica
 	// remembers every accepted request but only needs the state of the
 	// latest proposal; Compact enforces that.
-	Accepted map[uint64]wire.Entry
+	Accepted *AcceptedLog
 	// Chosen is the commit index: all instances <= Chosen are chosen.
 	Chosen uint64
 }
 
 // NewPersistentState returns an empty state.
 func NewPersistentState() *PersistentState {
-	return &PersistentState{Accepted: make(map[uint64]wire.Entry)}
+	return &PersistentState{Accepted: NewAcceptedLog()}
 }
 
-// Store is the stable-storage interface used by a replica. Every mutation
-// must be durable before the corresponding protocol message is sent.
+// AcceptedLog holds accepted proposals indexed by instance. Instances
+// are dense and arrive almost always in order, so a flat slice (index =
+// instance−1) serves lookups and inserts without hashing — and, unlike
+// the map it replaced, without incremental rehash pauses on the replica
+// event loop as the log grows across a long run.
+type AcceptedLog struct {
+	ents []wire.Entry // ents[i] holds instance i+1; Instance==0 marks a hole
+	n    int          // number of present entries
+	max  uint64       // highest present instance
+	// stripLo is the slice index below which state payloads have already
+	// been stripped; successive StripStatesBelow calls resume there
+	// instead of rescanning from zero (compaction runs periodically
+	// forever, so a fresh full scan each time would be quadratic).
+	stripLo uint64
+}
+
+// NewAcceptedLog returns an empty log.
+func NewAcceptedLog() *AcceptedLog { return &AcceptedLog{} }
+
+// Get returns the proposal accepted for inst, if any.
+func (l *AcceptedLog) Get(inst uint64) (wire.Entry, bool) {
+	if inst == 0 || inst > uint64(len(l.ents)) {
+		return wire.Entry{}, false
+	}
+	e := l.ents[inst-1]
+	return e, e.Instance != 0
+}
+
+// Put records e under its instance, overwriting any earlier proposal.
+func (l *AcceptedLog) Put(e wire.Entry) {
+	if e.Instance == 0 {
+		return
+	}
+	for uint64(len(l.ents)) < e.Instance {
+		l.ents = append(l.ents, wire.Entry{})
+	}
+	if l.ents[e.Instance-1].Instance == 0 {
+		l.n++
+	}
+	l.ents[e.Instance-1] = e
+	if e.Instance > l.max {
+		l.max = e.Instance
+	}
+}
+
+// Len returns the number of instances holding an accepted proposal.
+func (l *AcceptedLog) Len() int { return l.n }
+
+// Max returns the highest instance with an accepted proposal, 0 if none.
+func (l *AcceptedLog) Max() uint64 { return l.max }
+
+// Ascend calls fn on every present entry with lo < instance <= hi in
+// instance order; hi == 0 means unbounded above. fn returning false
+// stops the walk.
+func (l *AcceptedLog) Ascend(lo, hi uint64, fn func(e wire.Entry) bool) {
+	end := uint64(len(l.ents))
+	if hi != 0 && hi < end {
+		end = hi
+	}
+	for i := lo; i < end; i++ {
+		if e := l.ents[i]; e.Instance != 0 {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// StripStatesBelow clears the state payloads of entries with instance <
+// keepStateFrom, keeping their requests — the Compact semantics of §3.3
+// (a new leader can still learn the full command log; only the latest
+// state matters).
+func (l *AcceptedLog) StripStatesBelow(keepStateFrom uint64) {
+	if keepStateFrom == 0 {
+		return
+	}
+	end := uint64(len(l.ents))
+	if keepStateFrom-1 < end {
+		end = keepStateFrom - 1
+	}
+	for i := l.stripLo; i < end; i++ {
+		if l.ents[i].Instance != 0 && l.ents[i].Prop.HasState {
+			l.ents[i].Prop.HasState = false
+			l.ents[i].Prop.State = nil
+		}
+	}
+	if end > l.stripLo {
+		l.stripLo = end
+	}
+}
+
+// Clone deep-copies the log structure (entries share backing payloads).
+func (l *AcceptedLog) Clone() *AcceptedLog {
+	return &AcceptedLog{ents: append([]wire.Entry(nil), l.ents...), n: l.n, max: l.max, stripLo: l.stripLo}
+}
+
+// Store is the stable-storage interface used by a replica. The protocol
+// invariant is that every mutation is durable before any protocol message
+// claiming it is sent. A plain Store provides that directly: each
+// mutation is durable when the method returns. A Store that also
+// implements Flusher may instead stage mutations and make them durable at
+// the next Flush; the replica core detects this and routes the dependent
+// sends through its persister goroutine, so the invariant holds with the
+// fsync off the event loop.
 type Store interface {
 	// Load returns the persisted state, or a fresh empty state.
 	Load() (*PersistentState, error)
@@ -56,10 +158,29 @@ type Store interface {
 	Close() error
 }
 
+// Flusher is a Store supporting staged group commit: with SetBuffered(true)
+// mutations apply to the in-memory mirror immediately but buffer their
+// records, and become durable together — one write, one sync — at the
+// next Flush. The replica's persister goroutine owns Flush; no protocol
+// message that claims staged state may be sent before the Flush covering
+// it returns. Mem deliberately does not implement Flusher: it models
+// infinitely fast storage, for which the inline path is already optimal.
+type Flusher interface {
+	Store
+	// SetBuffered toggles staged mode. Callers must Flush before turning
+	// buffering off.
+	SetBuffered(on bool)
+	// Staged reports whether unflushed staged records exist.
+	Staged() bool
+	// Flush makes every staged record durable per the store's sync
+	// policy. Safe to call concurrently with staging.
+	Flush() error
+}
+
 // Apply replays a mutation record onto s; shared by implementations.
 func (s *PersistentState) putAccepted(entries []wire.Entry, maxAccepted wire.Ballot) {
 	for _, e := range entries {
-		s.Accepted[e.Instance] = e
+		s.Accepted.Put(e)
 	}
 	if s.MaxAccepted.Less(maxAccepted) {
 		s.MaxAccepted = maxAccepted
@@ -68,16 +189,12 @@ func (s *PersistentState) putAccepted(entries []wire.Entry, maxAccepted wire.Bal
 
 // Clone deep-copies the state (for snapshot isolation in tests).
 func (s *PersistentState) Clone() *PersistentState {
-	c := &PersistentState{
+	return &PersistentState{
 		Promised:    s.Promised,
 		MaxAccepted: s.MaxAccepted,
 		Chosen:      s.Chosen,
-		Accepted:    make(map[uint64]wire.Entry, len(s.Accepted)),
+		Accepted:    s.Accepted.Clone(),
 	}
-	for k, v := range s.Accepted {
-		c.Accepted[k] = v
-	}
-	return c
 }
 
 // Mem is a volatile Store for tests and benchmarks. It models stable
@@ -119,13 +236,7 @@ func (m *Mem) SetChosen(idx uint64) error {
 
 // Compact implements Store.
 func (m *Mem) Compact(keepStateFrom uint64) error {
-	for inst, e := range m.state.Accepted {
-		if inst < keepStateFrom && e.Prop.HasState {
-			e.Prop.HasState = false
-			e.Prop.State = nil
-			m.state.Accepted[inst] = e
-		}
-	}
+	m.state.Accepted.StripStatesBelow(keepStateFrom)
 	return nil
 }
 

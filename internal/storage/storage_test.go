@@ -74,9 +74,9 @@ func TestStoreBasics(t *testing.T) {
 			if st.Chosen != 1 {
 				t.Errorf("Chosen = %d, want 1", st.Chosen)
 			}
-			e, ok := st.Accepted[1]
+			e, ok := st.Accepted.Get(1)
 			if !ok || string(e.Prop.Reqs[0].Op) != "a" || !e.Prop.HasState {
-				t.Errorf("Accepted[1] = %+v", e)
+				t.Errorf("Accepted.Get(1) = %+v", e)
 			}
 		})
 	}
@@ -128,7 +128,7 @@ func TestCompactDropsOldStateKeepsRequests(t *testing.T) {
 			}
 			st, _ := s.Load()
 			for inst := uint64(1); inst <= 2; inst++ {
-				e := st.Accepted[inst]
+				e, _ := st.Accepted.Get(inst)
 				if e.Prop.HasState {
 					t.Errorf("instance %d kept state after compact", inst)
 				}
@@ -136,7 +136,7 @@ func TestCompactDropsOldStateKeepsRequests(t *testing.T) {
 					t.Errorf("instance %d lost its request", inst)
 				}
 			}
-			if !st.Accepted[3].Prop.HasState {
+			if e3, _ := st.Accepted.Get(3); !e3.Prop.HasState {
 				t.Error("latest instance must keep state")
 			}
 		})
@@ -151,10 +151,10 @@ func TestLoadIsolation(t *testing.T) {
 			b := wire.Ballot{Round: 1, Node: 0}
 			s.PutAccepted([]wire.Entry{entry(1, b, "a", true)}, b)
 			st, _ := s.Load()
-			st.Accepted[99] = entry(99, b, "evil", false)
+			st.Accepted.Put(entry(99, b, "evil", false))
 			st.Promised = wire.Ballot{Round: 100, Node: 3}
 			st2, _ := s.Load()
-			if _, ok := st2.Accepted[99]; ok {
+			if _, ok := st2.Accepted.Get(99); ok {
 				t.Error("Load must return an isolated copy")
 			}
 			if st2.Promised.Equal(st.Promised) {
@@ -188,7 +188,7 @@ func TestFileRecovery(t *testing.T) {
 	if !st.Promised.Equal(b) || st.Chosen != 7 {
 		t.Fatalf("replayed state wrong: %+v", st)
 	}
-	e := st.Accepted[7]
+	e, _ := st.Accepted.Get(7)
 	if string(e.Prop.Reqs[0].Op) != "x" || string(e.Prop.State) != "state-x" {
 		t.Fatalf("replayed entry wrong: %+v", e)
 	}
@@ -271,13 +271,13 @@ func TestFileRewriteSnapshot(t *testing.T) {
 	}
 	defer s2.Close()
 	st, _ := s2.Load()
-	if st.Chosen != 2 || !st.Promised.Equal(b) || len(st.Accepted) != 2 {
+	if st.Chosen != 2 || !st.Promised.Equal(b) || st.Accepted.Len() != 2 {
 		t.Fatalf("snapshot replay wrong: %+v", st)
 	}
-	if st.Accepted[1].Prop.HasState {
+	if e1, _ := st.Accepted.Get(1); e1.Prop.HasState {
 		t.Error("compacted entry must have no state after snapshot")
 	}
-	if !st.Accepted[2].Prop.HasState {
+	if e2, _ := st.Accepted.Get(2); !e2.Prop.HasState {
 		t.Error("latest entry must keep state in snapshot")
 	}
 }
@@ -314,16 +314,18 @@ func TestMemFileEquivalence(t *testing.T) {
 		a, _ := mem.Load()
 		bSt, _ := file.Load()
 		if !a.Promised.Equal(bSt.Promised) || !a.MaxAccepted.Equal(bSt.MaxAccepted) ||
-			a.Chosen != bSt.Chosen || len(a.Accepted) != len(bSt.Accepted) {
+			a.Chosen != bSt.Chosen || a.Accepted.Len() != bSt.Accepted.Len() {
 			return false
 		}
-		for k, v := range a.Accepted {
-			w, ok := bSt.Accepted[k]
+		same := true
+		a.Accepted.Ascend(0, 0, func(v wire.Entry) bool {
+			w, ok := bSt.Accepted.Get(v.Instance)
 			if !ok || v.Prop.HasState != w.Prop.HasState {
-				return false
+				same = false
 			}
-		}
-		return true
+			return same
+		})
+		return same
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

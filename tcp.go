@@ -32,6 +32,11 @@ type ServerOptions struct {
 	Service Service
 	// WALPath, when non-empty, enables file-backed stable storage.
 	WALPath string
+	// SyncPolicy governs group-commit fsyncs on the WAL (default
+	// SyncBatch); SyncEvery only applies to SyncInterval.
+	SyncPolicy SyncPolicy
+	// SyncEvery is the SyncInterval period (default 2ms).
+	SyncEvery time.Duration
 	// HeartbeatInterval tunes Ω (default 25ms).
 	HeartbeatInterval time.Duration
 	// Transport tunes the TCP transport (zero value = defaults).
@@ -68,6 +73,7 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 			tr.Close()
 			return nil, err
 		}
+		fs.SetPolicy(opts.SyncPolicy, opts.SyncEvery)
 		store = fs
 	}
 	rep, err := core.New(core.Config{
