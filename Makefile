@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos bench bench-quick bench-durable-quick microbench benchstat clean
+.PHONY: all tier1 race chaos pipeline-race bench bench-quick bench-durable-quick bench-pipeline-quick microbench benchstat clean
 
 all: tier1
 
@@ -19,6 +19,12 @@ race:
 chaos:
 	$(GO) test -race ./internal/transport ./internal/chaos
 
+# Pipelined-mode suite under the race detector: wave pipelining, the
+# linearizability matrix (depth × batching), recovery truncation, and
+# the leader-crash-mid-pipeline chaos test.
+pipeline-race:
+	$(GO) test -race -count 1 -run 'Pipelin|Linearizability|Recovery' ./internal/core ./internal/chaos ./internal/paxos
+
 bench:
 	$(GO) run ./cmd/benchpaxos -exp all
 
@@ -31,6 +37,10 @@ bench-quick:
 bench-durable-quick:
 	$(GO) run ./cmd/benchpaxos -exp fig5,fig6 -quick -durable
 	$(GO) run ./cmd/benchpaxos -exp fig5,fig6 -quick -durable -nopersist -syncpolicy always
+
+# Scaled-down pipeline-depth sweep over durable WALs (PR 4).
+bench-pipeline-quick:
+	$(GO) run ./cmd/benchpaxos -exp pipeline -quick -durable
 
 # Hot-path microbenchmarks: wire codec, both transports, and the WAL
 # write path (per-record vs group commit), with allocs.

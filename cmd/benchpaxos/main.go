@@ -56,6 +56,11 @@ var (
 	syncPolicy = flag.String("syncpolicy", "batch", "durable-mode sync policy: always|batch|interval")
 	syncEvery  = flag.Duration("syncinterval", 0, "durable-mode fsync interval for -syncpolicy interval (default 2ms)")
 	noPersist  = flag.Bool("nopersist", false, "durable-mode ablation: inline per-record fsync, no persister (the pre-group-commit baseline)")
+
+	// Pipelining: -pipeline sets PipelineDepth for every cluster an
+	// experiment builds (1 = the paper's serial wave protocol); the
+	// dedicated `pipeline` experiment sweeps depths itself.
+	pipeline = flag.Int("pipeline", 1, "accept-wave pipeline depth for all experiments (1 = serial)")
 )
 
 // scale returns n, or a reduced count under -quick.
@@ -99,7 +104,7 @@ var (
 // -durable WAL directory (a fresh subdir per cluster, removed at exit).
 func clusterConfig(profile netem.Profile, n int) cluster.Config {
 	cfg := cluster.Config{N: n, Profile: profile, Seed: 1,
-		ClientDeadline: 120 * time.Second}
+		ClientDeadline: 120 * time.Second, PipelineDepth: *pipeline}
 	if !*durable {
 		return cfg
 	}
@@ -174,13 +179,14 @@ type ExpResult struct {
 
 // Report is the top-level -json document.
 type Report struct {
-	GeneratedAt string      `json:"generated_at"`
-	Quick       bool        `json:"quick"`
-	GoMaxProcs  int         `json:"gomaxprocs"`
-	Durable     bool        `json:"durable,omitempty"`
-	SyncPolicy  string      `json:"sync_policy,omitempty"`
-	NoPersist   bool        `json:"no_persist,omitempty"`
-	Experiments []ExpResult `json:"experiments"`
+	GeneratedAt   string      `json:"generated_at"`
+	Quick         bool        `json:"quick"`
+	GoMaxProcs    int         `json:"gomaxprocs"`
+	Durable       bool        `json:"durable,omitempty"`
+	SyncPolicy    string      `json:"sync_policy,omitempty"`
+	NoPersist     bool        `json:"no_persist,omitempty"`
+	PipelineDepth int         `json:"pipeline_depth,omitempty"`
+	Experiments   []ExpResult `json:"experiments"`
 }
 
 var report = Report{}
@@ -226,10 +232,12 @@ func main() {
 		{"fig9a", fig9a, "Figure 9a: txn throughput, 3 req/txn"},
 		{"fig9b", fig9b, "Figure 9b: txn throughput, 5 req/txn"},
 		{"t2", t2, "§4.3: replica-count ablation on WAN"},
+		{"pipeline", pipelineSweep, "PR 4: write throughput vs PipelineDepth (batching-vs-pipelining tradeoff)"},
 	}
 	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	report.Quick = *quick
 	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.PipelineDepth = *pipeline
 	if *durable {
 		report.Durable = true
 		report.SyncPolicy = *syncPolicy
@@ -481,3 +489,54 @@ func t2(res *ExpResult) {
 // already maps every replica other than 0 to the remote-site class, so
 // it generalizes as-is.
 func wanProfileN() netem.Profile { return netem.WAN(0) }
+
+// pipelineSweep measures durable write throughput against the
+// speculative pipeline depth (DESIGN.md §10). At low client counts a
+// serial leader spends most of each wave waiting on the quorum RTT and
+// the group-commit fsync; deeper pipelines overlap those waits, while at
+// high client counts batching already fills the pipe and depth matters
+// less. Run with -durable so the fsync is part of the wave latency being
+// overlapped.
+func pipelineSweep(res *ExpResult) {
+	depths := []int{1, 2, 4, 8}
+	if *quick {
+		depths = []int{1, 4}
+	}
+	clients := grid([]int{1, 2, 4, 8, 16, 32})
+	total := scale(4000)
+	fmt.Printf("  %-8s", "clients")
+	for _, cc := range clients {
+		fmt.Printf("%10d", cc)
+	}
+	fmt.Println()
+	for _, depth := range depths {
+		cfg := clusterConfig(netem.Sysnet(), 3)
+		cfg.PipelineDepth = depth
+		c, err := cluster.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.WaitForLeader(15 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+		pts, err := bench.Series(c, bench.ClassWrite, clients, total)
+		c.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr := SeriesResult{Label: fmt.Sprintf("depth=%d", depth)}
+		fmt.Printf("  depth=%-2d", depth)
+		for _, p := range pts {
+			fmt.Printf("%10.0f", p.PerSecond)
+			sr.Points = append(sr.Points, SeriesPoint{Clients: p.Clients, PerSec: p.PerSecond})
+		}
+		fmt.Println(" req/s")
+		res.Series = append(res.Series, sr)
+	}
+	fmt.Println("  expectation: depth=1 is the serial paper protocol; deeper")
+	fmt.Println("  pipelines win where wave cadence is latency-bound — mid-to-high")
+	fmt.Println("  client counts when fsync dominates the round trip (this host),")
+	fmt.Println("  low counts when the network RTT does (WAN profiles) — and must")
+	fmt.Println("  never lose to depth=1: the launch gate falls back to the serial")
+	fmt.Println("  schedule rather than fragment batches")
+}

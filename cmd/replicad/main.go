@@ -34,7 +34,8 @@ func main() {
 	syncEvery := flag.Duration("syncinterval", 0, "fsync period for -sync interval (default 2ms)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "RNG seed for nondeterministic services")
 	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
-	statsEvery := flag.Duration("stats", 0, "log transport counters at this interval (0 = off)")
+	pipeline := flag.Int("pipeline", 1, "max accept waves in flight while leading (1 = serial protocol)")
+	statsEvery := flag.Duration("stats", 0, "log transport and replica counters at this interval (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file (stopped on shutdown)")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on shutdown")
 	flag.Parse()
@@ -97,6 +98,7 @@ func main() {
 		SyncPolicy:        pol,
 		SyncEvery:         *syncEvery,
 		HeartbeatInterval: *hb,
+		PipelineDepth:     *pipeline,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -118,6 +120,12 @@ func main() {
 						st.ConnectedPeers, st.QueueDepth, st.Dials, st.DialFails,
 						st.Reconnects, st.Sent, st.Recvd, st.LastRTT,
 						st.DropsQueueFull, st.DropsNoRoute, st.DropsWriteFail, st.DropsRecvOverflow)
+					rs := srv.ReplicaStats()
+					log.Printf("replica: pipeline=%d inflight=%d/%d waves{started=%d committed=%d} rollbacks{demotions=%d waves=%d recovery_discarded=%d} deferred_drops=%d",
+						rs.PipelineDepth, rs.WavesInFlight, rs.MaxWavesInFlight,
+						rs.WavesStarted, rs.WavesCommitted,
+						rs.SpecRollbacks, rs.WavesRolledBack, rs.RecoveryDiscarded,
+						rs.DeferredDrops)
 				}
 			}
 		}()

@@ -69,6 +69,11 @@ type (
 	// SyncPolicy selects when a WAL-backed replica forces a group-commit
 	// batch to disk.
 	SyncPolicy = storage.SyncPolicy
+
+	// ReplicaStats is a snapshot of a replica's protocol counters
+	// (pipeline occupancy, speculative rollbacks, deferred-request
+	// drops); see Server.ReplicaStats.
+	ReplicaStats = core.Stats
 )
 
 // Sync policies for WAL-backed deployments. SyncBatch is the default:
@@ -178,6 +183,11 @@ type ClusterOptions struct {
 	// StateMode selects how proposals carry service state (default
 	// StateAuto).
 	StateMode StateMode
+	// PipelineDepth bounds how many accept waves the leader keeps in
+	// flight speculatively (default 1 — the paper's serial protocol,
+	// one wave per RTT+fsync). Higher depths overlap consensus instances
+	// on the stable leader; see DESIGN.md §10.
+	PipelineDepth int
 }
 
 // Cluster is a running in-process deployment.
@@ -194,6 +204,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		Seed:           opts.Seed,
 		ClientDeadline: opts.ClientDeadline,
 		StateMode:      opts.StateMode,
+		PipelineDepth:  opts.PipelineDepth,
 	}
 	if opts.DataDir != "" {
 		cfg.Stores = make(map[wire.NodeID]storage.Store)

@@ -63,6 +63,10 @@ type Config struct {
 	// the network starts (used for space-time diagrams).
 	Tracer func(time.Time, *wire.Envelope)
 
+	// PipelineDepth forwards the core speculative-pipelining bound: how
+	// many accept waves the leader may keep in flight (default 1, the
+	// paper's serial protocol).
+	PipelineDepth int
 	// NoBatch forwards the core ablation knob: one request per accept
 	// wave.
 	NoBatch bool
@@ -169,6 +173,7 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 		HeartbeatInterval: c.cfg.HeartbeatInterval,
 		ElectionTimeout:   c.cfg.ElectionTimeout,
 		RetryTimeout:      c.cfg.RetryTimeout,
+		PipelineDepth:     c.cfg.PipelineDepth,
 		NoBatch:           c.cfg.NoBatch,
 		NoPersist:         c.cfg.NoPersist,
 		StateMode:         c.cfg.StateMode,

@@ -54,29 +54,55 @@ func (r *Replica) onAccept(from wire.NodeID, m *wire.Accept) {
 	if !acked.OK {
 		return
 	}
-	r.advanceChosen(m.Commit)
+	r.advanceChosen(m.Commit, m.Bal)
 }
 
 // onCommitMsg learns that a prefix of instances is chosen.
 func (r *Replica) onCommitMsg(m *wire.Commit) {
 	if r.role == RoleBackup {
-		r.advanceChosen(m.Index)
+		r.advanceChosen(m.Index, m.Bal)
 	}
 }
 
-// advanceChosen moves the commit index forward and applies the newly
-// chosen entries to the service. A backup missing entries (or their
-// state) falls behind in applied; the tick loop then requests catch-up.
-func (r *Replica) advanceChosen(idx uint64) {
-	if idx <= r.acc.Chosen() {
+// advanceChosen moves the commit index toward a leader's claim and
+// applies the newly chosen entries to the service.
+//
+// The index only advances over instances whose local entry carries a
+// ballot at least claimBal (the claimant's). A pipelining leader lets
+// backups hold same-ballot instances out of order, and a leader switch
+// can redefine an instance a stale accepted entry still occupies — so an
+// entry below the claimed ballot may be a superseded leftover whose value
+// was never chosen, and applying it would corrupt the state chain. An
+// entry at the claimed ballot was committed by the claimant itself; one
+// above it can only exist if a newer leader re-proposed the chosen value
+// (P2c), so both are safe. Anything else stops the walk; the remainder of
+// the claim becomes a hint the tick loop resolves through catch-up, whose
+// Install is authoritative. A backup missing only state (not entries)
+// falls behind in applied; the same tick path fetches the suffix.
+func (r *Replica) advanceChosen(idx uint64, claimBal wire.Ballot) {
+	chosen := r.acc.Chosen()
+	if idx <= chosen {
 		return
 	}
-	if err := r.acc.MarkChosen(idx); err != nil {
-		r.fatal("mark chosen: %v", err)
-		return
+	valid := chosen
+	for inst := chosen + 1; inst <= idx; inst++ {
+		e, ok := r.acc.Get(inst)
+		if !ok || e.Bal.Less(claimBal) {
+			break
+		}
+		valid = inst
 	}
-	r.applyCommitted(idx)
-	r.maybeCompact()
+	if valid > chosen {
+		if err := r.acc.MarkChosen(valid); err != nil {
+			r.fatal("mark chosen: %v", err)
+			return
+		}
+		r.applyCommitted(valid)
+		r.maybeCompact()
+	}
+	if valid < idx && idx > r.hintChosen {
+		r.hintChosen = idx
+	}
 }
 
 // applyCommitted folds chosen entries (applied, idx] into the service
@@ -150,7 +176,7 @@ func (r *Replica) onCatchUpReq(m *wire.CatchUpReq) {
 	if chosen <= m.HaveChosen || r.applied != chosen {
 		return
 	}
-	if r.wave != nil || (r.exclus && len(r.txns) > 0) {
+	if len(r.waves) > 0 || (r.exclus && len(r.txns) > 0) {
 		return // speculative state; the requester will retry
 	}
 	r.send(m.From, &wire.CatchUpResp{

@@ -138,6 +138,16 @@ type Config struct {
 	// next wave follows, so the last wave's commit is never delayed
 	// beyond this bound.
 	CommitFlushDelay time.Duration
+	// PipelineDepth bounds how many accept waves the leader may keep in
+	// flight speculatively. The default 1 is the paper's serial protocol:
+	// instance i is proposed only after i−1 commits. Depths above 1 let
+	// the leader execute wave i+1 against its local post-i state and
+	// propose it while wave i's quorum round trip and fsync are still
+	// outstanding; every wave keeps an undo snapshot so a ballot demotion
+	// rolls the service back to the last committed instance, and client
+	// replies still fire only when a wave and all its predecessors
+	// commit. See DESIGN.md §10 for the ordering/rollback contract.
+	PipelineDepth int
 	// NoBatch disables multi-instance accept waves (ablation knob): each
 	// wave carries exactly one request, so the strictly sequential
 	// reading of §3.3 is enforced even under load. Default off — the
@@ -175,25 +185,40 @@ func (c *Config) fillDefaults() {
 	if c.CommitFlushDelay == 0 {
 		c.CommitFlushDelay = time.Millisecond
 	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 1
+	}
 }
 
 // wave is one in-flight multi-instance accept (§3.3: several instances,
-// one message; state attached to the top instance only).
+// one message; state attached to the top instance only). Up to
+// Config.PipelineDepth waves may be in flight at once; they commit
+// strictly in launch order (acked marks a wave whose own quorum is
+// complete but whose predecessors are not).
 type wave struct {
 	round    *paxos.AcceptRound
 	entries  []wire.Entry
 	undo     []byte      // pre-execution snapshot; nil for recovery waves
 	recovery bool        // re-proposing learned entries after election
+	acked    bool        // quorum complete, waiting on predecessor waves
 	txns     []*txnState // transactions committing in this wave
 	sentAt   time.Time
 }
 
 // pendingRead is an X-Paxos read waiting for majority confirms and for
 // the commit barrier (every instance proposed before the read arrived).
+// Once both hold the read executes; under pipelining the service state it
+// observed may still be speculative, so the reply is held until the
+// newest instance proposed at execution time (execTop) commits.
 type pendingRead struct {
 	req      wire.Request
 	confirms map[wire.NodeID]bool
 	barrier  uint64
+	executed bool
+	execTop  uint64 // newest proposed instance at execution time
+	result   []byte
+	errStr   string
+	failed   bool
 }
 
 // cachedReply supports at-most-once execution per client.
@@ -229,9 +254,19 @@ type Replica struct {
 	catchupSentAt time.Time
 
 	queue        []workItem
-	wave         *wave
+	waves        []*wave // in-flight waves, oldest first (≤ PipelineDepth)
 	nextInstance uint64
 	applied      uint64 // instance whose post-state the service reflects
+
+	// hintChosen records a commit index claimed by a peer (heartbeat, or
+	// a Commit whose entries this replica cannot locally validate); the
+	// tick loop turns it into a catch-up request. The local commit index
+	// only ever advances over entries held at the committing ballot — or
+	// through the authoritative catch-up Install — so a stale accepted
+	// entry can never be applied just because the index moved past it.
+	hintChosen uint64
+
+	stats stats // cross-goroutine counters (stats.go)
 
 	// pendingCommit is set when a wave committed but no broadcast has
 	// told the backups yet; the next accept wave carries it for free,
@@ -250,6 +285,13 @@ type Replica struct {
 
 	lastReply map[wire.NodeID]cachedReply
 	pending   map[wire.Key]bool // queued or in-flight mutating requests
+
+	// writers tracks when each client last submitted a mutating request;
+	// entries older than ElectionTimeout are swept on the tick. Its size
+	// is the live writer population the speculative launch gate compares
+	// against (maybeStartWave) — unlike lastReply it forgets departed
+	// clients, so churn cannot wedge the gate closed.
+	writers map[wire.NodeID]time.Time
 
 	lastCompact uint64
 
@@ -335,6 +377,7 @@ func New(cfg Config) (*Replica, error) {
 		txns:       make(map[txnKey]*txnState),
 		lastReply:  make(map[wire.NodeID]cachedReply),
 		pending:    make(map[wire.Key]bool),
+		writers:    make(map[wire.NodeID]time.Time),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		ctl:        make(chan func(), 16),
@@ -637,8 +680,12 @@ func (r *Replica) handle(env *wire.Envelope) {
 		r.onConfirm(m)
 	case *wire.Heartbeat:
 		r.elector.OnHeartbeat(m, time.Now())
-		if r.role == RoleBackup && m.Chosen > r.acc.Chosen() {
-			r.advanceChosen(m.Chosen)
+		if r.role == RoleBackup && m.Chosen > r.acc.Chosen() && m.Chosen > r.hintChosen {
+			// Heartbeats carry no ballot, so the claim cannot be
+			// validated against local entries; record it and let the
+			// tick loop catch up from a peer instead of advancing over
+			// possibly-stale accepted entries.
+			r.hintChosen = m.Chosen
 		}
 	case *wire.CatchUpReq:
 		r.onCatchUpReq(m)
@@ -692,14 +739,20 @@ func (r *Replica) tick(now time.Time) {
 			r.othersDo(&wire.Prepare{Bal: r.bal, After: r.acc.Chosen()})
 		}
 	case RoleLeading:
-		if r.wave != nil && now.Sub(r.wave.sentAt) > r.cfg.RetryTimeout {
-			r.wave.sentAt = now
-			r.othersDo(&wire.Accept{Bal: r.bal, Entries: r.wave.entries, Commit: r.acc.Chosen()})
+		r.sweepWriters(now)
+		for _, w := range r.waves {
+			if !w.acked && now.Sub(w.sentAt) > r.cfg.RetryTimeout {
+				w.sentAt = now
+				r.othersDo(&wire.Accept{Bal: r.bal, Entries: w.entries, Commit: r.acc.Chosen()})
+			}
 		}
 	case RoleBackup:
 		// A backup whose applied state trails the commit index is
-		// missing entries (or their state); fetch the suffix.
-		if r.acc.Chosen() > r.applied && now.Sub(r.catchupSentAt) > r.cfg.RetryTimeout {
+		// missing entries (or their state), and one whose commit index
+		// trails a peer's claim could not validate the claimed prefix
+		// locally; either way, fetch the suffix.
+		if (r.acc.Chosen() > r.applied || r.hintChosen > r.acc.Chosen()) &&
+			now.Sub(r.catchupSentAt) > r.cfg.RetryTimeout {
 			r.sendCatchup(now)
 		}
 	}
@@ -746,7 +799,7 @@ func (r *Replica) startPrepare(now time.Time) {
 }
 
 // stepDown returns to the backup role, rolling back every speculative
-// effect: the in-flight wave's execution, open transactions, and pending
+// effect: the in-flight waves' executions, open transactions, and pending
 // reads.
 func (r *Replica) stepDown() {
 	wasLeading := r.role != RoleBackup
@@ -763,13 +816,22 @@ func (r *Replica) stepDown() {
 		tx.ws.Abort()
 	}
 	r.txns = make(map[txnKey]*txnState)
-	// Roll back the speculatively executed wave.
-	if r.wave != nil && r.wave.undo != nil {
-		if err := r.svc.Restore(r.wave.undo); err != nil {
-			r.fatal("undo restore: %v", err)
+	// Roll back the speculatively executed waves: the oldest wave's undo
+	// snapshot is the state after the last committed instance, so one
+	// restore discards every in-flight wave's effects at once.
+	if len(r.waves) > 0 {
+		if w := r.waves[0]; w.undo != nil {
+			if err := r.svc.Restore(w.undo); err != nil {
+				r.fatal("undo restore: %v", err)
+			}
+			r.stats.specRollbacks.Add(1)
+			r.stats.wavesRolledBack.Add(uint64(len(r.waves)))
+			r.logf("rolled back %d speculative wave(s) to chosen=%d",
+				len(r.waves), r.acc.Chosen())
 		}
 	}
-	r.wave = nil
+	r.waves = nil
+	r.stats.wavesInFlight.Store(0)
 	// Tell waiting clients to retry elsewhere.
 	for _, pr := range r.reads {
 		r.reply(pr.req, wire.StatusNotLeader, nil, "leader switch")

@@ -49,15 +49,20 @@ func (r *Replica) onRequest(req wire.Request) {
 }
 
 // deferRequest parks a request received during the prepare phase; it is
-// replayed once the leader activates (bounded to protect memory).
+// replayed once the leader activates (bounded to protect memory). A
+// request dropped at the cap is counted — the client retries, but a
+// rising DeferredDrops means elections are too slow for the offered load.
 func (r *Replica) deferRequest(req wire.Request) {
-	if len(r.deferred) < 65536 {
-		r.deferred = append(r.deferred, req)
+	if len(r.deferred) >= 65536 {
+		r.stats.deferredDrops.Add(1)
+		return
 	}
+	r.deferred = append(r.deferred, req)
 }
 
 // admitWrite queues a write for the next wave, deduplicating retransmits.
 func (r *Replica) admitWrite(req wire.Request) {
+	r.noteWriter(req.Client)
 	if r.dedup(req) {
 		return
 	}
@@ -68,6 +73,22 @@ func (r *Replica) admitWrite(req wire.Request) {
 	r.pending[req.Key()] = true
 	r.queue = append(r.queue, workItem{req: req})
 	r.maybeStartWave()
+}
+
+// noteWriter refreshes a client's slot in the live writer population
+// (see Replica.writers); retransmits count — the client is still there.
+func (r *Replica) noteWriter(c wire.NodeID) {
+	r.writers[c] = time.Now()
+}
+
+// sweepWriters forgets writers that have been quiet for a full election
+// timeout; called from the tick while leading.
+func (r *Replica) sweepWriters(now time.Time) {
+	for c, seen := range r.writers {
+		if now.Sub(seen) > r.cfg.ElectionTimeout {
+			delete(r.writers, c)
+		}
+	}
 }
 
 // dedup implements at-most-once execution per client: a retransmitted
@@ -110,20 +131,56 @@ func (r *Replica) drainBlocked() {
 	}
 }
 
-// maybeStartWave launches the next accept wave when the pipeline rule
-// allows: never more than one wave in flight, because instance i must not
-// be proposed before instance i−1 commits (§3.3).
+// maybeStartWave launches accept waves while the pipeline rule allows.
+// At PipelineDepth 1 this is §3.3's serial protocol: instance i is not
+// proposed before i−1 commits. Deeper pipelines launch wave i+1 against
+// the local speculative post-i state — the leader already executed wave i
+// before proposing it, which is the paper's own insight — while wave i's
+// quorum round trip and fsync are still outstanding. Each wave's undo
+// snapshot captures the state it was built on, so the oldest in-flight
+// wave's undo always equals the last committed state.
+//
+// Speculative launches are gated against batch fragmentation: launching
+// on every arrival would turn one big wave per round trip into many
+// single-request waves, trading the amortized per-wave cost (messages,
+// WAL records, proposal bookkeeping) for overlap that closed-loop
+// clients cannot exploit — the measured failure mode is waves/request
+// going up 2-3x while throughput drops. A speculative wave launches only
+// once every live writer already has a request queued or in flight
+// (len(pending) covers both; r.writers is the recently-active writer
+// population, swept of clients quiet for an election timeout). At that
+// point no further arrival is likely before the next commit, so
+// waiting longer cannot grow the batch — launching now is strictly
+// earlier than the serial schedule with exactly the batch serial would
+// have built. Clients that go quiet make the gate conservative (it
+// degrades to the serial one-wave-per-commit schedule) only until the
+// sweep forgets them, and never unsafe.
+// An empty pipeline always launches immediately (that is the serial
+// protocol's latency), and NoBatch mode skips the gate — there every
+// wave carries one request by design, so fragmentation is the
+// configuration, not a failure mode. If the gate defers a launch, the
+// queued work goes out at the latest when the oldest wave commits,
+// which is exactly the serial schedule.
 func (r *Replica) maybeStartWave() {
-	if r.role != RoleLeading || !r.activated || r.wave != nil || len(r.queue) == 0 {
-		return
+	for r.role == RoleLeading && r.activated &&
+		len(r.waves) < r.cfg.PipelineDepth && len(r.queue) > 0 {
+		if !r.cfg.NoBatch && len(r.waves) > 0 &&
+			len(r.pending) < len(r.writers) {
+			return
+		}
+		items := r.queue
+		r.queue = nil
+		if r.cfg.NoBatch && len(items) > 1 {
+			r.queue = items[1:]
+			items = items[:1]
+		}
+		r.startWave(items)
 	}
-	items := r.queue
-	r.queue = nil
-	if r.cfg.NoBatch && len(items) > 1 {
-		r.queue = items[1:]
-		items = items[:1]
-	}
+}
 
+// startWave executes one batch of work items against the current (possibly
+// speculative) service state and launches the covering accept wave.
+func (r *Replica) startWave(items []workItem) {
 	undo := r.svc.Snapshot()
 	var entries []wire.Entry
 	var txns []*txnState
@@ -214,7 +271,7 @@ func (r *Replica) executeWrite(req wire.Request) (wire.Proposal, error) {
 }
 
 // launchWave self-accepts and broadcasts one accept message covering all
-// of the wave's instances.
+// of the wave's instances, appending it to the in-flight pipeline.
 func (r *Replica) launchWave(w *wave) {
 	insts := make([]uint64, len(w.entries))
 	for i, e := range w.entries {
@@ -222,7 +279,9 @@ func (r *Replica) launchWave(w *wave) {
 	}
 	w.round = paxos.NewAcceptRound(r.bal, insts, r.quorum())
 	w.sentAt = time.Now()
-	r.wave = w
+	r.waves = append(r.waves, w)
+	r.stats.wavesStarted.Add(1)
+	r.stats.noteInFlight(len(r.waves))
 
 	msg := &wire.Accept{Bal: r.bal, Entries: w.entries, Commit: r.acc.Chosen()}
 	acked, err := r.acc.OnAccept(msg)
@@ -236,27 +295,41 @@ func (r *Replica) launchWave(w *wave) {
 	r.pendingCommit = false
 	// The leader's own vote joins the quorum only once the staged accept
 	// record is durable. The backups' votes arrive already durable, so a
-	// quorum of backups can commit the wave before the local fsync
-	// finishes — the leader's disk overlaps the network round trip. The
-	// closure guards against the wave having committed or been rolled
-	// back by then.
+	// quorum of backups can complete the wave before the local fsync
+	// finishes — the leader's disk overlaps the network round trip. With
+	// pipelining, several of these closures can be queued behind one
+	// flush, one per outstanding wave; each guards against its wave
+	// having committed or been rolled back by the time it runs.
 	r.deferLoop(func() {
-		if r.wave != w || r.role != RoleLeading {
+		if r.role != RoleLeading || !r.waveInFlight(w) {
 			return
 		}
 		if done, _ := w.round.Add(acked, r.cfg.ID); done {
-			r.commitWave()
+			w.acked = true
+			r.commitReady()
 		}
 	})
 }
 
-// onAccepted folds a phase-2b vote into the in-flight wave.
+// waveInFlight reports whether w is still in the in-flight pipeline.
+func (r *Replica) waveInFlight(w *wave) bool {
+	for _, cur := range r.waves {
+		if cur == w {
+			return true
+		}
+	}
+	return false
+}
+
+// onAccepted folds a phase-2b vote into the in-flight wave it covers.
+// Waves may complete their quorums out of order — a backup that missed
+// wave i's accept still acks wave i+1 — but commitment stays in order:
+// commitReady only pops the contiguous acked prefix.
 func (r *Replica) onAccepted(from wire.NodeID, m *wire.Accepted) {
-	if r.role != RoleLeading || r.wave == nil || !m.Bal.Equal(r.bal) {
+	if r.role != RoleLeading || len(r.waves) == 0 || !m.Bal.Equal(r.bal) {
 		return
 	}
-	done, rejected := r.wave.round.Add(m, from)
-	if rejected {
+	if !m.OK {
 		if r.maxSeen.Less(m.MaxProm) {
 			r.maxSeen = m.MaxProm
 		}
@@ -266,22 +339,57 @@ func (r *Replica) onAccepted(from wire.NodeID, m *wire.Accepted) {
 		r.stepDown()
 		return
 	}
-	if done {
-		r.commitWave()
+	// The vote names the instances it covers; AcceptRound.Add ignores it
+	// for any wave whose instance set it does not cover, so the ack
+	// routes itself to the one wave it belongs to.
+	for _, w := range r.waves {
+		if w.acked {
+			continue
+		}
+		if done, _ := w.round.Add(m, from); done {
+			w.acked = true
+		}
 	}
+	r.commitReady()
 }
 
-// commitWave marks the wave's instances chosen, informs the backups,
-// replies to clients, and starts the next wave.
+// commitReady commits the contiguous prefix of quorum-complete waves, in
+// launch order. Client replies, reply-cache updates, and transaction
+// completion happen per committed wave; a wave whose quorum finished
+// early stays in flight until every predecessor commits, so no acked
+// write can ever depend on an uncommitted instance.
+func (r *Replica) commitReady() {
+	committed := false
+	for len(r.waves) > 0 && r.waves[0].acked {
+		w := r.waves[0]
+		r.waves = r.waves[1:]
+		r.stats.wavesCommitted.Add(1)
+		r.stats.noteInFlight(len(r.waves))
+		committed = true
+		r.commitWave(w)
+		if r.role != RoleLeading {
+			return // commit failed fatally, or recovery activation reset us
+		}
+	}
+	if !committed {
+		return
+	}
+	// Unblock reads whose barrier (or speculative execution horizon) the
+	// commits satisfied, then refill the pipeline.
+	r.flushReads()
+	r.drainBlocked()
+	r.maybeStartWave()
+}
+
+// commitWave marks one wave's instances chosen, informs the backups, and
+// replies to its clients.
 //
 // Backups are not told with a standalone broadcast: the commit
 // piggybacks on the next wave's accept message (its Commit field), which
 // under load folds the two per-wave broadcasts into one. Only when no
 // wave follows within CommitFlushDelay does flushCommit send the
 // old-style Commit message.
-func (r *Replica) commitWave() {
-	w := r.wave
-	r.wave = nil
+func (r *Replica) commitWave(w *wave) {
 	top := w.round.Top
 	if err := r.acc.MarkChosen(top); err != nil {
 		r.fatal("mark chosen: %v", err)
@@ -318,13 +426,7 @@ func (r *Replica) commitWave() {
 
 	if w.recovery {
 		r.activate()
-		return
 	}
-	// Unblock reads whose barrier this commit satisfied, then pipeline
-	// the next wave.
-	r.flushReads()
-	r.drainBlocked()
-	r.maybeStartWave()
 }
 
 // noteCommitted updates the reply cache for every request in a committed
@@ -452,20 +554,44 @@ func (r *Replica) onConfirm(m *wire.Confirm) {
 	}
 }
 
+// tryFinishRead advances one read through its two gates. The read
+// executes once a confirm majority proves leadership and the commit
+// barrier is satisfied; under pipelining the service state it executes
+// against may include speculative waves launched after the read arrived,
+// so the reply is additionally held until everything proposed up to the
+// execution point has committed. If those waves roll back instead, the
+// leader steps down and the held read is answered NotLeader — the
+// speculative result is never exposed. At PipelineDepth 1 the execution
+// point never leads the commit index when both gates pass, so the reply
+// leaves immediately, exactly the pre-pipelining behavior.
 func (r *Replica) tryFinishRead(pr *pendingRead) {
-	if len(pr.confirms) < r.quorum() || r.acc.Chosen() < pr.barrier {
-		return
+	if !pr.executed {
+		if len(pr.confirms) < r.quorum() || r.acc.Chosen() < pr.barrier {
+			return
+		}
+		pr.executed = true
+		pr.execTop = r.nextInstance - 1
+		res, err := r.svc.Execute(pr.req.Op)
+		if err != nil {
+			pr.failed = true
+			pr.errStr = err.Error()
+		} else {
+			pr.result = res
+		}
+	}
+	if r.acc.Chosen() < pr.execTop {
+		return // result reflects speculative state; wait for its commit
 	}
 	delete(r.reads, pr.req.Key())
-	res, err := r.svc.Execute(pr.req.Op)
-	if err != nil {
-		r.reply(pr.req, wire.StatusError, nil, err.Error())
+	if pr.failed {
+		r.reply(pr.req, wire.StatusError, nil, pr.errStr)
 		return
 	}
-	r.reply(pr.req, wire.StatusOK, res, "")
+	r.reply(pr.req, wire.StatusOK, pr.result, "")
 }
 
-// flushReads re-checks barrier satisfaction after a commit.
+// flushReads re-checks barrier and execution-horizon satisfaction after a
+// commit.
 func (r *Replica) flushReads() {
 	if len(r.reads) == 0 {
 		return
@@ -473,6 +599,12 @@ func (r *Replica) flushReads() {
 	chosen := r.acc.Chosen()
 	var ready []*pendingRead
 	for _, pr := range r.reads {
+		if pr.executed {
+			if chosen >= pr.execTop {
+				ready = append(ready, pr)
+			}
+			continue
+		}
 		if len(pr.confirms) >= r.quorum() && chosen >= pr.barrier {
 			ready = append(ready, pr)
 		}
@@ -514,13 +646,35 @@ func (r *Replica) onPrepared() {
 	r.finishActivation()
 }
 
-// finishActivation re-proposes every proposal learned during prepare —
-// filling true holes with no-ops — as a single recovery wave, then opens
-// for business (§3.3's recovery example: accept phases of 88, 89, and 91
-// in one message).
+// finishActivation re-proposes the adoptable prefix of the proposals
+// learned during prepare as a single recovery wave, then opens for
+// business (§3.3's recovery example: one message covering the accept
+// phases of several instances).
+//
+// Adoption is prefix-only (paxos.OutcomePrefix): a crashed leader that
+// was pipelining may leave speculative instances past a gap, and their
+// attached states were computed on top of predecessors no quorum member
+// accepted. The prepare quorum intersects the accept quorum of every
+// committed instance, so the committed log is always a gap-free,
+// ballot-monotone prefix of what prepare learns — anything past the first
+// gap or ballot regression is provably uncommitted (hence unacked) and is
+// discarded; its clients retransmit and re-execute on the adopted state.
 func (r *Replica) finishActivation() {
 	chosen := r.acc.Chosen()
-	learned := r.prep.Outcome(chosen)
+	// The ballot that committed the chosen prefix seeds the monotonicity
+	// floor. The local entry at the commit index is trusted: commit-index
+	// advancement validates entries against the committing ballot, and
+	// catch-up installs authoritative copies.
+	var floor wire.Ballot
+	if e, ok := r.acc.Get(chosen); ok {
+		floor = e.Bal
+	}
+	learned, discarded := r.prep.OutcomePrefix(chosen, floor)
+	if discarded > 0 {
+		r.stats.recoveryDiscarded.Add(uint64(discarded))
+		r.logf("recovery discarded %d speculative entries past a gap above %d",
+			discarded, chosen)
+	}
 	r.role = RoleLeading
 	r.rebuildReplyCache()
 
@@ -529,22 +683,12 @@ func (r *Replica) finishActivation() {
 		r.activate()
 		return
 	}
-	top := learned[len(learned)-1].Instance
-	known := make(map[uint64]wire.Entry, len(learned))
-	for _, e := range learned {
-		known[e.Instance] = e
+	entries := make([]wire.Entry, len(learned))
+	for i, e := range learned {
+		e.Bal = r.bal
+		entries[i] = e
 	}
-	var entries []wire.Entry
-	for inst := chosen + 1; inst <= top; inst++ {
-		if e, ok := known[inst]; ok {
-			e.Bal = r.bal
-			entries = append(entries, e)
-		} else {
-			// Hole: nobody accepted anything here; decide a no-op so
-			// the log stays gap-free.
-			entries = append(entries, wire.Entry{Instance: inst, Bal: r.bal})
-		}
-	}
+	top := entries[len(entries)-1].Instance
 	r.nextInstance = top + 1
 	r.logf("recovery wave %d..%d", chosen+1, top)
 	r.launchWave(&wave{entries: entries, recovery: true})

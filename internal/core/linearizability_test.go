@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,8 +20,27 @@ import (
 // requirement: "the value ... must reflect the latest update");
 // violating the upper bound would mean reading an increment that was
 // never issued.
+//
+// The suite runs over PipelineDepth {1,4} × NoBatch {false,true}: the
+// speculative pipeline must not weaken the read contract — a reply (read
+// or write) may only expose state whose every instance is committed,
+// never a speculative suffix.
 func TestReadLinearizability(t *testing.T) {
-	c := newCluster(t, cluster.Config{Service: service.KVFactory})
+	for _, depth := range []int{1, 4} {
+		for _, noBatch := range []bool{false, true} {
+			t.Run(fmt.Sprintf("depth=%d,nobatch=%v", depth, noBatch), func(t *testing.T) {
+				readLinearizability(t, cluster.Config{
+					Service:       service.KVFactory,
+					PipelineDepth: depth,
+					NoBatch:       noBatch,
+				})
+			})
+		}
+	}
+}
+
+func readLinearizability(t *testing.T, cfg cluster.Config) {
+	c := newCluster(t, cfg)
 	wcli, err := c.NewClient()
 	if err != nil {
 		t.Fatal(err)

@@ -148,18 +148,21 @@ func TestRecoveryAdoptsUncommittedSuffix(t *testing.T) {
 	}
 }
 
-// TestRecoveryFillsHolesWithNoops seeds a (historically impossible but
-// defensively handled) log where only instance 4 has an accepted
-// proposal: the new leader must fill 1-3 with no-ops, adopt 4's state,
-// and serve.
-func TestRecoveryFillsHolesWithNoops(t *testing.T) {
+// TestRecoveryDiscardsSuffixPastGap seeds a log where only instance 4
+// has an accepted proposal (a speculative wave whose predecessors never
+// reached this quorum): the new leader must discard it — an entry past a
+// gap cannot be committed, because committed instances advance gap-free
+// and a prepare quorum intersects every commit's accept quorum — and
+// restart the log at instance 1.
+func TestRecoveryDiscardsSuffixPastGap(t *testing.T) {
 	oldBal := wire.Ballot{Round: 1, Node: 9}
 	snap4, res4 := kvState(service.KVPut("x", []byte("4")))
 	req4 := wire.Request{Client: wire.ClientIDBase + 50, Seq: 1, Kind: wire.KindWrite,
 		Op: service.KVPut("x", []byte("4"))}
 	e4 := fullEntry(4, oldBal, req4, res4[0], snap4)
 
-	// Seeded at both backups so every prepare quorum observes it.
+	// Seeded at both backups so every prepare quorum observes it — and
+	// must still discard it.
 	stores := map[wire.NodeID]storage.Store{
 		0: seedStore(t, nil, 0),
 		1: seedStore(t, []wire.Entry{e4}, 0),
@@ -180,25 +183,91 @@ func TestRecoveryFillsHolesWithNoops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := service.KVReply(res); string(v) != "4" {
-		t.Fatalf("x = %q after hole-filling recovery", v)
+	if _, found := service.KVReply(res); found {
+		t.Fatal("x survived recovery; the suffix past the gap must be discarded")
 	}
-	// The next write must land at instance 5 (the log is dense through 4).
+	// The next write must land at instance 1: the discarded entry leaves
+	// no trace in the log.
 	if _, err := cli.Write(service.KVPut("y", []byte("5"))); err != nil {
 		t.Fatal(err)
 	}
 	leaderID, _ := c.Leader()
 	rep, _ := c.Replica(leaderID)
 	var chosen uint64
+	var discarded uint64
 	rep.Inspect(func(r *core.Replica) { chosen = r.Chosen() })
-	if chosen != 5 {
-		t.Fatalf("chosen = %d, want 5 (noop holes 1-3 + entry 4 + new write)", chosen)
+	discarded = rep.Stats().RecoveryDiscarded
+	if chosen != 1 {
+		t.Fatalf("chosen = %d, want 1 (instance 4 discarded, new write is first)", chosen)
+	}
+	if discarded == 0 {
+		t.Fatal("RecoveryDiscarded = 0, want the discarded instance counted")
 	}
 	waitConverged(t, c)
 	snaps := snapshotAll(t, c)
 	for i, s := range snaps {
 		if !bytes.Equal(s, snaps[0]) {
-			t.Fatalf("replica #%d diverged (noop handling)", i)
+			t.Fatalf("replica #%d diverged (gap discard)", i)
+		}
+	}
+}
+
+// TestRecoveryDiscardsBallotRegression seeds a committed prefix decided
+// at a high ballot with a stale lower-ballot straggler right after it: a
+// leftover speculative wave from a deposed leader whose slot was never
+// redefined. Committed ballots are non-decreasing in instance order, so
+// the lower-ballot suffix cannot be committed and must be discarded
+// rather than grafted onto state it never followed.
+func TestRecoveryDiscardsBallotRegression(t *testing.T) {
+	balOld := wire.Ballot{Round: 1, Node: 8}
+	balNew := wire.Ballot{Round: 2, Node: 9}
+	ghost := wire.ClientIDBase + 70
+
+	// Instance 1 committed at the newer ballot (chosen=1 everywhere).
+	snap1, res1 := kvState(service.KVPut("a", []byte("1")))
+	e1 := fullEntry(1, balNew, wire.Request{Client: ghost, Seq: 1, Kind: wire.KindWrite,
+		Op: service.KVPut("a", []byte("1"))}, res1[0], snap1)
+
+	// Instance 2 accepted only under the older, deposed ballot.
+	snap2, res2 := kvState(service.KVPut("a", []byte("1")), service.KVPut("k", []byte("stale")))
+	e2 := fullEntry(2, balOld, wire.Request{Client: ghost, Seq: 2, Kind: wire.KindWrite,
+		Op: service.KVPut("k", []byte("stale"))}, res2[1], snap2)
+
+	stores := map[wire.NodeID]storage.Store{
+		0: seedStore(t, []wire.Entry{e1}, 1),
+		1: seedStore(t, []wire.Entry{e1, e2}, 1),
+		2: seedStore(t, []wire.Entry{e1, e2}, 1),
+	}
+	c := newCluster(t, cluster.Config{
+		Service:   service.KVFactory,
+		Stores:    stores,
+		StateMode: core.StateModeFull,
+	})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	res, err := cli.Read(service.KVGet("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := service.KVReply(res); found {
+		t.Fatal("stale lower-ballot suffix survived recovery")
+	}
+	res, err = cli.Read(service.KVGet("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := service.KVReply(res); string(v) != "1" {
+		t.Fatalf("a = %q; the committed prefix must survive", v)
+	}
+	waitConverged(t, c)
+	snaps := snapshotAll(t, c)
+	for i, s := range snaps {
+		if !bytes.Equal(s, snaps[0]) {
+			t.Fatalf("replica #%d diverged (ballot-regression discard)", i)
 		}
 	}
 }

@@ -1,0 +1,72 @@
+package core
+
+import "sync/atomic"
+
+// stats holds the replica counters that are read outside the event loop
+// (replicad -stats, benchmarks, tests). The event loop is the only
+// writer; atomics make the snapshots race-free without handing readers a
+// ticket onto the loop.
+type stats struct {
+	deferredDrops     atomic.Uint64
+	specRollbacks     atomic.Uint64
+	wavesRolledBack   atomic.Uint64
+	recoveryDiscarded atomic.Uint64
+	wavesStarted      atomic.Uint64
+	wavesCommitted    atomic.Uint64
+	wavesInFlight     atomic.Int64
+	maxWavesInFlight  atomic.Int64
+}
+
+// noteInFlight records the current pipeline occupancy and keeps the
+// high-water mark (the event loop is the only writer, so a plain
+// compare-and-store suffices).
+func (s *stats) noteInFlight(n int) {
+	s.wavesInFlight.Store(int64(n))
+	if int64(n) > s.maxWavesInFlight.Load() {
+		s.maxWavesInFlight.Store(int64(n))
+	}
+}
+
+// Stats is a point-in-time snapshot of replica-level protocol counters.
+// Safe to take from any goroutine.
+type Stats struct {
+	// PipelineDepth is the configured bound on in-flight accept waves.
+	PipelineDepth int
+	// WavesInFlight is the current number of speculative waves
+	// outstanding; MaxWavesInFlight is its high-water mark since start.
+	WavesInFlight    int64
+	MaxWavesInFlight int64
+	// WavesStarted / WavesCommitted count accept waves launched and
+	// committed while leading.
+	WavesStarted   uint64
+	WavesCommitted uint64
+	// SpecRollbacks counts ballot demotions that rolled the service back
+	// to the last committed instance; WavesRolledBack counts the
+	// speculative waves those rollbacks discarded.
+	SpecRollbacks   uint64
+	WavesRolledBack uint64
+	// RecoveryDiscarded counts learned entries a new leader discarded
+	// during prepare-phase recovery because they sat past a gap (or a
+	// ballot regression) — a crashed leader's uncommitted speculative
+	// suffix.
+	RecoveryDiscarded uint64
+	// DeferredDrops counts client requests dropped because the
+	// prepare-phase deferral buffer was full (the client retries).
+	DeferredDrops uint64
+}
+
+// Stats snapshots the replica's counters. Unlike the other accessors it
+// does not need to run inside Inspect.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		PipelineDepth:    r.cfg.PipelineDepth,
+		WavesInFlight:    r.stats.wavesInFlight.Load(),
+		MaxWavesInFlight: r.stats.maxWavesInFlight.Load(),
+		WavesStarted:     r.stats.wavesStarted.Load(),
+		WavesCommitted:   r.stats.wavesCommitted.Load(),
+		SpecRollbacks:     r.stats.specRollbacks.Load(),
+		WavesRolledBack:   r.stats.wavesRolledBack.Load(),
+		RecoveryDiscarded: r.stats.recoveryDiscarded.Load(),
+		DeferredDrops:     r.stats.deferredDrops.Load(),
+	}
+}

@@ -37,6 +37,7 @@ func txnUID(k txnKey) uint64 {
 }
 
 func (r *Replica) onTxnRequest(req wire.Request) {
+	r.noteWriter(req.Client)
 	key := txnKey{client: req.Client, txn: req.Txn}
 	tx := r.txns[key]
 

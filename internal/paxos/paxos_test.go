@@ -398,6 +398,82 @@ func TestAgreementProperty(t *testing.T) {
 	}
 }
 
+// prepEnt is ent() with an explicit ballot, for OutcomePrefix tests.
+func prepEnt(inst uint64, op string, b wire.Ballot) wire.Entry {
+	e := ent(inst, op, true)
+	e.Bal = b
+	return e
+}
+
+func TestOutcomePrefixAdoptsDenseSuffix(t *testing.T) {
+	r := NewPrepareRound(bal(5, 0), 1)
+	r.Add(&wire.Promise{Bal: bal(5, 0), OK: true, Chosen: 3, Entries: []wire.Entry{
+		prepEnt(4, "a", bal(1, 0)), prepEnt(5, "b", bal(1, 0)), prepEnt(6, "c", bal(2, 1)),
+	}}, 1)
+	adopted, discarded := r.OutcomePrefix(3, bal(1, 0))
+	if len(adopted) != 3 || discarded != 0 {
+		t.Fatalf("adopted=%d discarded=%d, want 3/0", len(adopted), discarded)
+	}
+	for i, e := range adopted {
+		if e.Instance != uint64(4+i) {
+			t.Fatalf("adopted[%d].Instance = %d", i, e.Instance)
+		}
+	}
+}
+
+func TestOutcomePrefixStopsAtGap(t *testing.T) {
+	// Instance 5 is missing: 6 and 7 are speculative waves whose
+	// predecessor never survived; they cannot be committed and must go.
+	r := NewPrepareRound(bal(5, 0), 1)
+	r.Add(&wire.Promise{Bal: bal(5, 0), OK: true, Chosen: 3, Entries: []wire.Entry{
+		prepEnt(4, "a", bal(1, 0)), prepEnt(6, "c", bal(1, 0)), prepEnt(7, "d", bal(1, 0)),
+	}}, 1)
+	adopted, discarded := r.OutcomePrefix(3, bal(1, 0))
+	if len(adopted) != 1 || adopted[0].Instance != 4 || discarded != 2 {
+		t.Fatalf("adopted=%+v discarded=%d, want only instance 4, 2 discarded", adopted, discarded)
+	}
+}
+
+func TestOutcomePrefixStopsAtBallotRegression(t *testing.T) {
+	// Instance 5 carries a lower ballot than 4: a stale straggler from a
+	// deposed leader. Committed ballots are non-decreasing in instance
+	// order, so it cannot be committed.
+	r := NewPrepareRound(bal(5, 0), 1)
+	r.Add(&wire.Promise{Bal: bal(5, 0), OK: true, Chosen: 3, Entries: []wire.Entry{
+		prepEnt(4, "a", bal(2, 1)), prepEnt(5, "b", bal(1, 0)),
+	}}, 1)
+	adopted, discarded := r.OutcomePrefix(3, bal(1, 0))
+	if len(adopted) != 1 || adopted[0].Instance != 4 || discarded != 1 {
+		t.Fatalf("adopted=%+v discarded=%d, want only instance 4", adopted, discarded)
+	}
+	// And a suffix entirely below the floor (the committed ballot at
+	// chosen) is discarded outright.
+	adopted, discarded = r.OutcomePrefix(3, bal(3, 0))
+	if len(adopted) != 0 || discarded != 2 {
+		t.Fatalf("below-floor suffix survived: adopted=%+v discarded=%d", adopted, discarded)
+	}
+}
+
+func TestAcceptorOutOfOrderSameBallot(t *testing.T) {
+	// Pipelined leaders send wave i+1 before wave i is acked; losses can
+	// reorder arrival. The acceptor must take same-ballot instances in any
+	// order — gap-freedom is enforced at commit time, not accept time.
+	a := newAcc(t)
+	acc, _ := a.OnAccept(&wire.Accept{Bal: bal(2, 0), Entries: []wire.Entry{ent(5, "later", true)}})
+	if !acc.OK {
+		t.Fatalf("out-of-order accept rejected: %+v", acc)
+	}
+	acc, _ = a.OnAccept(&wire.Accept{Bal: bal(2, 0), Entries: []wire.Entry{ent(4, "earlier", true)}})
+	if !acc.OK {
+		t.Fatalf("gap-filling accept rejected: %+v", acc)
+	}
+	for _, inst := range []uint64{4, 5} {
+		if _, ok := a.Get(inst); !ok {
+			t.Fatalf("instance %d not stored", inst)
+		}
+	}
+}
+
 func TestAcceptRoundIgnoresStaleWaveAcks(t *testing.T) {
 	// A straggler ack from the previous wave (same ballot, older
 	// instances) must not count toward the current wave's quorum —

@@ -101,6 +101,40 @@ func (r *PrepareRound) Outcome(chosen uint64) []wire.Entry {
 	return out
 }
 
+// OutcomePrefix is Outcome for engines whose decided values chain across
+// instances — the <req, state> tuples of §3.3, where state i is computed
+// on top of state i−1. Such an engine may pipeline accept waves, so the
+// learned suffix can contain speculative instances whose predecessors
+// were never accepted anywhere. Adopting those would graft a state built
+// on discarded history onto the log, so the new leader binds itself only
+// to the longest adoptable prefix:
+//
+//   - adoption walks instances chosen+1, chosen+2, ... and stops at the
+//     first gap — an instance past a gap depends on a predecessor no
+//     quorum member accepted, hence (by quorum intersection) on an
+//     uncommitted predecessor, hence it cannot itself be committed;
+//   - adoption also stops at the first ballot regression below floor,
+//     the ballot that committed the chosen prefix (committed ballots are
+//     non-decreasing in instance order, so a lower-ballot straggler is a
+//     leftover from a superseded leader whose slot was since redefined).
+//
+// It returns the adopted prefix in instance order plus the number of
+// learned entries discarded; the caller re-proposes the prefix and
+// reuses the discarded instances under its own higher ballot.
+func (r *PrepareRound) OutcomePrefix(chosen uint64, floor wire.Ballot) (adopted []wire.Entry, discarded int) {
+	learned := r.Outcome(chosen)
+	next := chosen + 1
+	for _, e := range learned {
+		if e.Instance != next || e.Bal.Less(floor) {
+			break
+		}
+		floor = e.Bal
+		adopted = append(adopted, e)
+		next++
+	}
+	return adopted, len(learned) - len(adopted)
+}
+
 // AcceptRound aggregates phase-2b votes for one accept wave (one message
 // possibly covering several instances, per §3.3).
 type AcceptRound struct {

@@ -39,6 +39,10 @@ type ServerOptions struct {
 	SyncEvery time.Duration
 	// HeartbeatInterval tunes Ω (default 25ms).
 	HeartbeatInterval time.Duration
+	// PipelineDepth bounds how many accept waves this replica keeps in
+	// flight speculatively while leading (default 1 — the paper's serial
+	// protocol; see DESIGN.md §10).
+	PipelineDepth int
 	// Transport tunes the TCP transport (zero value = defaults).
 	Transport TransportOptions
 }
@@ -83,6 +87,7 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 		Store:             store,
 		Transport:         tr,
 		HeartbeatInterval: opts.HeartbeatInterval,
+		PipelineDepth:     opts.PipelineDepth,
 	})
 	if err != nil {
 		tr.Close()
@@ -97,6 +102,10 @@ func (s *Server) Addr() string { return s.tr.Addr() }
 
 // TransportStats snapshots the replica's transport counters.
 func (s *Server) TransportStats() TransportStats { return s.tr.Stats() }
+
+// ReplicaStats snapshots the replica's protocol counters: pipeline
+// occupancy, speculative rollbacks, and deferred-request drops.
+func (s *Server) ReplicaStats() ReplicaStats { return s.rep.Stats() }
 
 // Close stops the replica.
 func (s *Server) Close() { s.rep.Stop() }
