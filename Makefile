@@ -1,13 +1,19 @@
 GO ?= go
 
-.PHONY: all tier1 race chaos pipeline-race bench bench-quick bench-durable-quick bench-pipeline-quick microbench benchstat clean
+.PHONY: all tier1 fmt race chaos pipeline-race bench bench-quick bench-durable-quick bench-pipeline-quick microbench benchstat clean
 
 all: tier1
 
 # Tier-1: the gate every change must keep green.
-tier1:
+tier1: fmt
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Race tier: vet + full test suite under the race detector. The chaos
 # and transport tests are required to be race-clean.

@@ -36,6 +36,7 @@ import (
 
 	"gridrep/internal/bench"
 	"gridrep/internal/cluster"
+	"gridrep/internal/metrics"
 	"gridrep/internal/netem"
 	"gridrep/internal/storage"
 )
@@ -155,16 +156,34 @@ type RRTResult struct {
 	P95    float64 `json:"p95_ms"`
 }
 
-// SeriesPoint is one (clients, throughput) sample.
+// SeriesPoint is one (clients, throughput) sample, with the run's
+// client-observed latency quantiles (zero/omitted for txn series, which
+// predate the latency capture).
 type SeriesPoint struct {
-	Clients int     `json:"clients"`
-	PerSec  float64 `json:"per_sec"`
+	Clients   int     `json:"clients"`
+	PerSec    float64 `json:"per_sec"`
+	LatMeanMS float64 `json:"lat_mean_ms,omitempty"`
+	LatP50MS  float64 `json:"lat_p50_ms,omitempty"`
+	LatP95MS  float64 `json:"lat_p95_ms,omitempty"`
+	LatP99MS  float64 `json:"lat_p99_ms,omitempty"`
 }
 
 // SeriesResult is one throughput curve of a figure.
 type SeriesResult struct {
 	Label  string        `json:"label"`
 	Points []SeriesPoint `json:"points"`
+}
+
+// PhaseResult summarizes one leader-side phase latency histogram after a
+// write series — the paper-style breakdown of where a request's time
+// goes (execute, propose→quorum, commit, admission→reply, WAL fsync).
+type PhaseResult struct {
+	Phase  string  `json:"phase"`
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
 }
 
 // ExpResult is everything one experiment measured.
@@ -174,6 +193,7 @@ type ExpResult struct {
 	ElapsedS float64        `json:"elapsed_s"`
 	RRT      []RRTResult    `json:"rrt,omitempty"`
 	Series   []SeriesResult `json:"series,omitempty"`
+	Phases   []PhaseResult  `json:"phases,omitempty"`
 	Replicas []int          `json:"replicas,omitempty"`
 }
 
@@ -351,6 +371,10 @@ func throughputFigure(res *ExpResult, profile netem.Profile, clients []int, tota
 		// independent, like the paper's separate samples.
 		c := newCluster(profile, 3)
 		pts, err := bench.Series(c, class, clients, total)
+		var phases []PhaseResult
+		if err == nil && class == bench.ClassWrite {
+			phases = leaderPhases(c)
+		}
 		c.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -359,11 +383,63 @@ func throughputFigure(res *ExpResult, profile netem.Profile, clients []int, tota
 		fmt.Printf("  %-8s", class.String())
 		for _, p := range pts {
 			fmt.Printf("%10.0f", p.PerSecond)
-			sr.Points = append(sr.Points, SeriesPoint{Clients: p.Clients, PerSec: p.PerSecond})
+			sr.Points = append(sr.Points, SeriesPoint{Clients: p.Clients, PerSec: p.PerSecond,
+				LatMeanMS: p.LatMeanMS, LatP50MS: p.LatP50MS, LatP95MS: p.LatP95MS, LatP99MS: p.LatP99MS})
 		}
 		fmt.Println(" req/s")
+		fmt.Printf("  %-8s", "")
+		for _, p := range pts {
+			fmt.Printf("%10s", fmt.Sprintf("%.1f/%.1f", p.LatP50MS, p.LatP95MS))
+		}
+		fmt.Println(" p50/p95 ms")
 		res.Series = append(res.Series, sr)
+		if len(phases) > 0 {
+			res.Phases = phases
+			fmt.Println("  write phase latency (leader, cumulative over series):")
+			fmt.Printf("    %-8s %10s %10s %10s %10s %10s\n", "phase", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms")
+			for _, ph := range phases {
+				fmt.Printf("    %-8s %10d %10.3f %10.3f %10.3f %10.3f\n",
+					ph.Phase, ph.Count, ph.MeanMS, ph.P50MS, ph.P95MS, ph.P99MS)
+			}
+		}
 	}
+}
+
+// phaseOrder maps leader-side registry histograms to display labels, in
+// request-lifecycle order: batch execution, propose→quorum, propose→
+// commit-eligible, admission→reply, and the WAL fsync inside the wave
+// (durable mode only — absent on in-memory storage).
+var phaseOrder = []struct{ name, label string }{
+	{"gridrep_execute_latency_seconds", "execute"},
+	{"gridrep_quorum_latency_seconds", "quorum"},
+	{"gridrep_commit_latency_seconds", "commit"},
+	{"gridrep_request_latency_seconds", "request"},
+	{"gridrep_wal_fsync_latency_seconds", "fsync"},
+}
+
+// leaderPhases summarizes the leader's per-phase latency histograms —
+// the breakdown benchpaxos prints after each write series.
+func leaderPhases(c *cluster.Cluster) []PhaseResult {
+	lead, ok := c.Leader()
+	if !ok {
+		return nil
+	}
+	rep, ok := c.Replica(lead)
+	if !ok {
+		return nil
+	}
+	snap := rep.Metrics().Snapshot()
+	var out []PhaseResult
+	for _, ph := range phaseOrder {
+		m, ok := metrics.Find(snap, ph.name)
+		if !ok || m.Hist == nil || m.Hist.Count == 0 {
+			continue
+		}
+		h := m.Hist
+		out = append(out, PhaseResult{Phase: ph.label, Count: h.Count,
+			MeanMS: h.MS(h.Mean()), P50MS: h.MS(h.P50()), P95MS: h.MS(h.P95()), P99MS: h.MS(h.P99())})
+	}
+	return out
 }
 
 func fig5(res *ExpResult) {

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -36,6 +37,7 @@ func main() {
 	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
 	pipeline := flag.Int("pipeline", 1, "max accept waves in flight while leading (1 = serial protocol)")
 	statsEvery := flag.Duration("stats", 0, "log transport and replica counters at this interval (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text; ?format=json) and /healthz on this host:port (empty = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file (stopped on shutdown)")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on shutdown")
 	flag.Parse()
@@ -104,6 +106,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("replica %d serving %s on %s (peers: %d)\n", *id, *svcName, srv.Addr(), len(peers))
+
+	if *metricsAddr != "" {
+		dbg := &http.Server{Addr: *metricsAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("replicad: metrics endpoint: %v", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Printf("metrics on http://%s/metrics (health: /healthz)\n", *metricsAddr)
+	}
 
 	stopStats := make(chan struct{})
 	if *statsEvery > 0 {

@@ -36,6 +36,7 @@ import (
 	"gridrep/internal/client"
 	"gridrep/internal/cluster"
 	"gridrep/internal/core"
+	"gridrep/internal/metrics"
 	"gridrep/internal/netem"
 	"gridrep/internal/service"
 	"gridrep/internal/storage"
@@ -74,6 +75,18 @@ type (
 	// (pipeline occupancy, speculative rollbacks, deferred-request
 	// drops); see Server.ReplicaStats.
 	ReplicaStats = core.Stats
+
+	// Health is a replica's protocol position (role, ballot, commit and
+	// applied indexes), the payload of the /healthz debug endpoint.
+	Health = core.Health
+
+	// MetricsRegistry is the unified observability surface: every layer
+	// of a replica (protocol core, WAL, transport) registers its
+	// counters, gauges, and latency histograms here. Snapshot it
+	// programmatically or serve it via Server.DebugHandler.
+	MetricsRegistry = metrics.Registry
+	// Metric is one instrument's state inside a registry snapshot.
+	Metric = metrics.Metric
 )
 
 // Sync policies for WAL-backed deployments. SyncBatch is the default:

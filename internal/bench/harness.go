@@ -7,6 +7,7 @@ import (
 
 	"gridrep/internal/client"
 	"gridrep/internal/cluster"
+	"gridrep/internal/metrics"
 	"gridrep/internal/service"
 	"gridrep/internal/wire"
 )
@@ -79,6 +80,16 @@ func MeasureRRT(c *cluster.Cluster, class ReqClass, n int) (Stats, error) {
 // (§4: the leader's start signal made clients begin "at (roughly) the
 // same time"). It returns requests per second.
 func MeasureThroughput(cl *cluster.Cluster, class ReqClass, clients, total int) (float64, error) {
+	p, err := MeasureThroughputPoint(cl, class, clients, total)
+	return p.PerSecond, err
+}
+
+// MeasureThroughputPoint is MeasureThroughput plus the client-observed
+// per-request latency distribution of the run. Every worker observes
+// each request's wall time into one shared histogram (lock-free atomic
+// buckets, so the measurement does not perturb the workload), from which
+// the point's quantiles are extracted.
+func MeasureThroughputPoint(cl *cluster.Cluster, class ReqClass, clients, total int) (ThroughputPoint, error) {
 	per := total / clients
 	if per == 0 {
 		per = 1
@@ -87,15 +98,16 @@ func MeasureThroughput(cl *cluster.Cluster, class ReqClass, clients, total int) 
 	for i := range clis {
 		cli, err := cl.NewClient()
 		if err != nil {
-			return 0, err
+			return ThroughputPoint{}, err
 		}
 		defer cli.Close()
 		clis[i] = cli
 		// Per-client warmup before the barrier.
 		if err := class.issue(cli); err != nil {
-			return 0, fmt.Errorf("warmup: %w", err)
+			return ThroughputPoint{}, fmt.Errorf("warmup: %w", err)
 		}
 	}
+	hist := metrics.NewHistogram(metrics.UnitNanoseconds)
 	start := make(chan struct{})
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
@@ -105,10 +117,12 @@ func MeasureThroughput(cl *cluster.Cluster, class ReqClass, clients, total int) 
 			defer wg.Done()
 			<-start
 			for j := 0; j < per; j++ {
+				t := time.Now()
 				if err := class.issue(cli); err != nil {
 					errs <- err
 					return
 				}
+				hist.Since(t)
 			}
 		}(cli)
 	}
@@ -118,10 +132,19 @@ func MeasureThroughput(cl *cluster.Cluster, class ReqClass, clients, total int) 
 	elapsed := time.Since(t0)
 	select {
 	case err := <-errs:
-		return 0, err
+		return ThroughputPoint{}, err
 	default:
 	}
-	return float64(per*clients) / elapsed.Seconds(), nil
+	s := hist.Snapshot()
+	return ThroughputPoint{
+		Clients:    clients,
+		PerSecond:  float64(per*clients) / elapsed.Seconds(),
+		RequestTot: per * clients,
+		LatMeanMS:  s.MS(s.Mean()),
+		LatP50MS:   s.MS(s.P50()),
+		LatP95MS:   s.MS(s.P95()),
+		LatP99MS:   s.MS(s.P99()),
+	}, nil
 }
 
 // TxnMode selects the §4.2 transaction coordination mode.
@@ -262,23 +285,29 @@ func MeasureTxnThroughput(cl *cluster.Cluster, mode TxnMode, nReqs, clients, tot
 	return float64(per*clients) / elapsed.Seconds(), nil
 }
 
-// ThroughputPoint is one (clients, throughput) sample of a figure series.
+// ThroughputPoint is one (clients, throughput) sample of a figure series,
+// with the run's client-observed latency distribution in milliseconds
+// (zero for series that predate the latency capture, e.g. transactions).
 type ThroughputPoint struct {
 	Clients    int
 	PerSecond  float64
 	RequestTot int
+	LatMeanMS  float64
+	LatP50MS   float64
+	LatP95MS   float64
+	LatP99MS   float64
 }
 
-// Series runs MeasureThroughput across the client counts and returns the
-// curve — one series of Figures 5-8.
+// Series runs MeasureThroughputPoint across the client counts and returns
+// the curve — one series of Figures 5-8.
 func Series(cl *cluster.Cluster, class ReqClass, clientCounts []int, total int) ([]ThroughputPoint, error) {
 	var out []ThroughputPoint
 	for _, c := range clientCounts {
-		tp, err := MeasureThroughput(cl, class, c, total)
+		tp, err := MeasureThroughputPoint(cl, class, c, total)
 		if err != nil {
 			return nil, fmt.Errorf("%v clients=%d: %w", class, c, err)
 		}
-		out = append(out, ThroughputPoint{Clients: c, PerSecond: tp, RequestTot: total})
+		out = append(out, tp)
 	}
 	return out, nil
 }

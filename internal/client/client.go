@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"gridrep/internal/transport"
@@ -67,22 +68,39 @@ type Client struct {
 	closed bool
 }
 
+// seedCounter decorrelates the jitter RNGs of clients created in the
+// same nanosecond (a benchmark spawning a fleet in a tight loop): each
+// construction draws a distinct count that is mixed into the seed, so
+// identical timestamps can no longer produce identical backoff streams.
+var seedCounter atomic.Uint64
+
+// jitterSeed mixes the clock, the client ID, and the construction count
+// into one well-spread seed (splitmix64 finalizer — consecutive inputs
+// land far apart, unlike the raw XOR they replace).
+func jitterSeed(id wire.NodeID) int64 {
+	z := uint64(time.Now().UnixNano()) ^ uint64(id)<<32 ^ seedCounter.Add(1)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return int64(z ^ z>>31)
+}
+
 // New returns a client over the given transport.
 func New(cfg Config) *Client {
-	if cfg.RetryEvery == 0 {
+	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = 500 * time.Millisecond
 	}
-	if cfg.RetryMax == 0 {
+	if cfg.RetryMax <= 0 {
 		cfg.RetryMax = 8 * cfg.RetryEvery
 	}
-	if cfg.Deadline == 0 {
+	if cfg.Deadline <= 0 {
 		cfg.Deadline = 30 * time.Second
 	}
 	id := cfg.Transport.Local()
 	return &Client{
 		cfg: cfg,
 		id:  id,
-		rng: rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id))),
+		rng: rand.New(rand.NewSource(jitterSeed(id))),
 	}
 }
 
@@ -170,6 +188,12 @@ func retryBackoff(rng *rand.Rand, base, max time.Duration, attempt int, remain t
 	}
 	if d > max {
 		d = max
+	}
+	if d <= 0 {
+		// A non-positive window (zero-valued config reaching here, or a
+		// base so large that doubling overflowed) would panic Int63n;
+		// floor it to one tick so the jitter draw stays valid.
+		d = 1
 	}
 	d = time.Duration(rng.Int63n(int64(d))) + 1
 	if remain > 0 && d > remain {

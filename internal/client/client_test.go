@@ -298,3 +298,52 @@ func TestRetryBackoffCappedAtDeadline(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a non-positive backoff window reaching rng.Int63n panicked.
+// Zero and negative bases (and the zero window a misconfigured caller can
+// produce) must yield a small positive wait instead.
+func TestRetryBackoffNonPositiveWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, base := range []time.Duration{0, -time.Second} {
+		for attempt := 0; attempt < 4; attempt++ {
+			d := retryBackoff(rng, base, 8*base, attempt, time.Hour)
+			if d <= 0 {
+				t.Fatalf("base %v attempt %d: backoff %v not positive", base, attempt, d)
+			}
+		}
+	}
+	// Also via New: non-positive config values fall back to defaults
+	// rather than reaching the jitter draw as a zero window.
+	net := newClientNet(t)
+	ep, err := net.Endpoint(wire.ClientIDBase + 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := New(Config{Transport: ep, Replicas: []wire.NodeID{0}, RetryEvery: -time.Second})
+	defer cli.Close()
+	if cli.cfg.RetryEvery <= 0 || cli.cfg.RetryMax <= 0 || cli.cfg.Deadline <= 0 {
+		t.Fatalf("negative config not defaulted: %+v", cli.cfg)
+	}
+}
+
+// Regression: clients constructed in the same nanosecond seeded their
+// jitter RNGs identically (seed was UnixNano ^ id), so a fleet spawned in
+// a tight loop backed off in lockstep. The construction counter mixed
+// into jitterSeed must decorrelate them even with identical clock and ID.
+func TestJitterSeedsDistinctForSameNanosecond(t *testing.T) {
+	const n = 64
+	seen := make(map[int64]bool, n)
+	streams := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		s := jitterSeed(wire.ClientIDBase + 1) // same ID every time
+		if seen[s] {
+			t.Fatalf("duplicate seed %#x after %d constructions", s, i)
+		}
+		seen[s] = true
+		first := rand.New(rand.NewSource(s)).Int63()
+		if streams[first] {
+			t.Fatalf("two clients drew the same first jitter value %#x", first)
+		}
+		streams[first] = true
+	}
+}

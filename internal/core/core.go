@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"gridrep/internal/metrics"
 	"gridrep/internal/omega"
 	"gridrep/internal/paxos"
 	"gridrep/internal/service"
@@ -203,6 +204,7 @@ type wave struct {
 	acked    bool        // quorum complete, waiting on predecessor waves
 	txns     []*txnState // transactions committing in this wave
 	sentAt   time.Time
+	firstAt  time.Time // admission time of the wave's oldest request
 }
 
 // pendingRead is an X-Paxos read waiting for majority confirms and for
@@ -266,7 +268,8 @@ type Replica struct {
 	// entry can never be applied just because the index moved past it.
 	hintChosen uint64
 
-	stats stats // cross-goroutine counters (stats.go)
+	stats stats             // cross-goroutine counters (stats.go)
+	reg   *metrics.Registry // all layers' instruments (DESIGN.md §11)
 
 	// pendingCommit is set when a wave committed but no broadcast has
 	// told the backups yet; the next accept wave carries it for free,
@@ -321,10 +324,12 @@ type peerHealth struct {
 }
 
 // workItem is one unit of wave work: a plain write, or a transaction
-// commit carrying its accumulated state.
+// commit carrying its accumulated state. at is the admission time, the
+// start of the request-latency phase measurement.
 type workItem struct {
 	req wire.Request
 	txn *txnState
+	at  time.Time
 }
 
 // New assembles a replica. Call Start to launch its event loop.
@@ -386,6 +391,18 @@ func New(cfg Config) (*Replica, error) {
 	r.commitFlush = time.NewTimer(time.Hour)
 	if !r.commitFlush.Stop() {
 		<-r.commitFlush.C
+	}
+	// One registry per replica covers every layer: the core instruments
+	// plus whatever the store and transport publish (they self-register
+	// when they implement metrics.Instrumented, the same probe pattern as
+	// storage.Flusher and transport.HealthReporter below).
+	r.reg = metrics.NewRegistry()
+	r.stats.register(r.reg)
+	if ins, ok := cfg.Store.(metrics.Instrumented); ok {
+		ins.RegisterMetrics(r.reg)
+	}
+	if ins, ok := cfg.Transport.(metrics.Instrumented); ok {
+		ins.RegisterMetrics(r.reg)
 	}
 	if fl, ok := cfg.Store.(storage.Flusher); ok && !cfg.NoPersist {
 		// The store supports group commit: stage mutations on the loop,
@@ -538,6 +555,7 @@ func (r *Replica) run() {
 		// persister job before the loop blocks again (a no-op without a
 		// persister, or when nothing is pending).
 		r.submitPersist()
+		r.publishHealth()
 		select {
 		case <-r.stop:
 			return
@@ -831,7 +849,7 @@ func (r *Replica) stepDown() {
 		}
 	}
 	r.waves = nil
-	r.stats.wavesInFlight.Store(0)
+	r.stats.wavesInFlight.Set(0)
 	// Tell waiting clients to retry elsewhere.
 	for _, pr := range r.reads {
 		r.reply(pr.req, wire.StatusNotLeader, nil, "leader switch")

@@ -71,7 +71,7 @@ func (r *Replica) admitWrite(req wire.Request) {
 		return
 	}
 	r.pending[req.Key()] = true
-	r.queue = append(r.queue, workItem{req: req})
+	r.queue = append(r.queue, workItem{req: req, at: time.Now()})
 	r.maybeStartWave()
 }
 
@@ -181,9 +181,16 @@ func (r *Replica) maybeStartWave() {
 // startWave executes one batch of work items against the current (possibly
 // speculative) service state and launches the covering accept wave.
 func (r *Replica) startWave(items []workItem) {
+	execStart := time.Now()
 	undo := r.svc.Snapshot()
 	var entries []wire.Entry
 	var txns []*txnState
+	var firstAt time.Time
+	for _, it := range items {
+		if !it.at.IsZero() && (firstAt.IsZero() || it.at.Before(firstAt)) {
+			firstAt = it.at
+		}
+	}
 	for _, it := range items {
 		if it.txn != nil {
 			// T-Paxos commit: one instance decides the whole
@@ -232,7 +239,8 @@ func (r *Replica) startWave(items []workItem) {
 		top.Prop.HasState = true
 		top.Prop.Kind = wire.StateFull
 	}
-	r.launchWave(&wave{entries: entries, undo: undo, txns: txns})
+	r.stats.execLat.Since(execStart)
+	r.launchWave(&wave{entries: entries, undo: undo, txns: txns, firstAt: firstAt})
 }
 
 // executeWrite runs one write on the service per the state mode,
@@ -305,10 +313,19 @@ func (r *Replica) launchWave(w *wave) {
 			return
 		}
 		if done, _ := w.round.Add(acked, r.cfg.ID); done {
-			w.acked = true
+			r.noteAcked(w)
 			r.commitReady()
 		}
 	})
+}
+
+// noteAcked marks a wave's quorum complete and stamps the quorum-phase
+// latency (accept broadcast to quorum completion).
+func (r *Replica) noteAcked(w *wave) {
+	w.acked = true
+	if !w.recovery {
+		r.stats.quorumLat.Since(w.sentAt)
+	}
 }
 
 // waveInFlight reports whether w is still in the in-flight pipeline.
@@ -347,7 +364,7 @@ func (r *Replica) onAccepted(from wire.NodeID, m *wire.Accepted) {
 			continue
 		}
 		if done, _ := w.round.Add(m, from); done {
-			w.acked = true
+			r.noteAcked(w)
 		}
 	}
 	r.commitReady()
@@ -365,6 +382,9 @@ func (r *Replica) commitReady() {
 		r.waves = r.waves[1:]
 		r.stats.wavesCommitted.Add(1)
 		r.stats.noteInFlight(len(r.waves))
+		if !w.recovery {
+			r.stats.commitLat.Since(w.sentAt)
+		}
 		committed = true
 		r.commitWave(w)
 		if r.role != RoleLeading {
@@ -398,7 +418,11 @@ func (r *Replica) commitWave(w *wave) {
 	r.pendingCommit = true
 	defer func() {
 		if r.pendingCommit {
-			r.commitFlush.Reset(r.cfg.CommitFlushDelay)
+			// Stop-and-drain before Reset: a plain Reset on a timer that
+			// already fired (and whose tick was never read) would leave
+			// the stale tick queued, making the next commit's flush
+			// window fire immediately instead of after CommitFlushDelay.
+			resetTimerDrained(r.commitFlush, r.cfg.CommitFlushDelay)
 		}
 	}()
 
@@ -418,6 +442,12 @@ func (r *Replica) commitWave(w *wave) {
 
 	for _, e := range w.entries {
 		r.noteCommitted(e, !w.recovery)
+	}
+	if !w.firstAt.IsZero() {
+		// Leader-side request latency: oldest admission in the wave to
+		// its reply, the component of client-observed latency this
+		// replica controls.
+		r.stats.requestLat.Since(w.firstAt)
 	}
 	for _, tx := range w.txns {
 		r.finishTxn(tx)

@@ -1,34 +1,102 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"gridrep/internal/metrics"
+	"gridrep/internal/wire"
+)
 
 // stats holds the replica counters that are read outside the event loop
-// (replicad -stats, benchmarks, tests). The event loop is the only
-// writer; atomics make the snapshots race-free without handing readers a
-// ticket onto the loop.
+// (replicad -stats, the metrics endpoint, benchmarks, tests). The event
+// loop is the only writer; the metrics instruments are atomics, so
+// snapshots are race-free without handing readers a ticket onto the
+// loop. Every instrument registers into the replica's metrics.Registry
+// (DESIGN.md §11); Stats below is the thin compatibility shim over it.
 type stats struct {
-	deferredDrops     atomic.Uint64
-	specRollbacks     atomic.Uint64
-	wavesRolledBack   atomic.Uint64
-	recoveryDiscarded atomic.Uint64
-	wavesStarted      atomic.Uint64
-	wavesCommitted    atomic.Uint64
-	wavesInFlight     atomic.Int64
-	maxWavesInFlight  atomic.Int64
+	deferredDrops     metrics.Counter
+	specRollbacks     metrics.Counter
+	wavesRolledBack   metrics.Counter
+	recoveryDiscarded metrics.Counter
+	wavesStarted      metrics.Counter
+	wavesCommitted    metrics.Counter
+	wavesInFlight     metrics.Gauge
+	maxWavesInFlight  metrics.Gauge
+
+	// Health mirrors: loop-confined protocol state (role, ballot, commit
+	// and applied indexes) copied into atomics once per loop iteration,
+	// so /healthz and the gauges below never need the event loop.
+	role        atomic.Int32
+	ballotRound atomic.Uint64
+	ballotNode  atomic.Uint32
+	chosen      atomic.Uint64
+	applied     atomic.Uint64
+
+	// Per-phase latency histograms stamped through the leader hot path
+	// (DESIGN.md §11): execute is the service execution of one wave's
+	// batch; quorum is accept-broadcast to quorum completion; commit is
+	// accept-broadcast to commitment (includes waiting on predecessor
+	// waves under pipelining); request is client-admission to reply, the
+	// leader-side component of what clients observe.
+	execLat    *metrics.Histogram
+	quorumLat  *metrics.Histogram
+	commitLat  *metrics.Histogram
+	requestLat *metrics.Histogram
+}
+
+// register publishes the replica's instruments into reg and creates the
+// phase histograms.
+func (s *stats) register(reg *metrics.Registry) {
+	reg.RegisterCounter("gridrep_waves_started_total",
+		"accept waves launched while leading", &s.wavesStarted)
+	reg.RegisterCounter("gridrep_waves_committed_total",
+		"accept waves committed while leading", &s.wavesCommitted)
+	reg.RegisterGauge("gridrep_waves_in_flight",
+		"speculative accept waves currently outstanding", &s.wavesInFlight)
+	reg.RegisterGauge("gridrep_waves_in_flight_max",
+		"high-water mark of outstanding accept waves", &s.maxWavesInFlight)
+	reg.RegisterCounter("gridrep_spec_rollbacks_total",
+		"ballot demotions that rolled speculative state back", &s.specRollbacks)
+	reg.RegisterCounter("gridrep_waves_rolled_back_total",
+		"speculative waves discarded by rollbacks", &s.wavesRolledBack)
+	reg.RegisterCounter("gridrep_recovery_discarded_total",
+		"learned entries discarded during prepare-phase recovery", &s.recoveryDiscarded)
+	reg.RegisterCounter("gridrep_deferred_drops_total",
+		"client requests dropped from the full prepare-phase deferral buffer", &s.deferredDrops)
+	reg.RegisterGaugeFunc("gridrep_role",
+		"replica role (0 backup, 1 preparing, 2 leading)",
+		func() int64 { return int64(s.role.Load()) })
+	reg.RegisterGaugeFunc("gridrep_ballot_round",
+		"current leadership ballot round",
+		func() int64 { return int64(s.ballotRound.Load()) })
+	reg.RegisterGaugeFunc("gridrep_commit_index",
+		"highest chosen (committed) instance",
+		func() int64 { return int64(s.chosen.Load()) })
+	reg.RegisterGaugeFunc("gridrep_applied_index",
+		"instance whose post-state the service reflects",
+		func() int64 { return int64(s.applied.Load()) })
+	s.execLat = reg.Histogram("gridrep_execute_latency_seconds",
+		"service execution time per accept wave", metrics.UnitNanoseconds)
+	s.quorumLat = reg.Histogram("gridrep_quorum_latency_seconds",
+		"accept broadcast to quorum completion per wave", metrics.UnitNanoseconds)
+	s.commitLat = reg.Histogram("gridrep_commit_latency_seconds",
+		"accept broadcast to commitment per wave", metrics.UnitNanoseconds)
+	s.requestLat = reg.Histogram("gridrep_request_latency_seconds",
+		"client admission to reply per wave (oldest request)", metrics.UnitNanoseconds)
 }
 
 // noteInFlight records the current pipeline occupancy and keeps the
-// high-water mark (the event loop is the only writer, so a plain
-// compare-and-store suffices).
+// high-water mark (the event loop is the only writer, so SetMax's
+// load+store is race-free).
 func (s *stats) noteInFlight(n int) {
-	s.wavesInFlight.Store(int64(n))
-	if int64(n) > s.maxWavesInFlight.Load() {
-		s.maxWavesInFlight.Store(int64(n))
-	}
+	s.wavesInFlight.Set(int64(n))
+	s.maxWavesInFlight.SetMax(int64(n))
 }
 
 // Stats is a point-in-time snapshot of replica-level protocol counters.
-// Safe to take from any goroutine.
+// Safe to take from any goroutine. It predates the metrics registry and
+// is kept as a compatibility shim: every field reads the registered
+// instrument that replaced it.
 type Stats struct {
 	// PipelineDepth is the configured bound on in-flight accept waves.
 	PipelineDepth int
@@ -59,14 +127,60 @@ type Stats struct {
 // does not need to run inside Inspect.
 func (r *Replica) Stats() Stats {
 	return Stats{
-		PipelineDepth:    r.cfg.PipelineDepth,
-		WavesInFlight:    r.stats.wavesInFlight.Load(),
-		MaxWavesInFlight: r.stats.maxWavesInFlight.Load(),
-		WavesStarted:     r.stats.wavesStarted.Load(),
-		WavesCommitted:   r.stats.wavesCommitted.Load(),
+		PipelineDepth:     r.cfg.PipelineDepth,
+		WavesInFlight:     r.stats.wavesInFlight.Load(),
+		MaxWavesInFlight:  r.stats.maxWavesInFlight.Load(),
+		WavesStarted:      r.stats.wavesStarted.Load(),
+		WavesCommitted:    r.stats.wavesCommitted.Load(),
 		SpecRollbacks:     r.stats.specRollbacks.Load(),
 		WavesRolledBack:   r.stats.wavesRolledBack.Load(),
 		RecoveryDiscarded: r.stats.recoveryDiscarded.Load(),
 		DeferredDrops:     r.stats.deferredDrops.Load(),
 	}
+}
+
+// Metrics returns the replica's metrics registry: the core instruments
+// plus whatever the store and transport registered (they self-register
+// when they implement metrics.Instrumented). Safe from any goroutine.
+func (r *Replica) Metrics() *metrics.Registry { return r.reg }
+
+// Health is a cross-goroutine-safe snapshot of the replica's protocol
+// position, the payload of the /healthz endpoint.
+type Health struct {
+	ID          wire.NodeID `json:"id"`
+	Role        string      `json:"role"`
+	Leading     bool        `json:"leading"`
+	Ballot      string      `json:"ballot"`
+	CommitIndex uint64      `json:"commit_index"`
+	Applied     uint64      `json:"applied"`
+}
+
+// Health snapshots the replica's protocol position from the health
+// mirrors. Safe from any goroutine; the mirrors are refreshed once per
+// event-loop iteration, so the view lags live state by at most one
+// loop step.
+func (r *Replica) Health() Health {
+	role := Role(r.stats.role.Load())
+	bal := wire.Ballot{
+		Round: r.stats.ballotRound.Load(),
+		Node:  wire.NodeID(r.stats.ballotNode.Load()),
+	}
+	return Health{
+		ID:          r.cfg.ID,
+		Role:        role.String(),
+		Leading:     role == RoleLeading,
+		Ballot:      bal.String(),
+		CommitIndex: r.stats.chosen.Load(),
+		Applied:     r.stats.applied.Load(),
+	}
+}
+
+// publishHealth refreshes the health mirrors; called from the event loop
+// once per iteration (a handful of uncontended atomic stores).
+func (r *Replica) publishHealth() {
+	r.stats.role.Store(int32(r.role))
+	r.stats.ballotRound.Store(r.bal.Round)
+	r.stats.ballotNode.Store(uint32(r.bal.Node))
+	r.stats.chosen.Store(r.acc.Chosen())
+	r.stats.applied.Store(r.applied)
 }

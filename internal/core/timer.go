@@ -1,0 +1,20 @@
+package core
+
+import "time"
+
+// resetTimerDrained resets t to d, first stopping it and draining any
+// tick already delivered to t.C. Plain Reset on an expired-but-unread
+// timer leaves the stale tick in the channel, so the consumer would fire
+// once immediately — for commitFlush that meant a spurious early
+// standalone Commit broadcast. Only safe from the goroutine that also
+// receives from t.C (the event loop), otherwise the drain races the
+// receiver.
+func resetTimerDrained(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression: commitWave reuses commitFlush via Reset. If the timer had
+// already fired and its tick was never consumed (flushCommit ran off a
+// piggybacked commit instead), a plain Reset leaves the stale tick in
+// the channel and the "new" window appears to expire immediately.
+// resetTimerDrained must swallow that tick.
+func TestResetTimerDrainedSwallowsStaleTick(t *testing.T) {
+	tm := time.NewTimer(time.Microsecond)
+	defer tm.Stop()
+	time.Sleep(10 * time.Millisecond) // let it fire; leave t.C unread
+
+	resetTimerDrained(tm, time.Hour)
+	select {
+	case <-tm.C:
+		t.Fatal("stale tick survived the reset: timer fired immediately")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// resetTimerDrained on a timer that never fired (or was already drained)
+// must still arm it normally.
+func TestResetTimerDrainedArmsTimer(t *testing.T) {
+	tm := time.NewTimer(time.Hour)
+	defer tm.Stop()
+	resetTimerDrained(tm, 5*time.Millisecond)
+	select {
+	case <-tm.C:
+	case <-time.After(time.Second):
+		t.Fatal("timer never fired after reset")
+	}
+	// And again after consuming the tick, exercising the stopped/drained
+	// branch of the idiom.
+	resetTimerDrained(tm, 5*time.Millisecond)
+	select {
+	case <-tm.C:
+	case <-time.After(time.Second):
+		t.Fatal("timer never fired after second reset")
+	}
+}

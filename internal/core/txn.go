@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"gridrep/internal/service"
 	"gridrep/internal/wire"
@@ -54,7 +55,7 @@ func (r *Replica) onTxnRequest(req wire.Request) {
 		}
 		tx.committing = true
 		r.pending[req.Key()] = true
-		r.queue = append(r.queue, workItem{req: req, txn: tx})
+		r.queue = append(r.queue, workItem{req: req, txn: tx, at: time.Now()})
 		r.maybeStartWave()
 	case wire.KindTxnAbort:
 		if tx != nil {

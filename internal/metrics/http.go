@@ -1,0 +1,18 @@
+package metrics
+
+import "net/http"
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// JSON with ?format=json. Mount it wherever the deployment exposes its
+// debug surface (replicad -metrics-addr mounts it at /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,268 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{1 << histBuckets, histBuckets}, {1<<63 + 5, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(UnitCount)
+	// 100 observations of value 1000, 100 of value 100000.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+		h.Observe(100000)
+	}
+	s := h.Snapshot()
+	if s.Count != 200 {
+		t.Fatalf("count = %d, want 200", s.Count)
+	}
+	if s.Sum != 100*1000+100*100000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// p50 must land in the bucket covering 1000 (512, 1024], p99 in the
+	// bucket covering 100000 (65536, 131072].
+	if p := s.P50(); p < 512 || p > 1024 {
+		t.Errorf("p50 = %g, want within (512, 1024]", p)
+	}
+	if p := s.P99(); p < 65536 || p > 131072 {
+		t.Errorf("p99 = %g, want within (65536, 131072]", p)
+	}
+	if m := s.Mean(); math.Abs(m-50500) > 1 {
+		t.Errorf("mean = %g, want 50500", m)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram(UnitNanoseconds)
+	s := h.Snapshot()
+	if s.P50() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+	h.Observe(1 << 62) // overflow bucket
+	s = h.Snapshot()
+	if s.Counts[histBuckets] != 1 {
+		t.Fatalf("overflow observation not in last bucket")
+	}
+	lo, _ := bucketBounds(histBuckets)
+	if p := s.P99(); p != lo {
+		t.Fatalf("overflow quantile = %g, want bucket floor %g", p, lo)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	h := NewHistogram(UnitNanoseconds)
+	h.ObserveDuration(2 * time.Millisecond)
+	h.ObserveDuration(-time.Second) // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if ms := s.MS(s.Quantile(1)); ms < 1 || ms > 3 {
+		t.Fatalf("p100 = %gms, want ~2ms", ms)
+	}
+}
+
+func TestRegistrySnapshotAndFind(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	r.RegisterGaugeFunc("test_live", "live", func() int64 { return 42 })
+	h := r.Histogram("test_lat_seconds", "latency", UnitNanoseconds)
+	c.Add(3)
+	g.Set(-2)
+	h.Observe(1000)
+
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d metrics, want 4", len(snap))
+	}
+	if m, ok := Find(snap, "test_ops_total"); !ok || m.Value != 3 {
+		t.Fatalf("counter snapshot = %+v ok=%v", m, ok)
+	}
+	if m, ok := Find(snap, "test_depth"); !ok || m.Value != -2 {
+		t.Fatalf("gauge snapshot = %+v ok=%v", m, ok)
+	}
+	if m, ok := Find(snap, "test_live"); !ok || m.Value != 42 {
+		t.Fatalf("gaugefunc snapshot = %+v ok=%v", m, ok)
+	}
+	if m, ok := Find(snap, "test_lat_seconds"); !ok || m.Hist == nil || m.Hist.Count != 1 {
+		t.Fatalf("histogram snapshot = %+v ok=%v", m, ok)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_reqs_total", "requests").Add(7)
+	h := r.Histogram("app_commit_latency_seconds", "commit latency", UnitNanoseconds)
+	h.ObserveDuration(time.Millisecond)
+	h.ObserveDuration(4 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE app_reqs_total counter",
+		"app_reqs_total 7",
+		"# TYPE app_commit_latency_seconds histogram",
+		`app_commit_latency_seconds_bucket{le="+Inf"} 2`,
+		"app_commit_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Nanosecond histograms export second-valued bounds: the 1ms
+	// observation must sit under a le bound in (0, 1) seconds.
+	if !strings.Contains(out, `le="0.001`) {
+		t.Errorf("expected a seconds-scale le bound near 0.001:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "").Add(5)
+	r.Histogram("j_lat", "", UnitNanoseconds).Observe(1000)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d metrics", len(out))
+	}
+	if out[0]["name"] != "j_total" || out[0]["value"].(float64) != 5 {
+		t.Fatalf("counter json = %v", out[0])
+	}
+	if out[1]["histogram"] == nil {
+		t.Fatalf("histogram json missing: %v", out[1])
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(res.Body)
+	res.Body.Close()
+	if !strings.Contains(buf.String(), "h_total 1") {
+		t.Fatalf("prometheus body = %q", buf.String())
+	}
+
+	res, err = srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	_, _ = buf.ReadFrom(res.Body)
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content type = %q", ct)
+	}
+	if !strings.Contains(buf.String(), `"h_total"`) {
+		t.Fatalf("json body = %q", buf.String())
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and registry snapshots
+// from many goroutines; run under -race this is the package-level data
+// race check.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_lat", "", UnitNanoseconds)
+	c := r.Counter("conc_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				h.Observe(seed * uint64(j))
+				c.Inc()
+			}
+		}(uint64(i + 1))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+			_ = r.WritePrometheus(bytes.NewBuffer(nil))
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Load(); got != 80000 {
+		t.Fatalf("counter = %d, want 80000", got)
+	}
+	if s := h.Snapshot(); s.Count != 80000 {
+		t.Fatalf("hist count = %d, want 80000", s.Count)
+	}
+}

@@ -8,9 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"gridrep/internal/metrics"
 	"gridrep/internal/wire"
 )
 
@@ -115,6 +115,7 @@ type File struct {
 	state      *PersistentState // mirror of the (durable + staged) state
 	buffered   bool
 	staged     []byte        // framed records awaiting the next Flush
+	stagedRecs uint64        // record count in the staged batch
 	stagedCrit bool          // staged batch holds a promise/accepted record
 	spare      []byte        // previously flushed buffer, recycled
 	scratch    *wire.Encoder // reusable record encoder; see encScratch
@@ -139,7 +140,12 @@ type File struct {
 	tail      []byte         // records flushed while the rewrite snapshot was built
 	rewriteWG sync.WaitGroup // joins the rewrite goroutine on Close
 
-	records, batches, batchBytes, syncs, rewrites, rewriteErrs atomic.Uint64
+	// I/O instruments (metrics package atomics; FileStats is the shim).
+	// The histograms are created in OpenFile so the hot path never has to
+	// nil-check; RegisterMetrics publishes everything into a registry.
+	records, batches, batchBytes, syncs, rewrites, rewriteErrs metrics.Counter
+	fsyncLat                                                   *metrics.Histogram // device sync latency
+	batchRecs                                                  *metrics.Histogram // records per flushed group-commit batch
 }
 
 // Record types in the WAL.
@@ -171,6 +177,8 @@ func OpenFile(path string) (*File, error) {
 		policy:    SyncPolicyBatch,
 		syncEvery: 2 * time.Millisecond,
 		rewriteAt: 8 << 20,
+		fsyncLat:  metrics.NewHistogram(metrics.UnitNanoseconds),
+		batchRecs: metrics.NewHistogram(metrics.UnitCount),
 	}
 	if err := st.replay(); err != nil {
 		f.Close()
@@ -212,7 +220,8 @@ func (s *File) Staged() bool {
 	return n > 0
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. Kept as a compatibility
+// shim over the registered instruments.
 func (s *File) Stats() FileStats {
 	return FileStats{
 		Records:     s.records.Load(),
@@ -222,6 +231,30 @@ func (s *File) Stats() FileStats {
 		Rewrites:    s.rewrites.Load(),
 		RewriteErrs: s.rewriteErrs.Load(),
 	}
+}
+
+// FsyncLatency snapshots the device-sync latency histogram.
+func (s *File) FsyncLatency() metrics.HistSnapshot { return s.fsyncLat.Snapshot() }
+
+// RegisterMetrics implements metrics.Instrumented: the replica that owns
+// this store publishes its instruments into the replica's registry.
+func (s *File) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("gridrep_wal_records_total",
+		"WAL records appended (staged or written through)", &s.records)
+	reg.RegisterCounter("gridrep_wal_batches_total",
+		"group-commit batches flushed", &s.batches)
+	reg.RegisterCounter("gridrep_wal_batch_bytes_total",
+		"bytes carried by flushed group-commit batches", &s.batchBytes)
+	reg.RegisterCounter("gridrep_wal_syncs_total",
+		"syncs issued to the device", &s.syncs)
+	reg.RegisterCounter("gridrep_wal_rewrites_total",
+		"log rewrites (snapshot compactions) completed", &s.rewrites)
+	reg.RegisterCounter("gridrep_wal_rewrite_errors_total",
+		"log rewrite attempts that failed", &s.rewriteErrs)
+	reg.RegisterHistogram("gridrep_wal_fsync_latency_seconds",
+		"device sync latency per fsync/fdatasync", s.fsyncLat)
+	reg.RegisterHistogram("gridrep_wal_batch_records",
+		"records per flushed group-commit batch", s.batchRecs)
 }
 
 // replay loads every intact record; a torn tail (including the zero bytes
@@ -376,6 +409,7 @@ func (s *File) stage(body []byte, critical bool) {
 	if critical {
 		s.stagedCrit = true
 	}
+	s.stagedRecs++
 	s.records.Add(1)
 }
 
@@ -395,9 +429,11 @@ func (s *File) writeRecord(body []byte) error {
 	}
 	s.records.Add(1)
 	if s.Sync {
+		start := time.Now()
 		if err := s.f.Sync(); err != nil {
 			return s.poison(err)
 		}
+		s.fsyncLat.Since(start)
 		s.syncs.Add(1)
 		s.lastSync = time.Now()
 	} else {
@@ -421,9 +457,11 @@ func (s *File) Flush() error {
 	}
 	batch := s.staged
 	crit := s.stagedCrit
+	recs := s.stagedRecs
 	s.staged = s.spare[:0]
 	s.spare = nil
 	s.stagedCrit = false
+	s.stagedRecs = 0
 	s.mu.Unlock()
 
 	s.wmu.Lock()
@@ -444,12 +482,15 @@ func (s *File) Flush() error {
 		s.dirtyCrit = s.dirtyCrit || crit
 		s.batches.Add(1)
 		s.batchBytes.Add(uint64(len(batch)))
+		s.batchRecs.Observe(recs)
 	}
 	if s.shouldSyncLocked() {
+		start := time.Now()
 		if err := fdatasync(s.f); err != nil {
 			s.wmu.Unlock()
 			return s.poison(err)
 		}
+		s.fsyncLat.Since(start)
 		s.dirty, s.dirtyCrit = false, false
 		s.lastSync = time.Now()
 		s.syncs.Add(1)

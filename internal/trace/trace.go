@@ -23,16 +23,51 @@ type Event struct {
 	Note string // short payload description (request kind, instance, ...)
 }
 
-// Collector accumulates events; it is safe for concurrent use.
+// DefaultLimit is the default event capacity of a Collector. At roughly
+// 100 bytes per Event this bounds a collector left attached to a loaded
+// cluster to a few megabytes, where the old unbounded slice grew without
+// limit for as long as the tracer stayed registered.
+const DefaultLimit = 65536
+
+// Collector accumulates events into a fixed-capacity ring; once full,
+// each new event overwrites the oldest and the drop counter advances. It
+// is safe for concurrent use.
 type Collector struct {
-	mu     sync.Mutex
-	events []Event
-	start  time.Time
-	armed  bool
+	mu      sync.Mutex
+	ring    []Event // allocated lazily, capped at limit
+	head    int     // next write position once the ring is full
+	limit   int
+	dropped uint64 // events overwritten after the ring filled
+	start   time.Time
+	armed   bool
 }
 
-// NewCollector returns an empty collector.
-func NewCollector() *Collector { return &Collector{} }
+// NewCollector returns an empty collector holding up to DefaultLimit
+// events.
+func NewCollector() *Collector { return &Collector{limit: DefaultLimit} }
+
+// SetLimit resizes the ring capacity (minimum 1), discarding anything
+// collected so far. Call before tracing starts.
+func (c *Collector) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.ring = nil
+	c.head = 0
+	c.dropped = 0
+	c.armed = false
+}
+
+// Dropped returns how many events were overwritten because the ring was
+// full.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
 
 // TransportTracer adapts the collector to transport.Network.Tracer.
 func (c *Collector) TransportTracer() func(time.Time, *wire.Envelope) {
@@ -41,7 +76,7 @@ func (c *Collector) TransportTracer() func(time.Time, *wire.Envelope) {
 	}
 }
 
-// Add records one event.
+// Add records one event, evicting the oldest if the ring is full.
 func (c *Collector) Add(ev Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -49,22 +84,36 @@ func (c *Collector) Add(ev Event) {
 		c.armed = true
 		c.start = ev.At
 	}
-	c.events = append(c.events, ev)
+	if c.limit == 0 {
+		c.limit = DefaultLimit // zero-valued Collector
+	}
+	if len(c.ring) < c.limit {
+		c.ring = append(c.ring, ev)
+		return
+	}
+	c.ring[c.head] = ev
+	c.head = (c.head + 1) % c.limit
+	c.dropped++
 }
 
-// Reset discards everything collected so far.
+// Reset discards everything collected so far (capacity is kept).
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.events = nil
+	c.ring = nil
+	c.head = 0
+	c.dropped = 0
 	c.armed = false
 }
 
-// Events returns a time-sorted copy of the collected events.
+// Events returns a time-sorted copy of the retained events (the newest
+// limit events; older ones were dropped once the ring filled).
 func (c *Collector) Events() []Event {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := append([]Event{}, c.events...)
+	out := make([]Event, 0, len(c.ring))
+	out = append(out, c.ring[c.head:]...)
+	out = append(out, c.ring[:c.head]...)
+	c.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
 	return out
 }

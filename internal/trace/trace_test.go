@@ -140,3 +140,53 @@ func TestRenderLongLabelTruncated(t *testing.T) {
 		}
 	}
 }
+
+// Regression: the collector used to grow without bound for as long as a
+// tracer stayed registered. It is now a capped ring: past the limit the
+// oldest events are overwritten, the drop counter advances, and Events
+// returns exactly the newest limit events in order.
+func TestCollectorRingWraparound(t *testing.T) {
+	c := NewCollector()
+	c.SetLimit(8)
+	for i := 0; i < 20; i++ {
+		c.Add(ev(i, 0, 1, wire.MsgCommit, "commit"))
+	}
+	evs := c.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		if want := base.Add(time.Duration(12+i) * time.Millisecond); !e.At.Equal(want) {
+			t.Fatalf("event %d at %v, want %v (oldest not evicted in order)", i, e.At, want)
+		}
+	}
+	if d := c.Dropped(); d != 12 {
+		t.Fatalf("dropped = %d, want 12", d)
+	}
+}
+
+func TestCollectorResetKeepsCapacityAndClearsDrops(t *testing.T) {
+	c := NewCollector()
+	c.SetLimit(4)
+	for i := 0; i < 10; i++ {
+		c.Add(ev(i, 0, 1, wire.MsgCommit, "commit"))
+	}
+	c.Reset()
+	if len(c.Events()) != 0 || c.Dropped() != 0 {
+		t.Fatal("reset did not clear ring and drop counter")
+	}
+	for i := 0; i < 6; i++ {
+		c.Add(ev(i, 0, 1, wire.MsgCommit, "commit"))
+	}
+	if got := len(c.Events()); got != 4 {
+		t.Fatalf("retained %d events after reset, want limit 4", got)
+	}
+}
+
+func TestCollectorZeroValueUsesDefaultLimit(t *testing.T) {
+	var c Collector
+	c.Add(ev(1, 0, 1, wire.MsgCommit, "commit"))
+	if len(c.Events()) != 1 {
+		t.Fatal("zero-valued collector dropped the event")
+	}
+}

@@ -8,9 +8,9 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"gridrep/internal/metrics"
 	"gridrep/internal/wire"
 )
 
@@ -113,14 +113,15 @@ const (
 // maxFrame bounds a single frame on the wire.
 const maxFrame = wire.MaxBlob + (1 << 16)
 
-// counters aggregates transport events; read via Stats.
+// counters aggregates transport events; read via Stats or, registered
+// through RegisterMetrics, via the replica's metrics registry.
 type counters struct {
-	dials, dialFails, reconnects    atomic.Uint64
-	sent, recvd                     atomic.Uint64
-	pingsSent, pongsRecvd           atomic.Uint64
-	dropQueueFull, dropNoRoute      atomic.Uint64
-	dropWriteFail, dropRecvOverflow atomic.Uint64
-	lastRTT                         atomic.Int64 // nanoseconds
+	dials, dialFails, reconnects    metrics.Counter
+	sent, recvd                     metrics.Counter
+	pingsSent, pongsRecvd           metrics.Counter
+	dropQueueFull, dropNoRoute      metrics.Counter
+	dropWriteFail, dropRecvOverflow metrics.Counter
+	lastRTT                         metrics.Gauge // nanoseconds
 }
 
 // Stats is a point-in-time snapshot of the transport's counters, the
@@ -312,6 +313,61 @@ func (t *TCP) Stats() Stats {
 // Drops implements Meter: total envelopes dropped so far, in parity with
 // Network.Drops on the in-process transport.
 func (t *TCP) Drops() uint64 { return t.Stats().Drops() }
+
+// RegisterMetrics implements metrics.Instrumented: the replica that owns
+// this transport publishes its instruments into the replica's registry.
+// Queue depth and connected-peer count are computed on demand (they live
+// in the supervisors), via gauge funcs.
+func (t *TCP) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("gridrep_tcp_dials_total",
+		"successful connection establishments", &t.stats.dials)
+	reg.RegisterCounter("gridrep_tcp_dial_failures_total",
+		"failed dial attempts", &t.stats.dialFails)
+	reg.RegisterCounter("gridrep_tcp_reconnects_total",
+		"re-establishments after a healthy link died", &t.stats.reconnects)
+	reg.RegisterCounter("gridrep_tcp_sent_total",
+		"envelope frames sent", &t.stats.sent)
+	reg.RegisterCounter("gridrep_tcp_recvd_total",
+		"envelope frames received", &t.stats.recvd)
+	reg.RegisterCounter("gridrep_tcp_pings_sent_total",
+		"transport heartbeat pings sent", &t.stats.pingsSent)
+	reg.RegisterCounter("gridrep_tcp_pongs_recvd_total",
+		"transport heartbeat pongs received", &t.stats.pongsRecvd)
+	reg.RegisterCounter("gridrep_tcp_drop_queue_full_total",
+		"envelopes dropped by supervisor queue overflow", &t.stats.dropQueueFull)
+	reg.RegisterCounter("gridrep_tcp_drop_no_route_total",
+		"envelopes dropped with no address and no learned route", &t.stats.dropNoRoute)
+	reg.RegisterCounter("gridrep_tcp_drop_write_fail_total",
+		"envelopes that died with their connection", &t.stats.dropWriteFail)
+	reg.RegisterCounter("gridrep_tcp_drop_recv_overflow_total",
+		"envelopes dropped by receive buffer overflow", &t.stats.dropRecvOverflow)
+	reg.RegisterGauge("gridrep_tcp_last_rtt_nanoseconds",
+		"most recent measured ping round trip", &t.stats.lastRTT)
+	reg.RegisterGaugeFunc("gridrep_tcp_queue_depth",
+		"enqueued outbound envelopes across peer supervisors",
+		func() int64 {
+			var n int64
+			t.mu.Lock()
+			for _, sup := range t.sups {
+				n += int64(len(sup.q))
+			}
+			t.mu.Unlock()
+			return n
+		})
+	reg.RegisterGaugeFunc("gridrep_tcp_connected_peers",
+		"supervised links currently up",
+		func() int64 {
+			var n int64
+			t.mu.Lock()
+			for _, sup := range t.sups {
+				if sup.isUp() {
+					n++
+				}
+			}
+			t.mu.Unlock()
+			return n
+		})
+}
 
 // Send implements Transport. Envelopes to peers in the address book are
 // handed to that peer's connection supervisor (started on first use) and
@@ -761,7 +817,7 @@ func (s *supervisor) pump(conn *tcpConn, readerDone <-chan struct{}, pong <-chan
 			lastHeard = time.Now()
 			s.t.stats.pongsRecvd.Add(1)
 			if rtt := time.Now().UnixNano() - sentAt; rtt > 0 {
-				s.t.stats.lastRTT.Store(rtt)
+				s.t.stats.lastRTT.Set(rtt)
 			}
 		case bp := <-s.q:
 			err := conn.writeFrame(frameEnv, *bp)

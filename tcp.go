@@ -1,11 +1,14 @@
 package gridrep
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"time"
 
 	"gridrep/internal/client"
 	"gridrep/internal/core"
+	"gridrep/internal/metrics"
 	"gridrep/internal/storage"
 	"gridrep/internal/transport"
 	"gridrep/internal/wire"
@@ -106,6 +109,35 @@ func (s *Server) TransportStats() TransportStats { return s.tr.Stats() }
 // ReplicaStats snapshots the replica's protocol counters: pipeline
 // occupancy, speculative rollbacks, and deferred-request drops.
 func (s *Server) ReplicaStats() ReplicaStats { return s.rep.Stats() }
+
+// Metrics returns the replica's metrics registry — protocol, WAL, and
+// transport instruments in one place. Safe from any goroutine.
+func (s *Server) Metrics() *MetricsRegistry { return s.rep.Metrics() }
+
+// Health snapshots the replica's protocol position: role, ballot, commit
+// index, applied index. Safe from any goroutine.
+func (s *Server) Health() Health { return s.rep.Health() }
+
+// DebugHandler returns the replica's debug HTTP surface: /metrics serves
+// the registry (Prometheus text by default, JSON with ?format=json), and
+// /healthz serves the Health snapshot as JSON. replicad mounts this on
+// -metrics-addr; embedders can mount it on their own mux.
+func (s *Server) DebugHandler() http.Handler {
+	return debugHandler(s.rep)
+}
+
+// debugHandler builds the /metrics + /healthz mux for one replica.
+func debugHandler(rep *core.Replica) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(rep.Metrics()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep.Health())
+	})
+	return mux
+}
 
 // Close stops the replica.
 func (s *Server) Close() { s.rep.Stop() }
