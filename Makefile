@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 fmt race chaos pipeline-race bench bench-quick bench-durable-quick bench-pipeline-quick microbench benchstat clean
+.PHONY: all tier1 fmt race chaos chaos-reconfig pipeline-race bench bench-quick bench-durable-quick bench-pipeline-quick microbench benchstat clean
 
 all: tier1
 
@@ -24,6 +24,14 @@ race:
 # Just the socket-level chaos suite (transport + chaos), race-enabled.
 chaos:
 	$(GO) test -race ./internal/transport ./internal/chaos
+
+# Online-reconfiguration suite under the race detector (PR 6): snapshot
+# catch-up, consensus-decided membership change, WAL pruning, the
+# crash-rejoin-via-snapshot chaos scenario, the join-under-link-chaos
+# acceptance test, the TCP -join test, and graceful-shutdown WAL
+# flushing.
+chaos-reconfig:
+	$(GO) test -race -count 1 -run 'Reconfig|OnlineJoin|ChaosCrashRejoin|RemoveReplica|TCPOnlineJoin|GracefulShutdown|Learner|SetPeers|Prune|SnapshotMembers|TailBitFlip|Checkpoint' ./internal/cluster ./internal/core ./internal/omega ./internal/storage ./internal/chaos .
 
 # Pipelined-mode suite under the race detector: wave pipelining, the
 # linearizability matrix (depth × batching), recovery truncation, and

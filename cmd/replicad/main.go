@@ -36,6 +36,9 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "RNG seed for nondeterministic services")
 	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
 	pipeline := flag.Int("pipeline", 1, "max accept waves in flight while leading (1 = serial protocol)")
+	join := flag.Bool("join", false, "join a running cluster as a learner: catch up via snapshot streaming, then get promoted to voter by a committed config entry")
+	snapEvery := flag.Uint64("snapshot-every", 0, "durable service snapshot cadence in applied instances (0 = default 4096)")
+	pruneKeep := flag.Uint64("prune-keep", 0, "WAL instances retained below the cluster-min applied watermark (0 = default 1024)")
 	statsEvery := flag.Duration("stats", 0, "log transport and replica counters at this interval (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text; ?format=json) and /healthz on this host:port (empty = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file (stopped on shutdown)")
@@ -101,20 +104,27 @@ func main() {
 		SyncEvery:         *syncEvery,
 		HeartbeatInterval: *hb,
 		PipelineDepth:     *pipeline,
+		Join:              *join,
+		SnapshotEvery:     *snapEvery,
+		PruneKeep:         *pruneKeep,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("replica %d serving %s on %s (peers: %d)\n", *id, *svcName, srv.Addr(), len(peers))
+	mode := "serving"
+	if *join {
+		mode = "joining as learner,"
+	}
+	fmt.Printf("replica %d %s %s on %s (peers: %d)\n", *id, mode, *svcName, srv.Addr(), len(peers))
 
+	var dbg *http.Server
 	if *metricsAddr != "" {
-		dbg := &http.Server{Addr: *metricsAddr, Handler: srv.DebugHandler()}
+		dbg = &http.Server{Addr: *metricsAddr, Handler: srv.DebugHandler()}
 		go func() {
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("replicad: metrics endpoint: %v", err)
 			}
 		}()
-		defer dbg.Close()
 		fmt.Printf("metrics on http://%s/metrics (health: /healthz)\n", *metricsAddr)
 	}
 
@@ -144,6 +154,11 @@ func main() {
 		}()
 	}
 
+	// Graceful shutdown on SIGTERM/SIGINT: stop the protocol loop, flush
+	// the staged WAL batch, join any in-flight snapshot rewrite (the
+	// store close does both), and close the metrics listener — so a
+	// supervised restart replays the whole local log instead of losing
+	// the staged tail to the crash model.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -151,7 +166,12 @@ func main() {
 	close(stopStats)
 	st := srv.TransportStats()
 	log.Printf("transport final: dials=%d reconnects=%d drops=%d", st.Dials, st.Reconnects, st.Drops())
-	srv.Close()
+	if dbg != nil {
+		dbg.Close()
+	}
+	if err := srv.Shutdown(); err != nil {
+		log.Printf("replicad: shutdown: %v", err)
+	}
 }
 
 // ParsePeers parses "0=host:port,1=host:port,..." into an address book.

@@ -122,6 +122,21 @@ var (
 	ErrTimeout = client.ErrTimeout
 )
 
+// Reconfiguration errors (DESIGN.md §12), returned by Server.AddVoter
+// and Server.RemoveReplica.
+var (
+	// ErrNotLeader reports the change was proposed through a replica
+	// that is not the activated leader; retry against the leader.
+	ErrNotLeader = core.ErrNotLeader
+	// ErrConfigInFlight reports another membership change is already
+	// awaiting its commit point (changes apply one at a time).
+	ErrConfigInFlight = core.ErrConfigInFlight
+	// ErrUnsafeChange reports a transition the leader refuses: removing
+	// itself, removing down to fewer live voters than the new quorum, or
+	// promoting a learner that has not caught up.
+	ErrUnsafeChange = core.ErrUnsafeChange
+)
+
 // Service toolkit: the nondeterministic services shipped with the
 // library (see DESIGN.md §2 and the paper's §2 motivating examples).
 var (

@@ -76,6 +76,11 @@ type Config struct {
 	NoPersist bool
 	// StateMode forwards the §3.3 state-transfer mode to every replica.
 	StateMode core.StateMode
+	// SnapshotEvery and PruneKeep forward the core snapshot/prune
+	// cadence (reconfiguration tests shrink them to exercise snapshot
+	// catch-up quickly).
+	SnapshotEvery uint64
+	PruneKeep     uint64
 }
 
 func (c *Config) fillDefaults() {
@@ -119,6 +124,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	nextCli uint32
+	joiners map[wire.NodeID]bool // replicas added via AddReplica
 }
 
 // New builds and starts a cluster.
@@ -130,6 +136,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:      cfg,
 		Net:      net,
 		Replicas: make(map[wire.NodeID]*core.Replica),
+		joiners:  make(map[wire.NodeID]bool),
 	}
 	for i := 0; i < cfg.N; i++ {
 		c.ids = append(c.ids, wire.NodeID(i))
@@ -177,6 +184,9 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 		NoBatch:           c.cfg.NoBatch,
 		NoPersist:         c.cfg.NoPersist,
 		StateMode:         c.cfg.StateMode,
+		SnapshotEvery:     c.cfg.SnapshotEvery,
+		PruneKeep:         c.cfg.PruneKeep,
+		Join:              c.joiners[id],
 		Logger:            c.cfg.Logger,
 	})
 	if err != nil {
@@ -307,6 +317,68 @@ func (c *Cluster) Store(id wire.NodeID) (storage.Store, bool) {
 	st, ok := c.cfg.Stores[id]
 	c.mu.Unlock()
 	return st, ok
+}
+
+// AddReplica starts a brand-new replica that joins the running cluster
+// online: it boots as a non-voting learner, announces itself with
+// JoinReq, catches up (through snapshot streaming when the peers have
+// pruned their WALs), and is promoted to voter by a committed
+// configuration entry once caught up. Returns once the replica is
+// running; use WaitForVoter to observe the promotion.
+func (c *Cluster) AddReplica(id wire.NodeID) error {
+	c.mu.Lock()
+	for _, cur := range c.ids {
+		if cur == id {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: replica %v already exists", id)
+		}
+	}
+	c.ids = append(c.ids, id)
+	c.joiners[id] = true
+	c.mu.Unlock()
+	c.Net.Model().SetDown(id, false)
+	return c.startReplica(id)
+}
+
+// RemoveReplica proposes removing a member through the current leader.
+// The removal is in force once the configuration entry commits; the
+// removed replica steps down to an idle non-member but keeps running
+// until Crash/Close.
+func (c *Cluster) RemoveReplica(id wire.NodeID) error {
+	leader, ok := c.Leader()
+	if !ok {
+		return fmt.Errorf("cluster: no active leader to propose removal")
+	}
+	rep, ok := c.Replica(leader)
+	if !ok {
+		return fmt.Errorf("cluster: leader %v not running", leader)
+	}
+	return rep.Reconfigure(wire.ConfigRemove, id, "")
+}
+
+// WaitForVoter blocks until the leader's committed configuration lists
+// id as a voter.
+func (c *Cluster) WaitForVoter(id wire.NodeID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if leader, ok := c.Leader(); ok {
+			if rep, ok := c.Replica(leader); ok {
+				voter := false
+				rep.Inspect(func(r *core.Replica) {
+					for _, v := range r.Voters() {
+						if v == id {
+							voter = true
+						}
+					}
+				})
+				if voter {
+					return nil
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: %v not promoted to voter within %v", id, timeout)
 }
 
 // SuspectLeader forces every replica's Ω module to distrust the current

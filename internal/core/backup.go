@@ -123,6 +123,16 @@ func (r *Replica) applyCommitted(idx uint64) {
 		}
 		p := &e.Prop
 		switch {
+		case p.IsConfig():
+			// A configuration entry carries no service effect; its
+			// commit point is where the participant set and quorum
+			// switch (reconfig.go). Contiguity required: membership
+			// changes must take effect in decision order.
+			if r.applied != inst-1 {
+				return
+			}
+			r.applyConfigEntry(inst, p)
+			r.applied = inst
 		case p.HasState && p.Kind == wire.StateFull:
 			if err := r.svc.Restore(p.State); err != nil {
 				r.fatal("state restore at %d: %v", inst, err)
@@ -173,7 +183,19 @@ func (r *Replica) sendCatchup(now time.Time) {
 // wave execution, no open exclusive transaction — may answer.
 func (r *Replica) onCatchUpReq(m *wire.CatchUpReq) {
 	chosen := r.acc.Chosen()
-	if chosen <= m.HaveChosen || r.applied != chosen {
+	if chosen <= m.HaveChosen {
+		return
+	}
+	if m.HaveChosen < r.acc.PrunedTo() {
+		// The suffix the requester needs starts below our pruned
+		// prefix: entry catch-up is impossible, so open a snapshot
+		// stream instead. The durable snapshot always covers the
+		// pruned prefix (the prune guard), needs no quiescence, and
+		// the requester pulls the rest chunk by chunk (reconfig.go).
+		r.sendSnapChunk(m.From, 0)
+		return
+	}
+	if r.applied != chosen {
 		return
 	}
 	if len(r.waves) > 0 || (r.exclus && len(r.txns) > 0) {

@@ -163,6 +163,25 @@ type Config struct {
 	// StateMode selects the state-transfer reduction of §3.3.
 	StateMode StateMode
 
+	// Join marks this replica as a joiner: it starts as a non-voting
+	// learner outside the voting membership, announces itself with
+	// JoinReq broadcasts, catches up (via snapshot streaming when the
+	// peers' WALs are pruned), and becomes a voter only through a
+	// committed configuration entry (DESIGN.md §12).
+	Join bool
+	// AdvertiseAddr is the transport address peers should use to reach
+	// this replica, carried in JoinReq so existing members can extend
+	// their address books. Empty on transports that route by ID alone.
+	AdvertiseAddr string
+	// SnapshotEvery takes a durable service snapshot every this many
+	// applied instances (default 4096). Snapshots bound WAL pruning and
+	// serve streaming catch-up.
+	SnapshotEvery uint64
+	// PruneKeep retains this many instances below the cluster-wide
+	// minimum applied watermark when pruning the WAL (default 1024);
+	// everything older is discarded once a durable snapshot covers it.
+	PruneKeep uint64
+
 	// Logger, if set, receives role transitions and anomalies.
 	Logger *log.Logger
 }
@@ -188,6 +207,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.PipelineDepth <= 0 {
 		c.PipelineDepth = 1
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 4096
+	}
+	if c.PruneKeep == 0 {
+		c.PruneKeep = 1024
 	}
 }
 
@@ -259,6 +284,28 @@ type Replica struct {
 	waves        []*wave // in-flight waves, oldest first (≤ PipelineDepth)
 	nextInstance uint64
 	applied      uint64 // instance whose post-state the service reflects
+
+	// Membership (reconfig.go): voters vote and form quorums; learners
+	// receive all broadcasts but their votes are ignored and Ω never
+	// entitles them to lead. others caches voters ∪ learners minus
+	// self, the broadcast set. membersAt is the instance that decided
+	// the current configuration (0 = static boot config).
+	voters    []wire.NodeID
+	learners  []wire.NodeID
+	others    []wire.NodeID
+	membersAt uint64
+	// pendingConfig blocks new wave launches (and further membership
+	// proposals) while a configuration entry is in flight: changes are
+	// one-at-a-time, and the quorum switches at the commit point.
+	pendingConfig  bool
+	joining        bool // announcing via JoinReq until promoted to voter
+	joinSentAt     time.Time
+	peerAddrs      map[wire.NodeID]string // advertised transport addresses
+	peerApplied    map[wire.NodeID]uint64 // gossiped applied watermarks
+	snapFetch      *snapFetch             // in-progress snapshot stream (requester)
+	snapSumAt      uint64                 // served-snapshot CRC cache (responder)
+	snapSumVal     uint32
+	lastPruneCheck time.Time
 
 	// hintChosen records a commit index claimed by a peer (heartbeat, or
 	// a Commit whose entries this replica cannot locally validate); the
@@ -377,16 +424,18 @@ func New(cfg Config) (*Replica, error) {
 			Interval: cfg.HeartbeatInterval,
 			Timeout:  cfg.ElectionTimeout,
 		}),
-		reads:      make(map[wire.Key]*pendingRead),
-		confirmBuf: make(map[wire.Key][]wire.NodeID),
-		txns:       make(map[txnKey]*txnState),
-		lastReply:  make(map[wire.NodeID]cachedReply),
-		pending:    make(map[wire.Key]bool),
-		writers:    make(map[wire.NodeID]time.Time),
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
-		ctl:        make(chan func(), 16),
-		health:     make(chan peerHealth, 64),
+		reads:       make(map[wire.Key]*pendingRead),
+		confirmBuf:  make(map[wire.Key][]wire.NodeID),
+		txns:        make(map[txnKey]*txnState),
+		lastReply:   make(map[wire.NodeID]cachedReply),
+		pending:     make(map[wire.Key]bool),
+		writers:     make(map[wire.NodeID]time.Time),
+		peerAddrs:   make(map[wire.NodeID]string),
+		peerApplied: make(map[wire.NodeID]uint64),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		ctl:         make(chan func(), 16),
+		health:      make(chan peerHealth, 64),
 	}
 	r.commitFlush = time.NewTimer(time.Hour)
 	if !r.commitFlush.Stop() {
@@ -434,6 +483,10 @@ func New(cfg Config) (*Replica, error) {
 	}
 	r.maxSeen = acc.Promised()
 	r.nextInstance = acc.Chosen() + 1
+	// Seed the participant set before replay: boot replay below may walk
+	// configuration entries, each of which switches membership in
+	// commit order on top of this base.
+	r.initMembership()
 	// A recovering replica first replays its own durable log into the
 	// service; without this, a full-cluster restart would deadlock with
 	// every replica waiting for an up-to-date peer to catch up from.
@@ -523,14 +576,16 @@ func (r *Replica) logf(format string, args ...interface{}) {
 	}
 }
 
-func (r *Replica) quorum() int { return paxos.Quorum(len(r.cfg.Peers)) }
+// quorum is a majority of the *current voting* configuration; it
+// switches the moment a configuration entry commits (reconfig.go).
+func (r *Replica) quorum() int { return paxos.Quorum(len(r.voters)) }
 
-// othersDo sends msg to every peer except self.
+// othersDo sends msg to every current member — voters and learners —
+// except self. Learners receive everything (that is how they catch up)
+// but their votes are discarded.
 func (r *Replica) othersDo(msg wire.Message) {
-	for _, p := range r.cfg.Peers {
-		if p != r.cfg.ID {
-			r.tr.Send(&wire.Envelope{To: p, Msg: msg})
-		}
+	for _, p := range r.others {
+		r.tr.Send(&wire.Envelope{To: p, Msg: msg})
 	}
 }
 
@@ -698,6 +753,7 @@ func (r *Replica) handle(env *wire.Envelope) {
 		r.onConfirm(m)
 	case *wire.Heartbeat:
 		r.elector.OnHeartbeat(m, time.Now())
+		r.notePeerApplied(m.From, m.Applied)
 		if r.role == RoleBackup && m.Chosen > r.acc.Chosen() && m.Chosen > r.hintChosen {
 			// Heartbeats carry no ballot, so the claim cannot be
 			// validated against local entries; record it and let the
@@ -709,6 +765,12 @@ func (r *Replica) handle(env *wire.Envelope) {
 		r.onCatchUpReq(m)
 	case *wire.CatchUpResp:
 		r.onCatchUpResp(m)
+	case *wire.JoinReq:
+		r.onJoinReq(m)
+	case *wire.SnapReq:
+		r.onSnapReq(m)
+	case *wire.SnapChunk:
+		r.onSnapChunk(m)
 	}
 }
 
@@ -730,8 +792,12 @@ func (r *Replica) onPeerHealth(ph peerHealth) {
 func (r *Replica) tick(now time.Time) {
 	if hb := r.elector.Tick(now); hb != nil {
 		hb.Chosen = r.acc.Chosen()
+		hb.Applied = r.applied // gossip the applied watermark (prune driver)
 		r.othersDo(hb)
 	}
+	r.tickJoin(now)
+	r.maybeSnapshot()
+	r.maybePrune(now)
 	leader, ok := r.elector.Leader(now)
 	switch {
 	case ok && leader == r.cfg.ID && r.role == RoleBackup:
@@ -758,6 +824,7 @@ func (r *Replica) tick(now time.Time) {
 		}
 	case RoleLeading:
 		r.sweepWriters(now)
+		r.maybePromote()
 		for _, w := range r.waves {
 			if !w.acked && now.Sub(w.sentAt) > r.cfg.RetryTimeout {
 				w.sentAt = now
@@ -768,8 +835,12 @@ func (r *Replica) tick(now time.Time) {
 		// A backup whose applied state trails the commit index is
 		// missing entries (or their state), and one whose commit index
 		// trails a peer's claim could not validate the claimed prefix
-		// locally; either way, fetch the suffix.
-		if (r.acc.Chosen() > r.applied || r.hintChosen > r.acc.Chosen()) &&
+		// locally; either way, fetch the suffix. An in-progress
+		// snapshot stream supersedes the broadcast — tickFetch re-pulls
+		// or abandons it.
+		if r.snapFetch != nil {
+			r.tickFetch(now)
+		} else if (r.acc.Chosen() > r.applied || r.hintChosen > r.acc.Chosen()) &&
 			now.Sub(r.catchupSentAt) > r.cfg.RetryTimeout {
 			r.sendCatchup(now)
 		}
@@ -868,8 +939,11 @@ func (r *Replica) stepDown() {
 	r.pending = make(map[wire.Key]bool)
 	r.confirmBuf = make(map[wire.Key][]wire.NodeID)
 	// Any unflushed commit is moot: backups will learn the commit index
-	// from the next leader's traffic or from heartbeats.
+	// from the next leader's traffic or from heartbeats. An uncommitted
+	// configuration proposal dies with the ballot; the next leader's
+	// recovery either re-proposes or discards it.
 	r.pendingCommit = false
+	r.pendingConfig = false
 	r.nextInstance = r.acc.Chosen() + 1
 	r.logf("stepped down at chosen=%d", r.acc.Chosen())
 }

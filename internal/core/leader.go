@@ -162,7 +162,7 @@ func (r *Replica) drainBlocked() {
 // queued work goes out at the latest when the oldest wave commits,
 // which is exactly the serial schedule.
 func (r *Replica) maybeStartWave() {
-	for r.role == RoleLeading && r.activated &&
+	for r.role == RoleLeading && r.activated && !r.pendingConfig &&
 		len(r.waves) < r.cfg.PipelineDepth && len(r.queue) > 0 {
 		if !r.cfg.NoBatch && len(r.waves) > 0 &&
 			len(r.pending) < len(r.writers) {
@@ -346,6 +346,9 @@ func (r *Replica) onAccepted(from wire.NodeID, m *wire.Accepted) {
 	if r.role != RoleLeading || len(r.waves) == 0 || !m.Bal.Equal(r.bal) {
 		return
 	}
+	if !r.isVoter(from) {
+		return // learners accept and persist, but their votes never count
+	}
 	if !m.OK {
 		if r.maxSeen.Less(m.MaxProm) {
 			r.maxSeen = m.MaxProm
@@ -438,6 +441,19 @@ func (r *Replica) commitWave(w *wave) {
 		}
 	} else {
 		r.applied = top
+	}
+
+	// Configuration entries take effect exactly here, the commit point:
+	// the participant set and quorum switch before any later wave can
+	// launch. Recovery waves already applied theirs through
+	// applyCommitted above; applyConfigEntry is idempotent past it.
+	for _, e := range w.entries {
+		if e.Prop.IsConfig() {
+			r.applyConfigEntry(e.Instance, &e.Prop)
+		}
+	}
+	if r.role != RoleLeading {
+		return // the committed change removed this leader
 	}
 
 	for _, e := range w.entries {
@@ -570,6 +586,9 @@ func (r *Replica) onConfirm(m *wire.Confirm) {
 	if r.role != RoleLeading || !m.Bal.Equal(r.bal) {
 		return
 	}
+	if !r.isVoter(m.From) {
+		return // a learner's confirm is not §3.4 majority evidence
+	}
 	for _, key := range m.Reads {
 		pr, ok := r.reads[key]
 		if !ok {
@@ -650,6 +669,9 @@ func (r *Replica) flushReads() {
 func (r *Replica) onPromise(from wire.NodeID, m *wire.Promise) {
 	if r.role != RolePreparing || r.prep == nil || !m.Bal.Equal(r.bal) {
 		return
+	}
+	if !r.isVoter(from) {
+		return // only voter promises count toward the prepare quorum
 	}
 	done, rejected := r.prep.Add(m, from)
 	if rejected {

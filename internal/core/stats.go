@@ -23,6 +23,18 @@ type stats struct {
 	wavesInFlight     metrics.Gauge
 	maxWavesInFlight  metrics.Gauge
 
+	// Reconfiguration instruments (DESIGN.md §12): snapshot catch-up
+	// traffic on both sides, durable snapshot saves, WAL prune
+	// activity, and committed configuration changes.
+	snapSaves        metrics.Counter
+	catchupChunksOut metrics.Counter
+	catchupChunksIn  metrics.Counter
+	catchupBytes     metrics.Counter
+	catchupInstalls  metrics.Counter
+	pruneRuns        metrics.Counter
+	pruneEntries     metrics.Counter
+	configCommits    metrics.Counter
+
 	// Health mirrors: loop-confined protocol state (role, ballot, commit
 	// and applied indexes) copied into atomics once per loop iteration,
 	// so /healthz and the gauges below never need the event loop.
@@ -31,6 +43,9 @@ type stats struct {
 	ballotNode  atomic.Uint32
 	chosen      atomic.Uint64
 	applied     atomic.Uint64
+	snapAt      atomic.Uint64
+	prunedTo    atomic.Uint64
+	membersView atomic.Value // *membersView, refreshed on membership change
 
 	// Per-phase latency histograms stamped through the leader hot path
 	// (DESIGN.md §11): execute is the service execution of one wave's
@@ -42,6 +57,13 @@ type stats struct {
 	quorumLat  *metrics.Histogram
 	commitLat  *metrics.Histogram
 	requestLat *metrics.Histogram
+	catchupLat *metrics.Histogram
+}
+
+// membersView is the cross-goroutine snapshot of the participant set.
+type membersView struct {
+	members  []wire.NodeID
+	learners []wire.NodeID
 }
 
 // register publishes the replica's instruments into reg and creates the
@@ -75,6 +97,30 @@ func (s *stats) register(reg *metrics.Registry) {
 	reg.RegisterGaugeFunc("gridrep_applied_index",
 		"instance whose post-state the service reflects",
 		func() int64 { return int64(s.applied.Load()) })
+	reg.RegisterCounter("gridrep_snapshot_saves_total",
+		"durable service snapshots written (prune/catch-up anchors)", &s.snapSaves)
+	reg.RegisterCounter("gridrep_catchup_chunks_sent_total",
+		"snapshot catch-up chunks served to lagging peers", &s.catchupChunksOut)
+	reg.RegisterCounter("gridrep_catchup_chunks_received_total",
+		"snapshot catch-up chunks received from peers", &s.catchupChunksIn)
+	reg.RegisterCounter("gridrep_catchup_bytes_received_total",
+		"snapshot catch-up payload bytes received", &s.catchupBytes)
+	reg.RegisterCounter("gridrep_catchup_installs_total",
+		"complete snapshots installed via streaming catch-up", &s.catchupInstalls)
+	reg.RegisterCounter("gridrep_prune_runs_total",
+		"WAL prune passes that discarded entries", &s.pruneRuns)
+	reg.RegisterCounter("gridrep_prune_entries_total",
+		"log instances discarded by WAL pruning", &s.pruneEntries)
+	reg.RegisterCounter("gridrep_config_commits_total",
+		"committed membership configuration changes applied", &s.configCommits)
+	reg.RegisterGaugeFunc("gridrep_snapshot_index",
+		"instance the durable service snapshot is valid after",
+		func() int64 { return int64(s.snapAt.Load()) })
+	reg.RegisterGaugeFunc("gridrep_pruned_index",
+		"highest WAL instance discarded by pruning",
+		func() int64 { return int64(s.prunedTo.Load()) })
+	s.catchupLat = reg.Histogram("gridrep_catchup_install_seconds",
+		"snapshot stream start to install per catch-up", metrics.UnitNanoseconds)
 	s.execLat = reg.Histogram("gridrep_execute_latency_seconds",
 		"service execution time per accept wave", metrics.UnitNanoseconds)
 	s.quorumLat = reg.Histogram("gridrep_quorum_latency_seconds",
@@ -152,7 +198,18 @@ type Health struct {
 	Leading     bool        `json:"leading"`
 	Ballot      string      `json:"ballot"`
 	CommitIndex uint64      `json:"commit_index"`
-	Applied     uint64      `json:"applied"`
+	// Applied is the applied watermark: the instance whose post-state
+	// the service reflects, the quantity replicas gossip for pruning.
+	Applied uint64 `json:"applied"`
+	// SnapshotIndex is the instance the durable service snapshot is
+	// valid after (0 = no snapshot yet); PrunedIndex is the highest WAL
+	// instance discarded by pruning.
+	SnapshotIndex uint64 `json:"snapshot_index"`
+	PrunedIndex   uint64 `json:"pruned_index"`
+	// Members is the current voting configuration; Learners the
+	// non-voting catch-up members.
+	Members  []wire.NodeID `json:"members,omitempty"`
+	Learners []wire.NodeID `json:"learners,omitempty"`
 }
 
 // Health snapshots the replica's protocol position from the health
@@ -165,14 +222,21 @@ func (r *Replica) Health() Health {
 		Round: r.stats.ballotRound.Load(),
 		Node:  wire.NodeID(r.stats.ballotNode.Load()),
 	}
-	return Health{
-		ID:          r.cfg.ID,
-		Role:        role.String(),
-		Leading:     role == RoleLeading,
-		Ballot:      bal.String(),
-		CommitIndex: r.stats.chosen.Load(),
-		Applied:     r.stats.applied.Load(),
+	h := Health{
+		ID:            r.cfg.ID,
+		Role:          role.String(),
+		Leading:       role == RoleLeading,
+		Ballot:        bal.String(),
+		CommitIndex:   r.stats.chosen.Load(),
+		Applied:       r.stats.applied.Load(),
+		SnapshotIndex: r.stats.snapAt.Load(),
+		PrunedIndex:   r.stats.prunedTo.Load(),
 	}
+	if mv, ok := r.stats.membersView.Load().(*membersView); ok {
+		h.Members = mv.members
+		h.Learners = mv.learners
+	}
+	return h
 }
 
 // publishHealth refreshes the health mirrors; called from the event loop
@@ -183,4 +247,7 @@ func (r *Replica) publishHealth() {
 	r.stats.ballotNode.Store(uint32(r.bal.Node))
 	r.stats.chosen.Store(r.acc.Chosen())
 	r.stats.applied.Store(r.applied)
+	_, snapAt := r.acc.ServiceSnapshot()
+	r.stats.snapAt.Store(snapAt)
+	r.stats.prunedTo.Store(r.acc.PrunedTo())
 }

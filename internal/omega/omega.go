@@ -78,6 +78,41 @@ func New(cfg Config) *Elector {
 	}
 }
 
+// SetPeers replaces the participant set after a committed configuration
+// change. Peers need not include Self: a learner (or a removed node)
+// tracks the voters' claims but is not entitled to start one — the
+// entitlement rule in Leader only considers membership. Claims from
+// nodes no longer in the set are dropped so a removed node cannot stay
+// leader.
+func (e *Elector) SetPeers(peers []wire.NodeID) {
+	e.cfg.Peers = append([]wire.NodeID(nil), peers...)
+	in := make(map[wire.NodeID]bool, len(peers))
+	for _, p := range peers {
+		in[p] = true
+	}
+	for n := range e.claims {
+		if !in[n] {
+			delete(e.claims, n)
+		}
+	}
+	if !in[e.cfg.Self] {
+		e.Demote()
+	}
+	if e.hasLeader && !in[e.leader] {
+		e.hasLeader = false
+	}
+}
+
+// isMember reports whether Self is in the current participant set.
+func (e *Elector) isMember() bool {
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.Self {
+			return true
+		}
+	}
+	return false
+}
+
 // OnHeartbeat records a peer's heartbeat. A heartbeat whose Leader field
 // names the sender and whose Epoch is nonzero is a leadership claim.
 func (e *Elector) OnHeartbeat(hb *wire.Heartbeat, now time.Time) {
@@ -193,6 +228,11 @@ func (e *Elector) alive(n wire.NodeID, now time.Time) bool {
 	return ok && now.Sub(seen) <= e.cfg.Timeout
 }
 
+// Alive reports whether n responded within the timeout (Self is always
+// alive). The leader uses it to refuse membership changes that would
+// drop the live voter count below the new configuration's quorum.
+func (e *Elector) Alive(n wire.NodeID, now time.Time) bool { return e.alive(n, now) }
+
 // Leader returns the current leader. The boolean is false when no live
 // claim exists and this node is not entitled to start one.
 func (e *Elector) Leader(now time.Time) (wire.NodeID, bool) {
@@ -232,7 +272,13 @@ func (e *Elector) Leader(now time.Time) (wire.NodeID, bool) {
 		return 0, false
 	}
 
-	// Entitlement rule: only the smallest live node starts a new claim.
+	// Entitlement rule: only the smallest live *member* starts a new
+	// claim. A learner or removed node is never entitled, no matter its
+	// ID: it waits for the voters to elect among themselves.
+	if !e.isMember() {
+		e.hasLeader = false
+		return 0, false
+	}
 	min := e.cfg.Self
 	for _, p := range e.cfg.Peers {
 		if e.alive(p, now) && p < min {

@@ -1,0 +1,96 @@
+package omega
+
+import (
+	"testing"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// newLearner returns an elector for node 3 watching a voter set it does
+// not belong to — the Ω view of a joining learner (DESIGN.md §12).
+func newLearner() *Elector {
+	return New(Config{
+		Self:     3,
+		Peers:    []wire.NodeID{0, 1, 2},
+		Interval: 10 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+	})
+}
+
+func TestLearnerNeverSelfClaims(t *testing.T) {
+	e := newLearner()
+	// The learner hears the voters once, then they all go silent far
+	// past the failure timeout. A voter in this position would
+	// self-claim; the learner must not, no matter how long it waits.
+	for _, p := range []wire.NodeID{0, 1, 2} {
+		e.OnHeartbeat(hb(p), t0)
+	}
+	for i := 1; i <= 20; i++ {
+		now := t0.Add(time.Duration(i) * 50 * time.Millisecond)
+		if l, ok := e.Leader(now); ok && l == 3 {
+			t.Fatalf("learner self-claimed leadership at %v", now)
+		}
+	}
+	if e.ClaimEpoch() != 0 {
+		t.Fatal("learner must never start a claim")
+	}
+}
+
+func TestLearnerAdoptsVoterClaim(t *testing.T) {
+	e := newLearner()
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want 0,true (learner tracks voter claims)", l, ok)
+	}
+}
+
+func TestSetPeersEntitlesPromotedVoter(t *testing.T) {
+	e := newLearner()
+	for _, p := range []wire.NodeID{0, 1, 2} {
+		e.OnHeartbeat(hb(p), t0)
+	}
+	// Promotion commits: node 3 becomes a voter. With every other voter
+	// dead it is now the smallest live member and must claim.
+	e.SetPeers([]wire.NodeID{0, 1, 2, 3})
+	l, ok := e.Leader(t0.Add(500 * time.Millisecond))
+	if !ok || l != 3 {
+		t.Fatalf("leader = %v,%v; want self-claim by promoted voter 3", l, ok)
+	}
+	if e.ClaimEpoch() == 0 {
+		t.Fatal("promoted voter must be claiming")
+	}
+}
+
+func TestSetPeersWithdrawsRemovedSelfClaim(t *testing.T) {
+	e := newElector(0)
+	e.OnHeartbeat(hb(1), t0)
+	if l, ok := e.Leader(t0.Add(time.Millisecond)); !ok || l != 0 {
+		t.Fatalf("setup: node 0 should claim, got %v,%v", l, ok)
+	}
+	// Node 0 is removed from the configuration: its claim must be
+	// withdrawn immediately, not time out.
+	e.SetPeers([]wire.NodeID{1, 2})
+	if l, ok := e.Leader(t0.Add(2 * time.Millisecond)); ok && l == 0 {
+		t.Fatal("removed node kept its leadership claim")
+	}
+	if e.ClaimEpoch() != 0 {
+		t.Fatal("removed node must stop claiming")
+	}
+}
+
+func TestSetPeersDropsRemovedPeerClaim(t *testing.T) {
+	e := newElector(2)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	if l, ok := e.Leader(t0.Add(time.Millisecond)); !ok || l != 0 {
+		t.Fatalf("setup: leader = %v,%v; want 0", l, ok)
+	}
+	// Node 0 is removed: its stored claim is dropped so it cannot stay
+	// leader on the strength of a pre-removal heartbeat.
+	e.SetPeers([]wire.NodeID{1, 2})
+	e.OnHeartbeat(hb(1), t0.Add(2*time.Millisecond))
+	if l, ok := e.Leader(t0.Add(3 * time.Millisecond)); ok && l == 0 {
+		t.Fatal("removed peer still considered leader")
+	}
+}

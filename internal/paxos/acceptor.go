@@ -177,6 +177,56 @@ func (a *Acceptor) EntriesBetween(lo, hi uint64) []wire.Entry {
 	return out
 }
 
+// ServiceSnapshot returns the durable service snapshot and the instance
+// it is valid after, if any.
+func (a *Acceptor) ServiceSnapshot() ([]byte, uint64) {
+	return a.st.ServiceSnap, a.st.ServiceSnapAt
+}
+
+// SaveSnapshot durably records the service snapshot valid after applying
+// instance at; it is the guard that makes PruneTo safe.
+func (a *Acceptor) SaveSnapshot(snap []byte, at uint64) error {
+	if err := a.store.SaveSnapshot(snap, at); err != nil {
+		return err
+	}
+	a.st.ApplySnapshot(snap, at)
+	return nil
+}
+
+// Members returns the persisted membership and the instance that decided
+// it; nil members means the boot-time static configuration.
+func (a *Acceptor) Members() (members, learners []wire.NodeID, at uint64) {
+	return a.st.Members, a.st.Learners, a.st.MembersAt
+}
+
+// SetMembers durably records the membership decided at instance at.
+func (a *Acceptor) SetMembers(members, learners []wire.NodeID, at uint64) error {
+	if err := a.store.SetMembers(members, learners, at); err != nil {
+		return err
+	}
+	a.st.ApplyMembers(members, learners, at)
+	return nil
+}
+
+// PrunedTo returns the pruned-prefix bound: entries <= PrunedTo are gone.
+func (a *Acceptor) PrunedTo() uint64 { return a.st.PrunedTo }
+
+// PruneTo discards accepted entries below keepFrom (clamped by the store
+// to the durable service snapshot).
+func (a *Acceptor) PruneTo(keepFrom uint64) error {
+	if err := a.store.PruneTo(keepFrom); err != nil {
+		return err
+	}
+	if keepFrom > a.st.ServiceSnapAt+1 {
+		keepFrom = a.st.ServiceSnapAt + 1
+	}
+	a.st.Accepted.PruneTo(keepFrom)
+	if keepFrom > 0 && keepFrom-1 > a.st.PrunedTo {
+		a.st.PrunedTo = keepFrom - 1
+	}
+	return nil
+}
+
 // Install stores already-chosen entries learned through catch-up, keeping
 // their original ballots, and advances the commit index. Chosen values
 // are unique per instance, so overwriting a locally accepted proposal

@@ -150,11 +150,14 @@ type File struct {
 
 // Record types in the WAL.
 const (
-	recPromise  = 1
-	recAccepted = 2
-	recChosen   = 3
-	recCompact  = 4
-	recSnapshot = 5
+	recPromise     = 1
+	recAccepted    = 2
+	recChosen      = 3
+	recCompact     = 4
+	recSnapshot    = 5
+	recServiceSnap = 6 // service-state snapshot + its applied instance
+	recMembers     = 7 // membership decided by a committed config entry
+	recPrune       = 8 // accepted-log prune watermark
 )
 
 // preallocChunk is how far ahead of the logical end the file extent is
@@ -357,10 +360,73 @@ func (s *File) applyRecord(body []byte) error {
 				st.Accepted.Put(e)
 			}
 		}
+		st.PrunedTo = dec.Uvarint()
+		snapAt := dec.Uvarint()
+		st.ApplySnapshot(dec.Bytes8(), snapAt)
+		st.MembersAt = dec.Uvarint()
+		if dec.Bool() {
+			nm := dec.SliceLen()
+			if dec.Err() != nil {
+				return dec.Err()
+			}
+			st.Members = make([]wire.NodeID, nm)
+			for i := range st.Members {
+				st.Members[i] = dec.NodeID()
+			}
+		}
+		nl := dec.SliceLen()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if nl > 0 {
+			st.Learners = make([]wire.NodeID, nl)
+			for i := range st.Learners {
+				st.Learners[i] = dec.NodeID()
+			}
+		}
 		if err := dec.Done(); err != nil {
 			return err
 		}
+		st.Accepted.PruneTo(st.PrunedTo + 1)
 		s.state = st
+	case recServiceSnap:
+		at := dec.Uvarint()
+		snap := dec.Bytes8()
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		s.state.ApplySnapshot(snap, at)
+	case recMembers:
+		at := dec.Uvarint()
+		nm := dec.SliceLen()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		members := make([]wire.NodeID, nm)
+		for i := range members {
+			members[i] = dec.NodeID()
+		}
+		nl := dec.SliceLen()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		learners := make([]wire.NodeID, nl)
+		for i := range learners {
+			learners[i] = dec.NodeID()
+		}
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		s.state.ApplyMembers(members, learners, at)
+	case recPrune:
+		keepFrom := dec.Uvarint()
+		if err := dec.Done(); err != nil {
+			return err
+		}
+		s.state.Accepted.PruneTo(keepFrom)
+		if keepFrom > 0 && keepFrom-1 > s.state.PrunedTo {
+			s.state.PrunedTo = keepFrom - 1
+		}
 	default:
 		return fmt.Errorf("storage: unknown record type %d", typ)
 	}
@@ -683,6 +749,148 @@ func (s *File) Compact(keepStateFrom uint64) error {
 	return s.rewriteTo(snap)
 }
 
+// SaveSnapshot implements Store. Snapshot records are critical: pruning
+// relies on the snapshot being durable, so it must not linger unsynced
+// behind a batch policy.
+func (s *File) SaveSnapshot(snap []byte, at uint64) error {
+	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	if at < s.state.ServiceSnapAt {
+		s.mu.Unlock()
+		return nil
+	}
+	enc := s.encScratch()
+	enc.Uint8(recServiceSnap)
+	enc.Uvarint(at)
+	enc.Bytes8(snap)
+	if s.buffered {
+		s.stage(enc.Bytes(), true)
+		s.state.ApplySnapshot(snap, at)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.writeRecord(enc.Bytes()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.state.ApplySnapshot(snap, at)
+	s.mu.Unlock()
+	return nil
+}
+
+// SetMembers implements Store. Membership records are critical: a
+// replica that forgot a committed configuration could count votes
+// against the wrong quorum after recovery.
+func (s *File) SetMembers(members, learners []wire.NodeID, at uint64) error {
+	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	enc := s.encScratch()
+	enc.Uint8(recMembers)
+	enc.Uvarint(at)
+	enc.Uvarint(uint64(len(members)))
+	for _, id := range members {
+		enc.NodeID(id)
+	}
+	enc.Uvarint(uint64(len(learners)))
+	for _, id := range learners {
+		enc.NodeID(id)
+	}
+	if s.buffered {
+		s.stage(enc.Bytes(), true)
+		s.state.ApplyMembers(members, learners, at)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.writeRecord(enc.Bytes()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.state.ApplyMembers(members, learners, at)
+	s.mu.Unlock()
+	return nil
+}
+
+// PruneTo implements Store. The prune point is clamped to the durable
+// service snapshot so a crash can always recover: replay finds the
+// snapshot record before (or folded together with) the prune record.
+// Physical reclamation happens at the next log rewrite, which skips the
+// pruned prefix.
+func (s *File) PruneTo(keepFrom uint64) error {
+	s.mu.Lock()
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	if keepFrom > s.state.ServiceSnapAt+1 {
+		keepFrom = s.state.ServiceSnapAt + 1
+	}
+	if keepFrom == 0 || keepFrom-1 <= s.state.PrunedTo {
+		s.mu.Unlock()
+		return nil
+	}
+	enc := s.encScratch()
+	enc.Uint8(recPrune)
+	enc.Uvarint(keepFrom)
+	if s.buffered {
+		s.stage(enc.Bytes(), false)
+		s.state.Accepted.PruneTo(keepFrom)
+		s.state.PrunedTo = keepFrom - 1
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.writeRecord(enc.Bytes()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.state.Accepted.PruneTo(keepFrom)
+	s.state.PrunedTo = keepFrom - 1
+	s.mu.Unlock()
+	return nil
+}
+
+// Checkpoint synchronously folds the current state into a single
+// snapshot record in a fresh file — the same temp file + rename +
+// parent-dir fsync path as background rewrites — physically reclaiming
+// pruned and compacted records. Used after a snapshot install and by
+// tests that bound WAL disk usage.
+func (s *File) Checkpoint() error {
+	s.wmu.Lock()
+	if s.rewriting {
+		// A background rewrite is already folding the log; it will
+		// capture the same state via its tail.
+		s.wmu.Unlock()
+		return nil
+	}
+	s.rewriting = true
+	s.tail = s.tail[:0]
+	s.wmu.Unlock()
+	s.mu.Lock()
+	snap := s.state.Clone()
+	s.mu.Unlock()
+	if err := s.rewriteTo(snap); err != nil {
+		s.rewriteErrs.Add(1)
+		s.wmu.Lock()
+		s.rewriting = false
+		s.tail = nil
+		s.wmu.Unlock()
+		os.Remove(s.path + ".tmp")
+		return err
+	}
+	return nil
+}
+
 // maybeRewriteLocked starts a background rewrite once the log passes the
 // threshold. Caller holds wmu. The rewriting flag is raised before the
 // snapshot is cloned, so every record flushed from here on is captured in
@@ -736,6 +944,21 @@ func (s *File) rewriteTo(snap *PersistentState) error {
 		acc.MarshalTo(enc)
 		return true
 	})
+	enc.Uvarint(snap.PrunedTo)
+	enc.Uvarint(snap.ServiceSnapAt)
+	enc.Bytes8(snap.ServiceSnap)
+	enc.Uvarint(snap.MembersAt)
+	enc.Bool(snap.Members != nil)
+	if snap.Members != nil {
+		enc.Uvarint(uint64(len(snap.Members)))
+		for _, id := range snap.Members {
+			enc.NodeID(id)
+		}
+	}
+	enc.Uvarint(uint64(len(snap.Learners)))
+	for _, id := range snap.Learners {
+		enc.NodeID(id)
+	}
 	buf := appendFrame(nil, enc.Bytes())
 
 	tmp := s.path + ".tmp"

@@ -29,6 +29,23 @@ type PersistentState struct {
 	Accepted *AcceptedLog
 	// Chosen is the commit index: all instances <= Chosen are chosen.
 	Chosen uint64
+	// ServiceSnap is the latest durable service-state snapshot, valid
+	// after applying instance ServiceSnapAt. It is what makes WAL pruning
+	// safe: every instance <= ServiceSnapAt is covered by the snapshot,
+	// so its log entries may be discarded.
+	ServiceSnap   []byte
+	ServiceSnapAt uint64
+	// Members and Learners are the membership in force as decided by the
+	// configuration entry at instance MembersAt (nil Members means the
+	// boot-time static configuration). Membership is persisted explicitly
+	// because the configuration entries that produced it may sit below
+	// the pruned prefix and can no longer be replayed.
+	Members   []wire.NodeID
+	Learners  []wire.NodeID
+	MembersAt uint64
+	// PrunedTo records that accepted entries with instance <= PrunedTo
+	// have been discarded from the log (a service snapshot covers them).
+	PrunedTo uint64
 }
 
 // NewPersistentState returns an empty state.
@@ -42,9 +59,13 @@ func NewPersistentState() *PersistentState {
 // the map it replaced, without incremental rehash pauses on the replica
 // event loop as the log grows across a long run.
 type AcceptedLog struct {
-	ents []wire.Entry // ents[i] holds instance i+1; Instance==0 marks a hole
+	// base is the number of leading instances pruned away: instances
+	// <= base are gone (covered by a service snapshot) and ents[i]
+	// holds instance base+i+1.
+	base uint64
+	ents []wire.Entry // ents[i] holds instance base+i+1; Instance==0 marks a hole
 	n    int          // number of present entries
-	max  uint64       // highest present instance
+	max  uint64       // highest instance ever present
 	// stripLo is the slice index below which state payloads have already
 	// been stripped; successive StripStatesBelow calls resume there
 	// instead of rescanning from zero (compaction runs periodically
@@ -57,25 +78,28 @@ func NewAcceptedLog() *AcceptedLog { return &AcceptedLog{} }
 
 // Get returns the proposal accepted for inst, if any.
 func (l *AcceptedLog) Get(inst uint64) (wire.Entry, bool) {
-	if inst == 0 || inst > uint64(len(l.ents)) {
+	if inst <= l.base || inst > l.base+uint64(len(l.ents)) {
 		return wire.Entry{}, false
 	}
-	e := l.ents[inst-1]
+	e := l.ents[inst-l.base-1]
 	return e, e.Instance != 0
 }
 
 // Put records e under its instance, overwriting any earlier proposal.
+// Entries inside the pruned prefix are dropped: a service snapshot
+// already covers them.
 func (l *AcceptedLog) Put(e wire.Entry) {
-	if e.Instance == 0 {
+	if e.Instance == 0 || e.Instance <= l.base {
 		return
 	}
-	for uint64(len(l.ents)) < e.Instance {
+	for l.base+uint64(len(l.ents)) < e.Instance {
 		l.ents = append(l.ents, wire.Entry{})
 	}
-	if l.ents[e.Instance-1].Instance == 0 {
+	i := e.Instance - l.base - 1
+	if l.ents[i].Instance == 0 {
 		l.n++
 	}
-	l.ents[e.Instance-1] = e
+	l.ents[i] = e
 	if e.Instance > l.max {
 		l.max = e.Instance
 	}
@@ -84,18 +108,30 @@ func (l *AcceptedLog) Put(e wire.Entry) {
 // Len returns the number of instances holding an accepted proposal.
 func (l *AcceptedLog) Len() int { return l.n }
 
-// Max returns the highest instance with an accepted proposal, 0 if none.
+// Max returns the highest instance that ever held an accepted proposal,
+// 0 if none. Pruning does not lower it.
 func (l *AcceptedLog) Max() uint64 { return l.max }
+
+// Base returns the pruned prefix bound: instances <= Base have been
+// discarded.
+func (l *AcceptedLog) Base() uint64 { return l.base }
 
 // Ascend calls fn on every present entry with lo < instance <= hi in
 // instance order; hi == 0 means unbounded above. fn returning false
 // stops the walk.
 func (l *AcceptedLog) Ascend(lo, hi uint64, fn func(e wire.Entry) bool) {
-	end := uint64(len(l.ents))
-	if hi != 0 && hi < end {
-		end = hi
+	if hi != 0 && hi <= l.base {
+		return
 	}
-	for i := lo; i < end; i++ {
+	if lo < l.base {
+		lo = l.base
+	}
+	start := lo - l.base
+	end := uint64(len(l.ents))
+	if hi != 0 && hi-l.base < end {
+		end = hi - l.base
+	}
+	for i := start; i < end; i++ {
 		if e := l.ents[i]; e.Instance != 0 {
 			if !fn(e) {
 				return
@@ -109,12 +145,12 @@ func (l *AcceptedLog) Ascend(lo, hi uint64, fn func(e wire.Entry) bool) {
 // (a new leader can still learn the full command log; only the latest
 // state matters).
 func (l *AcceptedLog) StripStatesBelow(keepStateFrom uint64) {
-	if keepStateFrom == 0 {
+	if keepStateFrom == 0 || keepStateFrom <= l.base {
 		return
 	}
 	end := uint64(len(l.ents))
-	if keepStateFrom-1 < end {
-		end = keepStateFrom - 1
+	if rel := keepStateFrom - l.base - 1; rel < end {
+		end = rel
 	}
 	for i := l.stripLo; i < end; i++ {
 		if l.ents[i].Instance != 0 && l.ents[i].Prop.HasState {
@@ -127,9 +163,39 @@ func (l *AcceptedLog) StripStatesBelow(keepStateFrom uint64) {
 	}
 }
 
+// PruneTo discards every entry with instance < keepFrom, releasing the
+// backing memory. Callers must ensure a service snapshot covers the
+// discarded prefix first (see Store.PruneTo).
+func (l *AcceptedLog) PruneTo(keepFrom uint64) {
+	if keepFrom == 0 || keepFrom-1 <= l.base {
+		return
+	}
+	newBase := keepFrom - 1
+	if top := l.base + uint64(len(l.ents)); newBase > top {
+		newBase = top
+	}
+	drop := newBase - l.base
+	for i := uint64(0); i < drop; i++ {
+		if l.ents[i].Instance != 0 {
+			l.n--
+		}
+	}
+	// Copy the survivors into a fresh slice so the pruned prefix's
+	// backing array (and the payloads it pins) becomes collectable.
+	rest := make([]wire.Entry, uint64(len(l.ents))-drop)
+	copy(rest, l.ents[drop:])
+	l.ents = rest
+	l.base = newBase
+	if l.stripLo > drop {
+		l.stripLo -= drop
+	} else {
+		l.stripLo = 0
+	}
+}
+
 // Clone deep-copies the log structure (entries share backing payloads).
 func (l *AcceptedLog) Clone() *AcceptedLog {
-	return &AcceptedLog{ents: append([]wire.Entry(nil), l.ents...), n: l.n, max: l.max, stripLo: l.stripLo}
+	return &AcceptedLog{base: l.base, ents: append([]wire.Entry(nil), l.ents...), n: l.n, max: l.max, stripLo: l.stripLo}
 }
 
 // Store is the stable-storage interface used by a replica. The protocol
@@ -154,6 +220,18 @@ type Store interface {
 	// below keepStateFrom, bounding storage growth; requests are kept
 	// so a new leader can still learn the full command log.
 	Compact(keepStateFrom uint64) error
+	// SaveSnapshot durably records the service snapshot valid after
+	// applying instance at, superseding any older one. It is the
+	// prune guard: PruneTo never discards entries the latest snapshot
+	// does not cover.
+	SaveSnapshot(snap []byte, at uint64) error
+	// SetMembers durably records the membership decided by the
+	// configuration entry at instance at.
+	SetMembers(members, learners []wire.NodeID, at uint64) error
+	// PruneTo discards accepted entries with instance < keepFrom,
+	// clamped so the durable service snapshot always covers the
+	// discarded prefix (keepFrom <= ServiceSnapAt+1).
+	PruneTo(keepFrom uint64) error
 	// Close releases resources.
 	Close() error
 }
@@ -187,13 +265,40 @@ func (s *PersistentState) putAccepted(entries []wire.Entry, maxAccepted wire.Bal
 	}
 }
 
+// ApplyMembers records a membership decision if it is newer than the one
+// held; shared by implementations.
+func (s *PersistentState) ApplyMembers(members, learners []wire.NodeID, at uint64) {
+	if at < s.MembersAt && s.Members != nil {
+		return
+	}
+	s.Members = append([]wire.NodeID(nil), members...)
+	s.Learners = append([]wire.NodeID(nil), learners...)
+	s.MembersAt = at
+}
+
+// ApplySnapshot records a service snapshot if it is at least as new as
+// the one held; shared by implementations.
+func (s *PersistentState) ApplySnapshot(snap []byte, at uint64) {
+	if at < s.ServiceSnapAt {
+		return
+	}
+	s.ServiceSnap = append([]byte(nil), snap...)
+	s.ServiceSnapAt = at
+}
+
 // Clone deep-copies the state (for snapshot isolation in tests).
 func (s *PersistentState) Clone() *PersistentState {
 	return &PersistentState{
-		Promised:    s.Promised,
-		MaxAccepted: s.MaxAccepted,
-		Chosen:      s.Chosen,
-		Accepted:    s.Accepted.Clone(),
+		Promised:      s.Promised,
+		MaxAccepted:   s.MaxAccepted,
+		Chosen:        s.Chosen,
+		Accepted:      s.Accepted.Clone(),
+		ServiceSnap:   append([]byte(nil), s.ServiceSnap...),
+		ServiceSnapAt: s.ServiceSnapAt,
+		Members:       append([]wire.NodeID(nil), s.Members...),
+		Learners:      append([]wire.NodeID(nil), s.Learners...),
+		MembersAt:     s.MembersAt,
+		PrunedTo:      s.PrunedTo,
 	}
 }
 
@@ -237,6 +342,30 @@ func (m *Mem) SetChosen(idx uint64) error {
 // Compact implements Store.
 func (m *Mem) Compact(keepStateFrom uint64) error {
 	m.state.Accepted.StripStatesBelow(keepStateFrom)
+	return nil
+}
+
+// SaveSnapshot implements Store.
+func (m *Mem) SaveSnapshot(snap []byte, at uint64) error {
+	m.state.ApplySnapshot(snap, at)
+	return nil
+}
+
+// SetMembers implements Store.
+func (m *Mem) SetMembers(members, learners []wire.NodeID, at uint64) error {
+	m.state.ApplyMembers(members, learners, at)
+	return nil
+}
+
+// PruneTo implements Store.
+func (m *Mem) PruneTo(keepFrom uint64) error {
+	if keepFrom > m.state.ServiceSnapAt+1 {
+		keepFrom = m.state.ServiceSnapAt + 1
+	}
+	m.state.Accepted.PruneTo(keepFrom)
+	if keepFrom > 0 && keepFrom-1 > m.state.PrunedTo {
+		m.state.PrunedTo = keepFrom - 1
+	}
 	return nil
 }
 

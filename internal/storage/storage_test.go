@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -329,6 +330,194 @@ func TestMemFileEquivalence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFileTailBitFlipTruncates is the tail-corruption regression test:
+// a bit flip inside the last record of a real WAL (a torn or silently
+// corrupted final write) must make replay truncate at that record, keep
+// everything before it, and leave the store writable — and a record
+// appended after the truncation must survive a further reopen (no
+// corrupt garbage may linger past the new tail).
+func TestFileTailBitFlipTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sync = false
+	b := wire.Ballot{Round: 2, Node: 1}
+	s.SetPromised(b)
+	s.PutAccepted([]wire.Entry{entry(1, b, "a", true), entry(2, b, "b", true)}, b)
+	s.SetChosen(2)
+	off, _ := s.f.Seek(0, 2) // start of the record we are about to tear
+	s.PutAccepted([]wire.Entry{entry(3, b, "c", true)}, b)
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off+3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("bit-flipped tail must not fail open: %v", err)
+	}
+	st, _ := s2.Load()
+	if !st.Promised.Equal(b) || st.Chosen != 2 {
+		t.Fatalf("state before the corrupt record lost: %+v", st)
+	}
+	if _, ok := st.Accepted.Get(3); ok {
+		t.Fatal("corrupt tail record must be dropped")
+	}
+	if e2, ok := st.Accepted.Get(2); !ok || string(e2.Prop.Reqs[0].Op) != "b" {
+		t.Fatalf("entry 2 lost: %+v", e2)
+	}
+	// The store must accept appends past the truncation point, and those
+	// appends must be replayable: no corrupt bytes may survive past the
+	// new tail to poison the next recovery.
+	if err := s2.PutAccepted([]wire.Entry{entry(3, b, "c2", true)}, b); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	s3, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	st3, _ := s3.Load()
+	e3, ok := st3.Accepted.Get(3)
+	if !ok || string(e3.Prop.Reqs[0].Op) != "c2" {
+		t.Fatalf("re-appended record lost after second reopen: %+v", e3)
+	}
+}
+
+// TestSnapshotMembersPruneReplay drives the reconfiguration records —
+// service snapshot, membership, prune — through a real WAL and requires
+// a reopen to replay them exactly (DESIGN.md §12).
+func TestSnapshotMembersPruneReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sync = false
+	b := wire.Ballot{Round: 1, Node: 0}
+	var ents []wire.Entry
+	for i := uint64(1); i <= 5; i++ {
+		ents = append(ents, entry(i, b, fmt.Sprintf("op%d", i), true))
+	}
+	s.PutAccepted(ents, b)
+	s.SetChosen(5)
+	if err := s.SaveSnapshot([]byte("snap@4"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMembers([]wire.NodeID{0, 1, 2, 3}, []wire.NodeID{7}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PruneTo(4); err != nil { // discards instances 1..3
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, _ := s2.Load()
+	if string(st.ServiceSnap) != "snap@4" || st.ServiceSnapAt != 4 {
+		t.Fatalf("snapshot replay wrong: %q at %d", st.ServiceSnap, st.ServiceSnapAt)
+	}
+	if len(st.Members) != 4 || st.Members[3] != 3 || len(st.Learners) != 1 || st.Learners[0] != 7 || st.MembersAt != 3 {
+		t.Fatalf("membership replay wrong: %v %v at %d", st.Members, st.Learners, st.MembersAt)
+	}
+	if st.PrunedTo != 3 {
+		t.Fatalf("PrunedTo = %d, want 3", st.PrunedTo)
+	}
+	if _, ok := st.Accepted.Get(2); ok {
+		t.Fatal("pruned entry 2 must not replay")
+	}
+	for i := uint64(4); i <= 5; i++ {
+		if _, ok := st.Accepted.Get(i); !ok {
+			t.Fatalf("retained entry %d lost", i)
+		}
+	}
+}
+
+// TestPruneClampedToSnapshot requires both stores to refuse to discard
+// log entries the durable service snapshot does not cover — the prune
+// safety guard.
+func TestPruneClampedToSnapshot(t *testing.T) {
+	for name, mk := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			b := wire.Ballot{Round: 1, Node: 0}
+			var ents []wire.Entry
+			for i := uint64(1); i <= 6; i++ {
+				ents = append(ents, entry(i, b, "x", false))
+			}
+			s.PutAccepted(ents, b)
+			s.SaveSnapshot([]byte("s"), 2)
+			// Ask to prune past the snapshot: only 1..2 may go.
+			if err := s.PruneTo(6); err != nil {
+				t.Fatal(err)
+			}
+			st, _ := s.Load()
+			if st.PrunedTo != 2 {
+				t.Fatalf("PrunedTo = %d, want clamp at snapshot index 2", st.PrunedTo)
+			}
+			if _, ok := st.Accepted.Get(3); !ok {
+				t.Fatal("entry 3 above the snapshot must survive the clamped prune")
+			}
+			if _, ok := st.Accepted.Get(2); ok {
+				t.Fatal("entry 2 under the snapshot should be pruned")
+			}
+		})
+	}
+}
+
+// TestFileCheckpointKeepsReconfigState folds snapshot + membership +
+// prune state through a synchronous checkpoint rewrite and a reopen.
+func TestFileCheckpointKeepsReconfigState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sync = false
+	b := wire.Ballot{Round: 3, Node: 2}
+	s.PutAccepted([]wire.Entry{entry(1, b, "a", true), entry(2, b, "b", true)}, b)
+	s.SetChosen(2)
+	s.SaveSnapshot([]byte("chk"), 1)
+	s.SetMembers([]wire.NodeID{0, 1}, nil, 2)
+	s.PruneTo(2)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, _ := s2.Load()
+	if string(st.ServiceSnap) != "chk" || st.ServiceSnapAt != 1 || st.PrunedTo != 1 ||
+		len(st.Members) != 2 || st.MembersAt != 2 {
+		t.Fatalf("checkpoint lost reconfig state: %+v", st)
+	}
+	if _, ok := st.Accepted.Get(2); !ok {
+		t.Fatal("retained entry 2 lost across checkpoint")
 	}
 }
 

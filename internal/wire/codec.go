@@ -411,6 +411,27 @@ func newEnvelopeFor(t MsgType) *Envelope {
 		})
 		x.e.Msg = &x.m
 		return &x.e
+	case MsgJoinReq:
+		x := new(struct {
+			e Envelope
+			m JoinReq
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgSnapReq:
+		x := new(struct {
+			e Envelope
+			m SnapReq
+		})
+		x.e.Msg = &x.m
+		return &x.e
+	case MsgSnapChunk:
+		x := new(struct {
+			e Envelope
+			m SnapChunk
+		})
+		x.e.Msg = &x.m
+		return &x.e
 	default:
 		return nil
 	}

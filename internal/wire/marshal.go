@@ -48,6 +48,11 @@ func marshalProposal(enc *Encoder, p *Proposal) {
 	for _, res := range p.Results {
 		enc.Bytes8(res)
 	}
+	enc.Uint8(uint8(p.ConfigOp))
+	if p.ConfigOp != ConfigNone {
+		enc.NodeID(p.ConfigNode)
+		enc.String(p.ConfigAddr)
+	}
 }
 
 func unmarshalProposal(dec *Decoder, p *Proposal) error {
@@ -92,6 +97,18 @@ func unmarshalProposal(dec *Decoder, p *Proposal) error {
 		}
 	} else {
 		p.Results = nil
+	}
+	op := dec.Uint8()
+	if op >= uint8(numConfigOps) && dec.Err() == nil {
+		return fmt.Errorf("wire: invalid config op %d", op)
+	}
+	p.ConfigOp = ConfigOp(op)
+	if p.ConfigOp != ConfigNone {
+		p.ConfigNode = dec.NodeID()
+		p.ConfigAddr = dec.String()
+	} else {
+		p.ConfigNode = 0
+		p.ConfigAddr = ""
 	}
 	return dec.Err()
 }
@@ -304,6 +321,7 @@ func (m *Heartbeat) MarshalTo(enc *Encoder) {
 	enc.Uvarint(m.Epoch)
 	enc.NodeID(m.Leader)
 	enc.Uvarint(m.Chosen)
+	enc.Uvarint(m.Applied)
 }
 
 // UnmarshalFrom implements Message.
@@ -312,6 +330,7 @@ func (m *Heartbeat) UnmarshalFrom(dec *Decoder) error {
 	m.Epoch = dec.Uvarint()
 	m.Leader = dec.NodeID()
 	m.Chosen = dec.Uvarint()
+	m.Applied = dec.Uvarint()
 	return dec.Err()
 }
 
@@ -325,6 +344,80 @@ func (m *CatchUpReq) MarshalTo(enc *Encoder) {
 func (m *CatchUpReq) UnmarshalFrom(dec *Decoder) error {
 	m.From = dec.NodeID()
 	m.HaveChosen = dec.Uvarint()
+	return dec.Err()
+}
+
+func marshalNodeIDs(enc *Encoder, ids []NodeID) {
+	enc.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		enc.NodeID(id)
+	}
+}
+
+func unmarshalNodeIDs(dec *Decoder) []NodeID {
+	n := dec.SliceLen()
+	if dec.Err() != nil || n == 0 {
+		return nil
+	}
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = dec.NodeID()
+	}
+	return ids
+}
+
+// MarshalTo implements Message.
+func (m *JoinReq) MarshalTo(enc *Encoder) {
+	enc.NodeID(m.From)
+	enc.String(m.Addr)
+	enc.Uvarint(m.Applied)
+}
+
+// UnmarshalFrom implements Message.
+func (m *JoinReq) UnmarshalFrom(dec *Decoder) error {
+	m.From = dec.NodeID()
+	m.Addr = dec.String()
+	m.Applied = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *SnapReq) MarshalTo(enc *Encoder) {
+	enc.NodeID(m.From)
+	enc.Uvarint(m.SnapAt)
+	enc.Uvarint(m.Offset)
+}
+
+// UnmarshalFrom implements Message.
+func (m *SnapReq) UnmarshalFrom(dec *Decoder) error {
+	m.From = dec.NodeID()
+	m.SnapAt = dec.Uvarint()
+	m.Offset = dec.Uvarint()
+	return dec.Err()
+}
+
+// MarshalTo implements Message.
+func (m *SnapChunk) MarshalTo(enc *Encoder) {
+	enc.NodeID(m.From)
+	enc.Uvarint(m.SnapAt)
+	enc.Uvarint(m.Total)
+	enc.Uvarint(m.Offset)
+	enc.Bytes8(m.Data)
+	enc.Uint32(m.Sum)
+	marshalNodeIDs(enc, m.Members)
+	marshalNodeIDs(enc, m.Learners)
+}
+
+// UnmarshalFrom implements Message.
+func (m *SnapChunk) UnmarshalFrom(dec *Decoder) error {
+	m.From = dec.NodeID()
+	m.SnapAt = dec.Uvarint()
+	m.Total = dec.Uvarint()
+	m.Offset = dec.Uvarint()
+	m.Data = dec.Bytes8()
+	m.Sum = dec.Uint32()
+	m.Members = unmarshalNodeIDs(dec)
+	m.Learners = unmarshalNodeIDs(dec)
 	return dec.Err()
 }
 

@@ -200,10 +200,42 @@ const (
 	StateDelta
 )
 
+// ConfigOp classifies a membership-change proposal (online
+// reconfiguration). Configuration entries ride the normal Paxos path —
+// one instance decides one add-one or remove-one change — and the voter
+// set and quorum sizes switch exactly at the commit point.
+type ConfigOp uint8
+
+const (
+	// ConfigNone: an ordinary proposal, no membership change.
+	ConfigNone ConfigOp = iota
+	// ConfigAddVoter promotes a caught-up learner to a voting member.
+	ConfigAddVoter
+	// ConfigRemove removes a member from the voter set.
+	ConfigRemove
+
+	numConfigOps
+)
+
+func (o ConfigOp) String() string {
+	switch o {
+	case ConfigNone:
+		return "none"
+	case ConfigAddVoter:
+		return "add-voter"
+	case ConfigRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("configop(%d)", uint8(o))
+	}
+}
+
 // Proposal is the value decided by one consensus instance: the request and
 // the leader's post-execution state (§3.3). For ordinary instances the
 // proposal carries exactly one request; for T-Paxos commit instances it
-// carries every request of the transaction in execution order.
+// carries every request of the transaction in execution order. A
+// configuration entry (ConfigOp != ConfigNone) carries no requests; it
+// changes the membership when it commits.
 type Proposal struct {
 	Reqs []Request
 	// State is the leader's service state after executing Reqs — a full
@@ -223,7 +255,20 @@ type Proposal struct {
 	// executed Reqs, carried so that a new leader can re-reply to
 	// clients without re-executing (nondeterminism is captured once).
 	Results [][]byte
+	// ConfigOp, when not ConfigNone, marks this proposal as a
+	// membership-change entry for ConfigNode. The new configuration
+	// takes effect at the commit point of this instance.
+	ConfigOp ConfigOp
+	// ConfigNode is the member being added or removed.
+	ConfigNode NodeID
+	// ConfigAddr is ConfigNode's transport address (add-voter entries
+	// only), so replicas that learn the entry late — through recovery or
+	// catch-up — can still route to the new member.
+	ConfigAddr string
 }
+
+// IsConfig reports whether the proposal is a membership-change entry.
+func (p *Proposal) IsConfig() bool { return p.ConfigOp != ConfigNone }
 
 // Entry is a proposal bound to an instance and the ballot under which it
 // was accepted.
@@ -252,6 +297,9 @@ const (
 	MsgHeartbeat
 	MsgCatchUpReq
 	MsgCatchUpResp
+	MsgJoinReq
+	MsgSnapReq
+	MsgSnapChunk
 
 	numMsgTypes
 )
@@ -280,6 +328,12 @@ func (t MsgType) String() string {
 		return "catchup-req"
 	case MsgCatchUpResp:
 		return "catchup-resp"
+	case MsgJoinReq:
+		return "join-req"
+	case MsgSnapReq:
+		return "snap-req"
+	case MsgSnapChunk:
+		return "snap-chunk"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -386,6 +440,10 @@ type Heartbeat struct {
 	Epoch  uint64 // leadership claim epoch (0 when not claiming)
 	Leader NodeID // sender's current leader estimate
 	Chosen uint64 // sender's commit index
+	// Applied is the sender's applied watermark — the instance whose
+	// post-state its service reflects. Replicas gossip it so storage can
+	// prune WAL records below the cluster-wide minimum (DESIGN.md §12).
+	Applied uint64
 }
 
 func (*Heartbeat) Type() MsgType { return MsgHeartbeat }
@@ -415,6 +473,59 @@ type CatchUpResp struct {
 }
 
 func (*CatchUpResp) Type() MsgType { return MsgCatchUpResp }
+
+// JoinReq announces a node that wants to become a member. The joiner
+// broadcasts it until it sees itself in a committed configuration: every
+// receiver learns the joiner's transport address, and the leader admits
+// the node as a non-voting learner, proposing the add-voter configuration
+// entry once the learner's gossiped applied watermark has caught up.
+type JoinReq struct {
+	From NodeID
+	// Addr is the joiner's transport listen address ("" on transports
+	// that route by node ID and need no address book).
+	Addr string
+	// Applied is the joiner's applied watermark at send time, so the
+	// leader can track catch-up progress before the first heartbeat.
+	Applied uint64
+}
+
+func (*JoinReq) Type() MsgType { return MsgJoinReq }
+
+// SnapReq asks a peer for one chunk of its latest service-state snapshot.
+// The first request carries SnapAt 0 (any snapshot) and Offset 0; the
+// responder pins a snapshot and the requester then asks for successive
+// offsets of that SnapAt, which is what makes the stream resumable: after
+// a lost chunk or a responder switch, the requester re-asks at the offset
+// it has assembled so far.
+type SnapReq struct {
+	From NodeID
+	// SnapAt names the snapshot being streamed (its applied instance); 0
+	// lets the responder pick its latest.
+	SnapAt uint64
+	// Offset is the byte offset of the requested chunk.
+	Offset uint64
+}
+
+func (*SnapReq) Type() MsgType { return MsgSnapReq }
+
+// SnapChunk carries one bounded chunk of a service-state snapshot valid
+// after applying instance SnapAt. Sum is the CRC-32 of the *whole*
+// snapshot, verified by the requester after the final chunk; each chunk
+// is additionally protected by the transport framing. Members/Learners
+// describe the membership as of SnapAt so a fresh replica installs the
+// configuration together with the state.
+type SnapChunk struct {
+	From     NodeID
+	SnapAt   uint64
+	Total    uint64 // total snapshot bytes
+	Offset   uint64 // offset of Data within the snapshot
+	Data     []byte
+	Sum      uint32 // CRC-32 (IEEE) of the full snapshot
+	Members  []NodeID
+	Learners []NodeID
+}
+
+func (*SnapChunk) Type() MsgType { return MsgSnapChunk }
 
 // RequestMsg wraps a client Request for transport.
 type RequestMsg struct {
@@ -456,6 +567,12 @@ func New(t MsgType) Message {
 		return &CatchUpReq{}
 	case MsgCatchUpResp:
 		return &CatchUpResp{}
+	case MsgJoinReq:
+		return &JoinReq{}
+	case MsgSnapReq:
+		return &SnapReq{}
+	case MsgSnapChunk:
+		return &SnapChunk{}
 	default:
 		return nil
 	}

@@ -163,6 +163,14 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&Heartbeat{From: 0, Epoch: 123, Leader: 0},
 		&CatchUpReq{From: 2, HaveChosen: 80},
 		&CatchUpResp{From: 0, Entries: []Entry{sampleEntry()}, Chosen: 91},
+		&Heartbeat{From: 1, Epoch: 124, Leader: 0, Chosen: 91, Applied: 88},
+		&JoinReq{From: 3, Addr: "127.0.0.1:9003", Applied: 12},
+		&JoinReq{From: 4},
+		&SnapReq{From: 3, SnapAt: 90, Offset: 65536},
+		&SnapChunk{From: 0, SnapAt: 90, Total: 100, Offset: 64,
+			Data: []byte("chunk-bytes"), Sum: 0xdeadbeef,
+			Members: []NodeID{0, 1, 2}, Learners: []NodeID{3}},
+		&SnapChunk{From: 0, SnapAt: 90, Total: 0, Sum: 1},
 	}
 	for _, m := range msgs {
 		env := &Envelope{From: 0, To: 1, Msg: m}
@@ -431,6 +439,20 @@ func TestProposalNilAuxElementPreserved(t *testing.T) {
 	got := roundTrip(t, env).Msg.(*Accept).Entries[0]
 	if len(got.Prop.Aux) != 1 || len(got.Prop.Aux[0]) != 0 {
 		t.Fatalf("nil aux element not preserved: %+v", got.Prop.Aux)
+	}
+}
+
+func TestConfigProposalRoundTrip(t *testing.T) {
+	e := Entry{Instance: 7, Bal: Ballot{3, 0}, Prop: Proposal{
+		ConfigOp:   ConfigAddVoter,
+		ConfigNode: 3,
+		ConfigAddr: "127.0.0.1:9003",
+	}}
+	env := &Envelope{From: 0, To: 1, Msg: &Accept{Bal: Ballot{3, 0}, Entries: []Entry{e}}}
+	got := roundTrip(t, env).Msg.(*Accept).Entries[0]
+	if !got.Prop.IsConfig() || got.Prop.ConfigOp != ConfigAddVoter ||
+		got.Prop.ConfigNode != 3 || got.Prop.ConfigAddr != "127.0.0.1:9003" {
+		t.Fatalf("config entry lost: %+v", got.Prop)
 	}
 }
 

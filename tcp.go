@@ -46,14 +46,26 @@ type ServerOptions struct {
 	// flight speculatively while leading (default 1 — the paper's serial
 	// protocol; see DESIGN.md §10).
 	PipelineDepth int
+	// Join starts this replica as an online joiner (DESIGN.md §12): a
+	// non-voting learner that announces itself to the peers listed in
+	// Peers, catches up via snapshot streaming, and becomes a voter
+	// through a committed configuration entry. Peers must still contain
+	// this replica's own listen address under ID.
+	Join bool
+	// SnapshotEvery and PruneKeep tune the durable-snapshot cadence and
+	// the WAL retention slack below the cluster-wide applied watermark
+	// (defaults 4096 and 1024 instances).
+	SnapshotEvery uint64
+	PruneKeep     uint64
 	// Transport tunes the TCP transport (zero value = defaults).
 	Transport TransportOptions
 }
 
 // Server is one running TCP replica.
 type Server struct {
-	rep *core.Replica
-	tr  *transport.TCP
+	rep   *core.Replica
+	tr    *transport.TCP
+	store storage.Store // nil when running on in-memory storage
 }
 
 // ListenAndServe starts a replica serving the replication protocol over
@@ -91,13 +103,17 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 		Transport:         tr,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		PipelineDepth:     opts.PipelineDepth,
+		Join:              opts.Join,
+		AdvertiseAddr:     opts.Peers[opts.ID],
+		SnapshotEvery:     opts.SnapshotEvery,
+		PruneKeep:         opts.PruneKeep,
 	})
 	if err != nil {
 		tr.Close()
 		return nil, err
 	}
 	rep.Start()
-	return &Server{rep: rep, tr: tr}, nil
+	return &Server{rep: rep, tr: tr, store: store}, nil
 }
 
 // Addr returns the replica's actual listen address.
@@ -139,8 +155,49 @@ func debugHandler(rep *core.Replica) http.Handler {
 	return mux
 }
 
-// Close stops the replica.
+// Close stops the replica abruptly (the crash model: staged WAL
+// records are dropped — acknowledged writes are durable on a quorum,
+// not on one replica's shutdown path). Use Shutdown for a clean exit.
 func (s *Server) Close() { s.rep.Stop() }
+
+// Shutdown stops the replica gracefully: the event loop and persister
+// exit, the staged WAL batch is flushed, and the store is closed —
+// which joins any in-flight background snapshot rewrite and truncates
+// the preallocated tail. Preferred over Close when the process will
+// restart and should replay as much of its own log as possible.
+func (s *Server) Shutdown() error {
+	s.rep.Stop()
+	if s.store == nil {
+		return nil
+	}
+	var err error
+	if fl, ok := s.store.(storage.Flusher); ok {
+		err = fl.Flush()
+	}
+	if cl, ok := s.store.(interface{ Close() error }); ok {
+		if cerr := cl.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// AddVoter asks this replica (which must be the active leader) to
+// promote a caught-up learner to voter; RemoveReplica proposes removing
+// a member. Both changes are decided by consensus and take effect at
+// the configuration entry's commit point (DESIGN.md §12).
+func (s *Server) AddVoter(id NodeID, addr string) error {
+	return s.rep.Reconfigure(wire.ConfigAddVoter, id, addr)
+}
+
+// RemoveReplica proposes removing a member from the voting
+// configuration through this replica (which must be the active
+// leader). The leader refuses unsafe transitions: removing itself, or
+// any change that would drop the live voter count below the new
+// configuration's quorum.
+func (s *Server) RemoveReplica(id NodeID) error {
+	return s.rep.Reconfigure(wire.ConfigRemove, id, "")
+}
 
 // DialOptions configures a TCP client.
 type DialOptions struct {
