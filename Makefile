@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 fmt race chaos chaos-reconfig pipeline-race bench bench-quick bench-durable-quick bench-pipeline-quick microbench benchstat clean
+.PHONY: all tier1 fmt race chaos chaos-reconfig pipeline-race shard-race bench bench-quick bench-durable-quick bench-pipeline-quick bench-shard-quick microbench benchstat clean
 
 all: tier1
 
@@ -39,6 +39,13 @@ chaos-reconfig:
 pipeline-race:
 	$(GO) test -race -count 1 -run 'Pipelin|Linearizability|Recovery' ./internal/core ./internal/chaos ./internal/paxos
 
+# Sharded-consensus suite under the race detector (PR 7, DESIGN.md §13):
+# the shard router, the group multiplexer, per-group WAL directory
+# creation, the sharded in-process cluster scenarios, the groups={1,4}
+# TCP linearizability matrix, and the cross-group transaction refusal.
+shard-race:
+	$(GO) test -race -count 1 -run 'Shard|GroupMux|CrossGroup|OpenFile|WithPrefix|Rank|Group' ./internal/shard ./internal/transport ./internal/storage ./internal/metrics ./internal/omega ./internal/cluster ./internal/bench .
+
 bench:
 	$(GO) run ./cmd/benchpaxos -exp all
 
@@ -55,6 +62,12 @@ bench-durable-quick:
 # Scaled-down pipeline-depth sweep over durable WALs (PR 4).
 bench-pipeline-quick:
 	$(GO) run ./cmd/benchpaxos -exp pipeline -quick -durable
+
+# Scaled-down sharded benchmarks (PR 7): the single-vs-sharded Figure 6
+# write curve and the durable groups × GOMAXPROCS sweep.
+bench-shard-quick:
+	$(GO) run ./cmd/benchpaxos -exp fig6-sharded -quick
+	$(GO) run ./cmd/benchpaxos -exp shard-sweep -quick -durable
 
 # Hot-path microbenchmarks: wire codec, both transports, and the WAL
 # write path (per-record vs group commit), with allocs.

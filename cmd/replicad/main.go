@@ -30,6 +30,7 @@ func main() {
 	id := flag.Uint("id", 0, "this replica's ID (index into -peers)")
 	peersFlag := flag.String("peers", "", "comma-separated id=host:port list for all replicas")
 	svcName := flag.String("service", "kv", "service to replicate: kv, broker, sched, noop")
+	groups := flag.Int("groups", 1, "independent consensus groups hosted by this process (sharded key space; 1 = classic single-group deployment)")
 	wal := flag.String("wal", "", "write-ahead log path (empty = in-memory storage)")
 	syncFlag := flag.String("sync", "batch", "WAL sync policy: always, batch, or interval")
 	syncEvery := flag.Duration("syncinterval", 0, "fsync period for -sync interval (default 2ms)")
@@ -78,16 +79,18 @@ func main() {
 		log.Fatalf("replicad: -id %d not present in -peers", *id)
 	}
 
-	var svc gridrep.Service
+	// Each consensus group owns an independent slice of the key space,
+	// so every group gets its own service instance.
+	var newSvc gridrep.ServiceFactory
 	switch *svcName {
 	case "kv":
-		svc = gridrep.NewKV()
+		newSvc = func() gridrep.Service { return gridrep.NewKV() }
 	case "broker":
-		svc = gridrep.NewBroker(*seed)
+		newSvc = func() gridrep.Service { return gridrep.NewBroker(*seed) }
 	case "sched":
-		svc = gridrep.NewSched()
+		newSvc = func() gridrep.Service { return gridrep.NewSched() }
 	case "noop":
-		svc = gridrep.NewNoop()
+		newSvc = func() gridrep.Service { return gridrep.NewNoop() }
 	default:
 		log.Fatalf("replicad: unknown service %q", *svcName)
 	}
@@ -98,7 +101,8 @@ func main() {
 	srv, err := gridrep.ListenAndServe(gridrep.ServerOptions{
 		ID:                gridrep.NodeID(*id),
 		Peers:             peers,
-		Service:           svc,
+		NewService:        newSvc,
+		Groups:            *groups,
 		WALPath:           *wal,
 		SyncPolicy:        pol,
 		SyncEvery:         *syncEvery,
@@ -115,7 +119,11 @@ func main() {
 	if *join {
 		mode = "joining as learner,"
 	}
-	fmt.Printf("replica %d %s %s on %s (peers: %d)\n", *id, mode, *svcName, srv.Addr(), len(peers))
+	if *groups > 1 {
+		fmt.Printf("replica %d %s %s on %s (peers: %d, groups: %d)\n", *id, mode, *svcName, srv.Addr(), len(peers), *groups)
+	} else {
+		fmt.Printf("replica %d %s %s on %s (peers: %d)\n", *id, mode, *svcName, srv.Addr(), len(peers))
+	}
 
 	var dbg *http.Server
 	if *metricsAddr != "" {

@@ -120,6 +120,11 @@ var (
 	ErrAborted = client.ErrAborted
 	// ErrTimeout reports that no leader answered within the deadline.
 	ErrTimeout = client.ErrTimeout
+	// ErrCrossGroup reports a transaction that touched keys in more
+	// than one consensus group of a sharded deployment (DESIGN.md §13);
+	// each group coordinates independently, so a transaction must stay
+	// within the group of its first operation.
+	ErrCrossGroup = client.ErrCrossGroup
 )
 
 // Reconfiguration errors (DESIGN.md §12), returned by Server.AddVoter
@@ -216,6 +221,15 @@ type ClusterOptions struct {
 	// one wave per RTT+fsync). Higher depths overlap consensus instances
 	// on the stable leader; see DESIGN.md §10.
 	PipelineDepth int
+	// Groups is the number of independent consensus groups hosted by
+	// every replica process (default 1). With Groups > 1 the key space
+	// is partitioned by hash routing: each group runs its own state
+	// machine, Ω elector, and WAL family (group-<g>/ subdirectories
+	// under DataDir), with leadership spread so group g prefers replica
+	// g mod Replicas. Transactions must stay within one group — a
+	// multi-group transaction fails with ErrCrossGroup. See DESIGN.md
+	// §13.
+	Groups int
 }
 
 // Cluster is a running in-process deployment.
@@ -227,6 +241,7 @@ type Cluster struct {
 func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	cfg := cluster.Config{
 		N:              opts.Replicas,
+		Groups:         opts.Groups,
 		Service:        opts.Service,
 		Profile:        opts.Profile,
 		Seed:           opts.Seed,
@@ -248,6 +263,11 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 			st.SetPolicy(opts.SyncPolicy, opts.SyncEvery)
 			cfg.Stores[wire.NodeID(i)] = st
 		}
+		// Groups beyond 0 are created by the cluster itself under
+		// DataDir/group-<g>/ with the same sync policy.
+		cfg.DataDir = opts.DataDir
+		cfg.SyncPolicy = opts.SyncPolicy
+		cfg.SyncInterval = opts.SyncEvery
 	}
 	inner, err := cluster.New(cfg)
 	if err != nil {

@@ -35,17 +35,49 @@ func (c ReqClass) String() string {
 }
 
 // issue sends one request of the class through cli.
-func (c ReqClass) issue(cli *client.Client) error {
+func (c ReqClass) issue(cli *client.Client) error { return c.issueOp(cli, service.NoopWriteOp) }
+
+// issueOp sends one request of the class with the given mutation op.
+// Reads always use the empty read op: a keyed (non-empty) op would turn
+// the X-Paxos leader-local read into a state mutation.
+func (c ReqClass) issueOp(cli *client.Client, op []byte) error {
 	var err error
 	switch c {
 	case ClassRead:
 		_, err = cli.Read(service.NoopReadOp)
 	case ClassWrite:
-		_, err = cli.Write(service.NoopWriteOp)
+		_, err = cli.Write(op)
 	default:
-		_, err = cli.Original(service.NoopWriteOp)
+		_, err = cli.Original(op)
 	}
 	return err
+}
+
+// KeyedWriteOp returns a noop write op tagged with the worker index.
+// The noop service treats every non-empty op as the same empty mutation,
+// so the tag is semantically inert — but the shard router hashes the
+// whole op when a service exposes no keys, so distinct tags give each
+// closed-loop worker a stable consensus group. Without it every worker
+// of a sharded benchmark would hash onto one group and measure nothing.
+func KeyedWriteOp(worker int) []byte {
+	op := make([]byte, 5)
+	op[0] = service.NoopWriteOp[0] // mutation marker
+	op[1] = byte(worker)
+	op[2] = byte(worker >> 8)
+	op[3] = byte(worker >> 16)
+	op[4] = byte(worker >> 24)
+	return op
+}
+
+// defaultOpFor picks the per-worker op family for a cluster: sharded
+// clusters get keyed ops so workers spread across groups; single-group
+// clusters keep the byte-identical classic op (the bench baseline's
+// wire bytes must not change at -groups 1).
+func defaultOpFor(cl *cluster.Cluster) func(worker int) []byte {
+	if cl.Groups() > 1 {
+		return KeyedWriteOp
+	}
+	return nil
 }
 
 // MeasureRRT measures request response time with a single closed-loop
@@ -90,9 +122,20 @@ func MeasureThroughput(cl *cluster.Cluster, class ReqClass, clients, total int) 
 // buckets, so the measurement does not perturb the workload), from which
 // the point's quantiles are extracted.
 func MeasureThroughputPoint(cl *cluster.Cluster, class ReqClass, clients, total int) (ThroughputPoint, error) {
+	return MeasureThroughputPointOps(cl, class, clients, total, defaultOpFor(cl))
+}
+
+// MeasureThroughputPointOps is MeasureThroughputPoint with an explicit
+// per-worker op family (nil = the shared classic op). Sharded callers
+// pass KeyedWriteOp — or their own keyed builder — so each worker lands
+// on a stable consensus group.
+func MeasureThroughputPointOps(cl *cluster.Cluster, class ReqClass, clients, total int, opFor func(worker int) []byte) (ThroughputPoint, error) {
 	per := total / clients
 	if per == 0 {
 		per = 1
+	}
+	if opFor == nil {
+		opFor = func(int) []byte { return service.NoopWriteOp }
 	}
 	clis := make([]*client.Client, clients)
 	for i := range clis {
@@ -103,7 +146,7 @@ func MeasureThroughputPoint(cl *cluster.Cluster, class ReqClass, clients, total 
 		defer cli.Close()
 		clis[i] = cli
 		// Per-client warmup before the barrier.
-		if err := class.issue(cli); err != nil {
+		if err := class.issueOp(cli, opFor(i)); err != nil {
 			return ThroughputPoint{}, fmt.Errorf("warmup: %w", err)
 		}
 	}
@@ -111,20 +154,20 @@ func MeasureThroughputPoint(cl *cluster.Cluster, class ReqClass, clients, total 
 	start := make(chan struct{})
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
-	for _, cli := range clis {
+	for i, cli := range clis {
 		wg.Add(1)
-		go func(cli *client.Client) {
+		go func(cli *client.Client, op []byte) {
 			defer wg.Done()
 			<-start
 			for j := 0; j < per; j++ {
 				t := time.Now()
-				if err := class.issue(cli); err != nil {
+				if err := class.issueOp(cli, op); err != nil {
 					errs <- err
 					return
 				}
 				hist.Since(t)
 			}
-		}(cli)
+		}(cli, opFor(i))
 	}
 	t0 := time.Now()
 	close(start)

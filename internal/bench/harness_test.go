@@ -124,3 +124,44 @@ func TestLatencyOrderingLoopback(t *testing.T) {
 		t.Errorf("write (%.3f) should not beat read (%.3f)", write.Mean, read.Mean)
 	}
 }
+
+// TestShardedThroughputSpreadsGroups: on a sharded cluster the default
+// keyed write ops land on more than one consensus group — the property
+// that makes the sharded fig6 variant measure scale-out rather than a
+// single hot group.
+func TestShardedThroughputSpreadsGroups(t *testing.T) {
+	const groups = 4
+	c, err := cluster.New(cluster.Config{
+		Groups:            groups,
+		HeartbeatInterval: 5 * time.Millisecond,
+		ClientRetryEvery:  200 * time.Millisecond,
+		ClientDeadline:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.WaitForAllLeaders(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := MeasureThroughputPoint(c, ClassWrite, 8, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.PerSecond <= 0 {
+		t.Fatalf("throughput = %+v", tp)
+	}
+	progressed := 0
+	for g := 0; g < groups; g++ {
+		rep, ok := c.GroupReplica(0, g)
+		if !ok {
+			t.Fatalf("group %d replica missing", g)
+		}
+		if rep.Health().CommitIndex > 0 {
+			progressed++
+		}
+	}
+	if progressed < 2 {
+		t.Fatalf("only %d groups committed anything; keyed ops are not spreading", progressed)
+	}
+}

@@ -30,6 +30,11 @@ var (
 	ErrTimeout = errors.New("client: request timed out")
 	// ErrClosed reports use of a closed client.
 	ErrClosed = errors.New("client: closed")
+	// ErrCrossGroup reports a transaction operation that routed to a
+	// different consensus group than the transaction's first operation.
+	// Sharded deployments (DESIGN.md §13) coordinate each group
+	// independently; a transaction must stay within one group.
+	ErrCrossGroup = errors.New("client: transaction spans consensus groups")
 )
 
 // ServiceError wraps a StatusError reply from the service.
@@ -160,6 +165,8 @@ func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte)
 				return nil, fmt.Errorf("%w: %s", ErrAborted, rm.Rep.Err)
 			case wire.StatusError:
 				return nil, &ServiceError{Msg: rm.Rep.Err}
+			case wire.StatusCrossGroup:
+				return nil, fmt.Errorf("%w: %s", ErrCrossGroup, rm.Rep.Err)
 			case wire.StatusNotLeader:
 				// Keep waiting; the rebroadcast timer covers the case
 				// where no real leader saw the request.

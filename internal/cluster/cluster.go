@@ -2,6 +2,12 @@
 // n core.Replica instances and any number of clients on one chanx
 // network whose latencies come from a netem profile. Integration tests,
 // examples, and the benchmark harness all build on it.
+//
+// With Config.Groups > 1 the cluster becomes a group manager (DESIGN.md
+// §13): every node hosts one independent consensus group per group id —
+// its own state machine, Ω elector, and WAL — multiplexed over the
+// node's single network endpoint, with client requests routed by key
+// hash and leadership spread so group g prefers replica g mod N.
 package cluster
 
 import (
@@ -13,8 +19,10 @@ import (
 
 	"gridrep/internal/client"
 	"gridrep/internal/core"
+	"gridrep/internal/metrics"
 	"gridrep/internal/netem"
 	"gridrep/internal/service"
+	"gridrep/internal/shard"
 	"gridrep/internal/storage"
 	"gridrep/internal/transport"
 	"gridrep/internal/wire"
@@ -25,19 +33,29 @@ type Config struct {
 	// N is the number of service replicas (default 3, the paper's
 	// configuration: t=1).
 	N int
+	// Groups is the number of independent consensus groups hosted by
+	// every node (default 1 — the single-group deployment, whose boot
+	// path, wire format, and metric names are exactly the pre-sharding
+	// ones). See DESIGN.md §13.
+	Groups int
 	// Profile selects the network model (default netem.Loopback()).
 	Profile netem.Profile
 	// Seed drives the network model's randomness.
 	Seed int64
 	// Service creates each replica's service instance (default
-	// service.NoopFactory).
+	// service.NoopFactory). With Groups > 1 every group gets its own
+	// instance; the service should implement service.Sharder if routing
+	// must follow application keys.
 	Service service.Factory
 	// Stores optionally provides stable storage per replica (default
-	// in-memory); retained across Crash/Restart.
+	// in-memory); retained across Crash/Restart. With Groups > 1 this
+	// map covers group 0 only; other groups use DataDir-derived WALs or
+	// in-memory stores (see GroupStore).
 	Stores map[wire.NodeID]storage.Store
 	// DataDir, when set and no store is supplied for a replica, gives
 	// each replica a file-backed WAL at <DataDir>/replica-<id>.wal
-	// instead of the in-memory default.
+	// instead of the in-memory default. Groups beyond 0 nest under
+	// <DataDir>/group-<g>/.
 	DataDir string
 	// SyncPolicy and SyncInterval configure DataDir-created WALs (see
 	// storage.SyncPolicy; interval only applies to
@@ -87,6 +105,9 @@ func (c *Config) fillDefaults() {
 	if c.N == 0 {
 		c.N = 3
 	}
+	if c.Groups <= 0 {
+		c.Groups = 1
+	}
 	if c.Profile.Configure == nil {
 		c.Profile = netem.Loopback()
 	}
@@ -113,18 +134,28 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// gsKey identifies one (node, group) replica slot.
+type gsKey struct {
+	id wire.NodeID
+	g  int
+}
+
 // Cluster is a running deployment. All methods are safe for concurrent
 // use; the exported Replicas map must only be read directly when no
 // failure injection runs concurrently.
 type Cluster struct {
 	cfg      Config
 	Net      *transport.Network
-	Replicas map[wire.NodeID]*core.Replica
+	Replicas map[wire.NodeID]*core.Replica // group 0 — the pre-sharding view
 	ids      []wire.NodeID
 
 	mu      sync.Mutex
 	nextCli uint32
-	joiners map[wire.NodeID]bool // replicas added via AddReplica
+	joiners map[wire.NodeID]bool                // replicas added via AddReplica
+	greps   map[gsKey]*core.Replica             // groups beyond 0
+	gstores map[gsKey]storage.Store             // groups beyond 0
+	muxes   map[wire.NodeID]*transport.GroupMux // sharded nodes only
+	regs    map[wire.NodeID]*metrics.Registry   // shared per-node registry (sharded)
 }
 
 // New builds and starts a cluster.
@@ -137,6 +168,10 @@ func New(cfg Config) (*Cluster, error) {
 		Net:      net,
 		Replicas: make(map[wire.NodeID]*core.Replica),
 		joiners:  make(map[wire.NodeID]bool),
+		greps:    make(map[gsKey]*core.Replica),
+		gstores:  make(map[gsKey]storage.Store),
+		muxes:    make(map[wire.NodeID]*transport.GroupMux),
+		regs:     make(map[wire.NodeID]*metrics.Registry),
 	}
 	for i := 0; i < cfg.N; i++ {
 		c.ids = append(c.ids, wire.NodeID(i))
@@ -150,57 +185,139 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// Groups returns the per-node consensus group count.
+func (c *Cluster) Groups() int { return c.cfg.Groups }
+
+// store resolves (creating if necessary) the stable storage for one
+// (node, group) slot. Caller holds c.mu.
+func (c *Cluster) store(id wire.NodeID, g int) (storage.Store, error) {
+	if g == 0 {
+		st, ok := c.cfg.Stores[id]
+		if !ok {
+			var err error
+			if st, err = c.newStore(id, g); err != nil {
+				return nil, err
+			}
+			c.cfg.Stores[id] = st
+		}
+		return st, nil
+	}
+	k := gsKey{id, g}
+	st, ok := c.gstores[k]
+	if !ok {
+		var err error
+		if st, err = c.newStore(id, g); err != nil {
+			return nil, err
+		}
+		c.gstores[k] = st
+	}
+	return st, nil
+}
+
+func (c *Cluster) newStore(id wire.NodeID, g int) (storage.Store, error) {
+	if c.cfg.DataDir == "" {
+		return storage.NewMem(), nil
+	}
+	path := GroupWALPath(c.cfg.DataDir, g, id)
+	fs, err := storage.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.SetPolicy(c.cfg.SyncPolicy, c.cfg.SyncInterval)
+	return fs, nil
+}
+
+// GroupWALPath is the WAL layout shared by the in-process cluster and
+// the TCP server: group 0 keeps the pre-sharding path (a `-groups 1`
+// data dir is byte-for-byte a single-group one), and each further group
+// nests in its own subdirectory.
+func GroupWALPath(dir string, g int, id wire.NodeID) string {
+	if g == 0 {
+		return filepath.Join(dir, fmt.Sprintf("replica-%d.wal", id))
+	}
+	return filepath.Join(dir, fmt.Sprintf("group-%d", g), fmt.Sprintf("replica-%d.wal", id))
+}
+
+// startReplica boots every consensus group of one node.
 func (c *Cluster) startReplica(id wire.NodeID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.cfg.Stores[id]
-	if !ok {
-		if c.cfg.DataDir != "" {
-			fs, err := storage.OpenFile(filepath.Join(c.cfg.DataDir, fmt.Sprintf("replica-%d.wal", id)))
-			if err != nil {
-				return err
-			}
-			fs.SetPolicy(c.cfg.SyncPolicy, c.cfg.SyncInterval)
-			st = fs
-		} else {
-			st = storage.NewMem()
-		}
-		c.cfg.Stores[id] = st
-	}
 	ep, err := c.Net.Endpoint(id)
 	if err != nil {
 		return err
 	}
-	rep, err := core.New(core.Config{
-		ID:                id,
-		Peers:             append([]wire.NodeID{}, c.ids...),
-		Service:           c.cfg.Service(),
-		Store:             st,
-		Transport:         ep,
-		HeartbeatInterval: c.cfg.HeartbeatInterval,
-		ElectionTimeout:   c.cfg.ElectionTimeout,
-		RetryTimeout:      c.cfg.RetryTimeout,
-		PipelineDepth:     c.cfg.PipelineDepth,
-		NoBatch:           c.cfg.NoBatch,
-		NoPersist:         c.cfg.NoPersist,
-		StateMode:         c.cfg.StateMode,
-		SnapshotEvery:     c.cfg.SnapshotEvery,
-		PruneKeep:         c.cfg.PruneKeep,
-		Join:              c.joiners[id],
-		Logger:            c.cfg.Logger,
-	})
-	if err != nil {
-		return err
+	groups := c.cfg.Groups
+	var trFor func(g int) transport.Transport
+	var regFor func(g int) *metrics.Registry
+	if groups == 1 {
+		// Single-group: the endpoint goes straight into the core — no
+		// multiplexer, no shared registry. This is the exact pre-sharding
+		// assembly, byte-for-byte on the wire and name-for-name in
+		// metrics.
+		trFor = func(int) transport.Transport { return ep }
+		regFor = func(int) *metrics.Registry { return nil }
+	} else {
+		router := shard.NewRouter(groups, c.cfg.Service())
+		mux := transport.NewGroupMux(ep, groups, router.Route)
+		c.muxes[id] = mux
+		reg := metrics.NewRegistry()
+		c.regs[id] = reg
+		trFor = func(g int) transport.Transport { return mux.Group(g) }
+		regFor = func(g int) *metrics.Registry {
+			if g == 0 {
+				return reg
+			}
+			return reg.WithPrefix(fmt.Sprintf("group_%d_", g))
+		}
 	}
-	c.Replicas[id] = rep
-	rep.Start()
+	for g := 0; g < groups; g++ {
+		st, err := c.store(id, g)
+		if err != nil {
+			return err
+		}
+		var rank func(wire.NodeID) uint64
+		if groups > 1 {
+			rank = shard.LeaderRank(uint32(g), c.cfg.N)
+		}
+		rep, err := core.New(core.Config{
+			ID:                id,
+			Peers:             append([]wire.NodeID{}, c.ids...),
+			Service:           c.cfg.Service(),
+			Store:             st,
+			Transport:         trFor(g),
+			HeartbeatInterval: c.cfg.HeartbeatInterval,
+			ElectionTimeout:   c.cfg.ElectionTimeout,
+			RetryTimeout:      c.cfg.RetryTimeout,
+			PipelineDepth:     c.cfg.PipelineDepth,
+			NoBatch:           c.cfg.NoBatch,
+			NoPersist:         c.cfg.NoPersist,
+			StateMode:         c.cfg.StateMode,
+			SnapshotEvery:     c.cfg.SnapshotEvery,
+			PruneKeep:         c.cfg.PruneKeep,
+			Join:              c.joiners[id],
+			Metrics:           regFor(g),
+			LeaderRank:        rank,
+			Logger:            c.cfg.Logger,
+		})
+		if err != nil {
+			return err
+		}
+		if g == 0 {
+			c.Replicas[id] = rep
+		} else {
+			c.greps[gsKey{id, g}] = rep
+		}
+		rep.Start()
+	}
 	return nil
 }
 
 // IDs returns the replica IDs.
 func (c *Cluster) IDs() []wire.NodeID { return append([]wire.NodeID{}, c.ids...) }
 
-// NewClient attaches a fresh client to the cluster.
+// NewClient attaches a fresh client to the cluster. Clients are
+// group-unaware: requests are routed to consensus groups by the
+// replicas' multiplexers.
 func (c *Cluster) NewClient() (*client.Client, error) {
 	c.mu.Lock()
 	c.nextCli++
@@ -218,12 +335,64 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 	}), nil
 }
 
-// Replica returns the running replica with the given ID, if any.
+// Replica returns the running group-0 replica with the given ID, if any.
 func (c *Cluster) Replica(id wire.NodeID) (*core.Replica, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	rep, ok := c.Replicas[id]
 	return rep, ok
+}
+
+// GroupReplica returns node id's replica for consensus group g, if
+// running.
+func (c *Cluster) GroupReplica(id wire.NodeID, g int) (*core.Replica, bool) {
+	if g == 0 {
+		return c.Replica(id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, ok := c.greps[gsKey{id, g}]
+	return rep, ok
+}
+
+// GroupStore returns the stable storage assigned to node id's group g.
+func (c *Cluster) GroupStore(id wire.NodeID, g int) (storage.Store, bool) {
+	if g == 0 {
+		return c.Store(id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.gstores[gsKey{id, g}]
+	return st, ok
+}
+
+// NodeMetrics returns the node's process-wide registry when sharded
+// (group 0 unprefixed, group g prefixed group_<g>_), or the group-0
+// replica's own registry otherwise.
+func (c *Cluster) NodeMetrics(id wire.NodeID) (*metrics.Registry, bool) {
+	c.mu.Lock()
+	if reg, ok := c.regs[id]; ok {
+		c.mu.Unlock()
+		return reg, true
+	}
+	c.mu.Unlock()
+	rep, ok := c.Replica(id)
+	if !ok {
+		return nil, false
+	}
+	return rep.Metrics(), true
+}
+
+// GroupHealths reports every group's protocol position on one node, in
+// group order — the in-process twin of the TCP server's /healthz array.
+func (c *Cluster) GroupHealths(id wire.NodeID) []core.Health {
+	out := make([]core.Health, 0, c.cfg.Groups)
+	for g := 0; g < c.cfg.Groups; g++ {
+		if rep, ok := c.GroupReplica(id, g); ok {
+			out = append(out, rep.Health())
+		}
+	}
+	return out
 }
 
 // Running returns the IDs of currently running replicas.
@@ -239,16 +408,19 @@ func (c *Cluster) Running() []wire.NodeID {
 	return out
 }
 
-// Leader returns the currently active leader, if any. A partitioned
-// stale leader may still believe it leads (harmlessly — it can commit
-// nothing); among several claimants the one with the highest ballot is
-// the real leader.
-func (c *Cluster) Leader() (wire.NodeID, bool) {
+// Leader returns the currently active leader of group 0, if any. A
+// partitioned stale leader may still believe it leads (harmlessly — it
+// can commit nothing); among several claimants the one with the highest
+// ballot is the real leader.
+func (c *Cluster) Leader() (wire.NodeID, bool) { return c.GroupLeader(0) }
+
+// GroupLeader returns the currently active leader of group g, if any.
+func (c *Cluster) GroupLeader(g int) (wire.NodeID, bool) {
 	var best wire.NodeID
 	var bestBal wire.Ballot
 	found := false
 	for _, id := range c.Running() {
-		rep, ok := c.Replica(id)
+		rep, ok := c.GroupReplica(id, g)
 		if !ok {
 			continue
 		}
@@ -265,7 +437,8 @@ func (c *Cluster) Leader() (wire.NodeID, bool) {
 	return best, found
 }
 
-// WaitForLeader blocks until some replica is an active leader.
+// WaitForLeader blocks until some replica is an active leader of
+// group 0.
 func (c *Cluster) WaitForLeader(timeout time.Duration) (wire.NodeID, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -277,21 +450,56 @@ func (c *Cluster) WaitForLeader(timeout time.Duration) (wire.NodeID, error) {
 	return 0, fmt.Errorf("cluster: no leader within %v", timeout)
 }
 
-// Crash stops a replica and drops all its traffic, modelling a crash
-// failure (§3.1).
+// WaitForAllLeaders blocks until every consensus group has an active
+// leader, returning the leader of each group in group order.
+func (c *Cluster) WaitForAllLeaders(timeout time.Duration) ([]wire.NodeID, error) {
+	deadline := time.Now().Add(timeout)
+	leaders := make([]wire.NodeID, c.cfg.Groups)
+	for g := 0; g < c.cfg.Groups; {
+		id, ok := c.GroupLeader(g)
+		if ok {
+			leaders[g] = id
+			g++
+			continue
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("cluster: group %d has no leader within %v", g, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return leaders, nil
+}
+
+// Crash stops a node — every consensus group it hosts — and drops all
+// its traffic, modelling a crash failure (§3.1).
 func (c *Cluster) Crash(id wire.NodeID) {
 	c.mu.Lock()
-	rep, ok := c.Replicas[id]
-	delete(c.Replicas, id)
+	reps := make([]*core.Replica, 0, c.cfg.Groups)
+	if rep, ok := c.Replicas[id]; ok {
+		reps = append(reps, rep)
+		delete(c.Replicas, id)
+	}
+	for g := 1; g < c.cfg.Groups; g++ {
+		if rep, ok := c.greps[gsKey{id, g}]; ok {
+			reps = append(reps, rep)
+			delete(c.greps, gsKey{id, g})
+		}
+	}
+	mux := c.muxes[id]
+	delete(c.muxes, id)
+	delete(c.regs, id)
 	c.mu.Unlock()
-	if ok {
+	for _, rep := range reps {
 		rep.Stop()
+	}
+	if mux != nil {
+		mux.Close()
 	}
 	c.Net.Model().SetDown(id, true)
 }
 
-// Restart recovers a crashed replica from its stable storage (§3.1:
-// faulty processes can recover).
+// Restart recovers a crashed node from its stable storage (§3.1: faulty
+// processes can recover).
 func (c *Cluster) Restart(id wire.NodeID) error {
 	if _, running := c.Replica(id); running {
 		return fmt.Errorf("cluster: replica %v already running", id)
@@ -300,18 +508,30 @@ func (c *Cluster) Restart(id wire.NodeID) error {
 	return c.startReplica(id)
 }
 
-// SetStore replaces a crashed replica's store before Restart. Crash
-// tests use it to model memory loss faithfully: the retained Store object
-// still holds staged (never-flushed) records in RAM, so a test reopens
-// the WAL file fresh and swaps it in, keeping only what a real restart
-// would replay from disk. The replica must not be running.
+// SetStore replaces a crashed replica's group-0 store before Restart.
+// Crash tests use it to model memory loss faithfully: the retained Store
+// object still holds staged (never-flushed) records in RAM, so a test
+// reopens the WAL file fresh and swaps it in, keeping only what a real
+// restart would replay from disk. The replica must not be running.
 func (c *Cluster) SetStore(id wire.NodeID, st storage.Store) {
 	c.mu.Lock()
 	c.cfg.Stores[id] = st
 	c.mu.Unlock()
 }
 
-// Store returns the stable storage currently assigned to a replica.
+// SetGroupStore is SetStore for an arbitrary consensus group.
+func (c *Cluster) SetGroupStore(id wire.NodeID, g int, st storage.Store) {
+	if g == 0 {
+		c.SetStore(id, st)
+		return
+	}
+	c.mu.Lock()
+	c.gstores[gsKey{id, g}] = st
+	c.mu.Unlock()
+}
+
+// Store returns the stable storage currently assigned to a replica
+// (group 0).
 func (c *Cluster) Store(id wire.NodeID) (storage.Store, bool) {
 	c.mu.Lock()
 	st, ok := c.cfg.Stores[id]
@@ -319,12 +539,12 @@ func (c *Cluster) Store(id wire.NodeID) (storage.Store, bool) {
 	return st, ok
 }
 
-// AddReplica starts a brand-new replica that joins the running cluster
-// online: it boots as a non-voting learner, announces itself with
-// JoinReq, catches up (through snapshot streaming when the peers have
-// pruned their WALs), and is promoted to voter by a committed
-// configuration entry once caught up. Returns once the replica is
-// running; use WaitForVoter to observe the promotion.
+// AddReplica starts a brand-new node that joins the running cluster
+// online: every group boots as a non-voting learner, announces itself
+// with JoinReq, catches up (through snapshot streaming when the peers
+// have pruned their WALs), and is promoted to voter by a committed
+// configuration entry once caught up. Returns once the node is running;
+// use WaitForVoter to observe the (group 0) promotion.
 func (c *Cluster) AddReplica(id wire.NodeID) error {
 	c.mu.Lock()
 	for _, cur := range c.ids {
@@ -340,24 +560,29 @@ func (c *Cluster) AddReplica(id wire.NodeID) error {
 	return c.startReplica(id)
 }
 
-// RemoveReplica proposes removing a member through the current leader.
-// The removal is in force once the configuration entry commits; the
-// removed replica steps down to an idle non-member but keeps running
-// until Crash/Close.
+// RemoveReplica proposes removing a member through each group's current
+// leader. The removal is in force per group once its configuration
+// entry commits; the removed replica steps down to an idle non-member
+// but keeps running until Crash/Close.
 func (c *Cluster) RemoveReplica(id wire.NodeID) error {
-	leader, ok := c.Leader()
-	if !ok {
-		return fmt.Errorf("cluster: no active leader to propose removal")
+	for g := 0; g < c.cfg.Groups; g++ {
+		leader, ok := c.GroupLeader(g)
+		if !ok {
+			return fmt.Errorf("cluster: group %d has no active leader to propose removal", g)
+		}
+		rep, ok := c.GroupReplica(leader, g)
+		if !ok {
+			return fmt.Errorf("cluster: group %d leader %v not running", g, leader)
+		}
+		if err := rep.Reconfigure(wire.ConfigRemove, id, ""); err != nil {
+			return err
+		}
 	}
-	rep, ok := c.Replica(leader)
-	if !ok {
-		return fmt.Errorf("cluster: leader %v not running", leader)
-	}
-	return rep.Reconfigure(wire.ConfigRemove, id, "")
+	return nil
 }
 
-// WaitForVoter blocks until the leader's committed configuration lists
-// id as a voter.
+// WaitForVoter blocks until the (group 0) leader's committed
+// configuration lists id as a voter.
 func (c *Cluster) WaitForVoter(id wire.NodeID, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -382,15 +607,18 @@ func (c *Cluster) WaitForVoter(id wire.NodeID, timeout time.Duration) error {
 }
 
 // SuspectLeader forces every replica's Ω module to distrust the current
-// leader, triggering an election without a real crash — the §3.6 leader
-// switch scenario.
-func (c *Cluster) SuspectLeader() {
-	leader, ok := c.Leader()
+// group-0 leader, triggering an election without a real crash — the
+// §3.6 leader switch scenario.
+func (c *Cluster) SuspectLeader() { c.SuspectGroupLeader(0) }
+
+// SuspectGroupLeader forces a leader switch in one consensus group.
+func (c *Cluster) SuspectGroupLeader(g int) {
+	leader, ok := c.GroupLeader(g)
 	if !ok {
 		return
 	}
 	for _, id := range c.Running() {
-		rep, ok := c.Replica(id)
+		rep, ok := c.GroupReplica(id, g)
 		if !ok {
 			continue
 		}
@@ -403,14 +631,26 @@ func (c *Cluster) SuspectLeader() {
 // Close stops every replica and the network.
 func (c *Cluster) Close() {
 	c.mu.Lock()
-	reps := make([]*core.Replica, 0, len(c.Replicas))
+	reps := make([]*core.Replica, 0, len(c.Replicas)+len(c.greps))
 	for _, rep := range c.Replicas {
 		reps = append(reps, rep)
 	}
+	for _, rep := range c.greps {
+		reps = append(reps, rep)
+	}
 	c.Replicas = map[wire.NodeID]*core.Replica{}
+	c.greps = map[gsKey]*core.Replica{}
+	muxes := make([]*transport.GroupMux, 0, len(c.muxes))
+	for _, m := range c.muxes {
+		muxes = append(muxes, m)
+	}
+	c.muxes = map[wire.NodeID]*transport.GroupMux{}
 	c.mu.Unlock()
 	for _, rep := range reps {
 		rep.Stop()
+	}
+	for _, m := range muxes {
+		m.Close()
 	}
 	c.Net.Close()
 }

@@ -65,18 +65,33 @@ func TestMetricsConcurrentReaders(t *testing.T) {
 
 	// The load must be visible through the new surfaces: the leader
 	// committed waves, mirrored its role, and filled the commit-latency
-	// histogram.
-	lead, ok := c.Leader()
-	if !ok {
-		t.Fatal("no leader after load")
+	// histogram. On a starved host the spinners above keep leadership
+	// churning for the whole run, so poll for the post-load leader
+	// rather than sampling one instant, and read the wave/latency
+	// surfaces from the replica that actually did the committing (the
+	// final leader may have been elected after the load drained).
+	lead, err := c.WaitForLeader(10 * time.Second)
+	if err != nil {
+		t.Fatalf("no leader after load: %v", err)
 	}
-	rep, _ := c.Replica(lead)
-	if s := rep.Stats(); s.WavesCommitted == 0 {
-		t.Fatalf("leader stats show no committed waves: %+v", s)
-	}
-	h := rep.Health()
+	leadRep, _ := c.Replica(lead)
+	h := leadRep.Health()
 	if !h.Leading || h.CommitIndex == 0 {
 		t.Fatalf("leader health = %+v", h)
+	}
+	rep := leadRep
+	var maxWaves uint64
+	for _, id := range c.IDs() {
+		r, ok := c.Replica(id)
+		if !ok {
+			continue
+		}
+		if s := r.Stats(); s.WavesCommitted > maxWaves {
+			rep, maxWaves = r, s.WavesCommitted
+		}
+	}
+	if maxWaves == 0 {
+		t.Fatal("no replica stats show committed waves")
 	}
 	snap := rep.Metrics().Snapshot()
 	m, ok := metrics.Find(snap, "gridrep_commit_latency_seconds")

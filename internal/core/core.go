@@ -182,6 +182,17 @@ type Config struct {
 	// everything older is discarded once a durable snapshot covers it.
 	PruneKeep uint64
 
+	// Metrics, if set, is where this replica registers its instruments —
+	// typically a metrics.Registry.WithPrefix view when several consensus
+	// groups share one process-wide registry (DESIGN.md §13). Nil means a
+	// private registry per replica, the single-group behaviour.
+	Metrics *metrics.Registry
+
+	// LeaderRank orders replicas for Ω leader preference (lowest rank
+	// leads); nil means prefer the lowest ID. Sharded deployments rotate
+	// it per group so leadership spreads across the membership.
+	LeaderRank func(wire.NodeID) uint64
+
 	// Logger, if set, receives role transitions and anomalies.
 	Logger *log.Logger
 }
@@ -423,6 +434,7 @@ func New(cfg Config) (*Replica, error) {
 			Peers:    cfg.Peers,
 			Interval: cfg.HeartbeatInterval,
 			Timeout:  cfg.ElectionTimeout,
+			Rank:     cfg.LeaderRank,
 		}),
 		reads:       make(map[wire.Key]*pendingRead),
 		confirmBuf:  make(map[wire.Key][]wire.NodeID),
@@ -445,7 +457,10 @@ func New(cfg Config) (*Replica, error) {
 	// plus whatever the store and transport publish (they self-register
 	// when they implement metrics.Instrumented, the same probe pattern as
 	// storage.Flusher and transport.HealthReporter below).
-	r.reg = metrics.NewRegistry()
+	r.reg = cfg.Metrics
+	if r.reg == nil {
+		r.reg = metrics.NewRegistry()
+	}
 	r.stats.register(r.reg)
 	if ins, ok := cfg.Store.(metrics.Instrumented); ok {
 		ins.RegisterMetrics(r.reg)

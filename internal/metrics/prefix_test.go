@@ -1,0 +1,64 @@
+package metrics
+
+import "testing"
+
+// TestWithPrefixSharesRoot: instruments registered through a prefixed
+// view land in the root registry under the prefixed name, so N consensus
+// groups can share one registry without duplicate-name panics while
+// group 0's names stay byte-identical to a single-group deployment.
+func TestWithPrefixSharesRoot(t *testing.T) {
+	root := NewRegistry()
+	root.Counter("paxos_commits_total", "").Add(1)
+
+	g1 := root.WithPrefix("group_1_")
+	g2 := root.WithPrefix("group_2_")
+	g1.Counter("paxos_commits_total", "").Add(2)
+	g2.Counter("paxos_commits_total", "").Add(3)
+
+	want := map[string]int64{
+		"paxos_commits_total":         1,
+		"group_1_paxos_commits_total": 2,
+		"group_2_paxos_commits_total": 3,
+	}
+	got := map[string]int64{}
+	for _, m := range root.Snapshot() {
+		got[m.Name] = m.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("%s = %d, want %d (snapshot: %v)", name, got[name], v, got)
+		}
+	}
+
+	// Reads through a view cover the whole root, not just the view's
+	// prefix — there is one observability surface per process.
+	if len(g1.Snapshot()) != len(root.Snapshot()) {
+		t.Fatal("view snapshot differs from root snapshot")
+	}
+}
+
+// TestWithPrefixNesting: prefixes compose left to right.
+func TestWithPrefixNesting(t *testing.T) {
+	root := NewRegistry()
+	root.WithPrefix("group_3_").WithPrefix("wal_").Counter("fsyncs_total", "").Add(9)
+	for _, m := range root.Snapshot() {
+		if m.Name == "group_3_wal_fsyncs_total" && m.Value == 9 {
+			return
+		}
+	}
+	t.Fatalf("nested prefix name not found: %v", root.Names())
+}
+
+// TestWithPrefixDuplicateStillPanics: the duplicate-name panic must hold
+// across views — two groups with the same prefix registering the same
+// instrument is still an assembly bug.
+func TestWithPrefixDuplicateStillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate prefixed name did not panic")
+		}
+	}()
+	root := NewRegistry()
+	root.WithPrefix("group_1_").Counter("x", "")
+	root.WithPrefix("group_1_").Counter("x", "")
+}

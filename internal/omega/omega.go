@@ -39,6 +39,13 @@ type Config struct {
 	// claim stays fresh. It must exceed Interval plus the largest
 	// expected one-way delay.
 	Timeout time.Duration
+	// Rank orders nodes for leader preference: wherever the elector
+	// breaks ties or picks an entitled claimer, the node with the lowest
+	// rank wins. Nil means rank-by-ID, the classic "lowest ID leads"
+	// rule. Sharded deployments rotate ranks per group so group g
+	// prefers replica g mod n (DESIGN.md §13); all replicas must use the
+	// same Rank for a given group or elections may not converge.
+	Rank func(wire.NodeID) uint64
 }
 
 type claim struct {
@@ -218,6 +225,14 @@ func (e *Elector) Demote() {
 	}
 }
 
+// rank applies the configured leader-preference order.
+func (e *Elector) rank(n wire.NodeID) uint64 {
+	if e.cfg.Rank != nil {
+		return e.cfg.Rank(n)
+	}
+	return uint64(n)
+}
+
 // alive reports whether n responded within the timeout. Self is always
 // alive.
 func (e *Elector) alive(n wire.NodeID, now time.Time) bool {
@@ -243,7 +258,7 @@ func (e *Elector) Leader(now time.Time) (wire.NodeID, bool) {
 	bestEpoch := uint64(0)
 	found := false
 	consider := func(n wire.NodeID, epoch uint64) {
-		if !found || epoch > bestEpoch || (epoch == bestEpoch && n < best) {
+		if !found || epoch > bestEpoch || (epoch == bestEpoch && e.rank(n) < e.rank(best)) {
 			best, bestEpoch, found = n, epoch, true
 		}
 	}
@@ -272,16 +287,16 @@ func (e *Elector) Leader(now time.Time) (wire.NodeID, bool) {
 		return 0, false
 	}
 
-	// Entitlement rule: only the smallest live *member* starts a new
-	// claim. A learner or removed node is never entitled, no matter its
-	// ID: it waits for the voters to elect among themselves.
+	// Entitlement rule: only the lowest-ranked live *member* starts a
+	// new claim. A learner or removed node is never entitled, no matter
+	// its rank: it waits for the voters to elect among themselves.
 	if !e.isMember() {
 		e.hasLeader = false
 		return 0, false
 	}
 	min := e.cfg.Self
 	for _, p := range e.cfg.Peers {
-		if e.alive(p, now) && p < min {
+		if e.alive(p, now) && e.rank(p) < e.rank(min) {
 			min = p
 		}
 	}

@@ -1,0 +1,71 @@
+package omega
+
+import (
+	"testing"
+	"time"
+
+	"gridrep/internal/shard"
+	"gridrep/internal/wire"
+)
+
+// rankedElector builds an elector whose leader preference follows the
+// sharded rotation for group g over 3 members (DESIGN.md §13): group g's
+// preferred leader is replica g mod 3.
+func rankedElector(self wire.NodeID, g uint32) *Elector {
+	return New(Config{
+		Self:     self,
+		Peers:    []wire.NodeID{0, 1, 2},
+		Interval: 10 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+		Rank:     shard.LeaderRank(g, 3),
+	})
+}
+
+// TestRankPreferredNodeClaims: under the group-1 rotation, replica 1 is
+// rank 0 and must self-claim once it hears a peer — the role node 0
+// plays in the unranked elector.
+func TestRankPreferredNodeClaims(t *testing.T) {
+	e := rankedElector(1, 1)
+	e.OnHeartbeat(hb(0), t0)
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 1 {
+		t.Fatalf("leader = %v,%v; want self-claim by preferred replica 1", l, ok)
+	}
+}
+
+// TestRankNonPreferredWaits: replica 0 — the unranked winner — must NOT
+// claim group 1's leadership while the preferred replica is alive.
+func TestRankNonPreferredWaits(t *testing.T) {
+	e := rankedElector(0, 1)
+	e.OnHeartbeat(hb(1), t0)
+	if _, ok := e.Leader(t0.Add(time.Millisecond)); ok {
+		t.Fatal("replica 0 must wait for group 1's preferred replica to claim")
+	}
+	// Once the preferred replica goes silent past Timeout, the
+	// next-ranked one takes over.
+	l, ok := e.Leader(t0.Add(100 * time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader after preferred silence = %v,%v; want 0 (rank 2, only live)", l, ok)
+	}
+}
+
+// TestRankTieBreakInClaimWar: simultaneous claims at the same epoch
+// resolve to the better-ranked claimant, not the lower ID.
+func TestRankTieBreakInClaimWar(t *testing.T) {
+	e := rankedElector(0, 2) // group 2: preference order 2, 0, 1
+	e.OnHeartbeat(claimHB(1, 5), t0)
+	e.OnHeartbeat(claimHB(2, 5), t0)
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 2 {
+		t.Fatalf("leader = %v,%v; want best-ranked claimant 2", l, ok)
+	}
+}
+
+// TestNilRankIsByID: the default rank must reproduce the classic
+// lowest-ID-leads elector exactly.
+func TestNilRankIsByID(t *testing.T) {
+	e := newElector(0)
+	if got := e.rank(7); got != 7 {
+		t.Fatalf("nil Rank: rank(7) = %d, want identity", got)
+	}
+}

@@ -165,11 +165,30 @@ const (
 // fdatasync stays a pure data flush.
 const preallocChunk = 1 << 20
 
-// OpenFile opens (or creates) a WAL at path and replays it.
+// OpenFile opens (or creates) a WAL at path and replays it. Missing
+// parent directories are created (concurrency-safe: N groups of one
+// process boot their per-group WAL subdirectories in parallel) and, on
+// first creation of the file or its directories, fsynced so the
+// directory entries are as durable as the records appended behind them.
 func OpenFile(path string) (*File, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	if created {
+		if err := mkdirAllSynced(filepath.Dir(path)); err != nil {
+			return nil, err
+		}
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if created {
+		// A freshly created WAL's directory entry must survive a crash
+		// before any record in it can be acknowledged as durable.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	st := &File{
 		path:      path,
@@ -1016,6 +1035,47 @@ func (s *File) rewriteTo(snap *PersistentState) error {
 		}
 	}
 	return nil
+}
+
+// mkdirAllSynced creates dir and any missing ancestors, then fsyncs
+// every directory level that did not exist beforehand (plus the deepest
+// pre-existing ancestor, which gained a new entry). MkdirAll tolerates
+// losing the create race, so N goroutines may call this concurrently on
+// overlapping trees — each still fsyncs the levels it cares about.
+func mkdirAllSynced(dir string) error {
+	if dir == "" || dir == "." {
+		return nil
+	}
+	// Walk up to the deepest ancestor that already exists.
+	missing := []string{}
+	anchor := dir
+	for {
+		if _, err := os.Stat(anchor); err == nil {
+			break
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		missing = append(missing, anchor)
+		parent := filepath.Dir(anchor)
+		if parent == anchor {
+			break
+		}
+		anchor = parent
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Durable bottom-up: sync each created level, then the pre-existing
+	// parent that now holds a new entry.
+	for _, d := range missing {
+		if err := syncDir(d); err != nil {
+			return err
+		}
+	}
+	return syncDir(anchor)
 }
 
 // syncDir fsyncs a directory so a rename inside it is durable.

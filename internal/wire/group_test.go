@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEnvelopeGroupRoundTrip: the group id survives encode/decode for
+// every message type and across the uvarint width spectrum.
+func TestEnvelopeGroupRoundTrip(t *testing.T) {
+	groups := []uint32{0, 1, 3, 127, 128, 1 << 20}
+	msgs := []Message{
+		&RequestMsg{Req: Request{Client: ClientIDBase, Seq: 1, Kind: KindWrite, Op: []byte("put k v")}},
+		&ReplyMsg{Rep: Reply{Client: ClientIDBase, Seq: 1, Status: StatusOK}},
+		&Prepare{Bal: Ballot{5, 2}},
+		&Heartbeat{From: 1, Epoch: 9, Leader: 0},
+		&Commit{Bal: Ballot{5, 2}, Index: 7},
+	}
+	for _, g := range groups {
+		for _, m := range msgs {
+			env := &Envelope{From: 0, To: 1, Group: g, Msg: m}
+			got, err := DecodeEnvelope(EncodeEnvelope(nil, env))
+			if err != nil {
+				t.Fatalf("group %d %v: %v", g, m.Type(), err)
+			}
+			if got.Group != g {
+				t.Fatalf("group %d %v: decoded group %d", g, m.Type(), got.Group)
+			}
+			if got.From != env.From || got.To != env.To {
+				t.Fatalf("group %d %v: header corrupted: %+v", g, m.Type(), got)
+			}
+		}
+	}
+}
+
+// TestGroupZeroIsByteCompatible: an envelope with Group == 0 must encode
+// exactly as the pre-sharding protocol did — no flag bit, no group field.
+// This is the `-groups 1` wire-compatibility guarantee of DESIGN.md §13:
+// a single-group deployment emits bytes indistinguishable from a binary
+// that predates sharding.
+func TestGroupZeroIsByteCompatible(t *testing.T) {
+	env := &Envelope{From: 2, To: 0, Msg: &Commit{Bal: Ballot{3, 1}, Index: 42}}
+	buf := EncodeEnvelope(nil, env)
+
+	// Reconstruct the legacy header by hand: uvarint from, uvarint to,
+	// bare type byte, then the message body.
+	var enc Encoder
+	enc.NodeID(env.From)
+	enc.NodeID(env.To)
+	enc.Uint8(uint8(env.Msg.Type()))
+	env.Msg.MarshalTo(&enc)
+	if !bytes.Equal(buf, enc.Bytes()) {
+		t.Fatalf("group-0 encoding differs from legacy layout:\n got %x\nwant %x", buf, enc.Bytes())
+	}
+
+	// The type byte (third byte here: from and to are single-byte
+	// uvarints) must not carry the grouped flag.
+	if buf[2]&groupedFlag != 0 {
+		t.Fatalf("group-0 type byte %#x has grouped flag set", buf[2])
+	}
+
+	// And a grouped envelope of the same message must NOT be
+	// byte-identical — the flag and field must actually appear.
+	grouped := EncodeEnvelope(nil, &Envelope{From: 2, To: 0, Group: 7, Msg: env.Msg})
+	if bytes.Equal(buf, grouped) {
+		t.Fatal("grouped envelope encoded identically to group 0")
+	}
+	if grouped[2]&groupedFlag == 0 {
+		t.Fatalf("grouped type byte %#x missing flag", grouped[2])
+	}
+	if len(grouped) != len(buf)+1 {
+		t.Fatalf("group 7 should cost exactly one extra byte: %d vs %d", len(grouped), len(buf))
+	}
+}

@@ -157,6 +157,10 @@ const (
 	StatusNotLeader
 	// StatusError: the service rejected the operation.
 	StatusError
+	// StatusCrossGroup: the request's operations span more than one
+	// consensus group in a sharded deployment; cross-group transactions
+	// are not supported (DESIGN.md §13).
+	StatusCrossGroup
 )
 
 func (s ReplyStatus) String() string {
@@ -169,6 +173,8 @@ func (s ReplyStatus) String() string {
 		return "not-leader"
 	case StatusError:
 		return "error"
+	case StatusCrossGroup:
+		return "cross-group"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -349,11 +355,16 @@ type Message interface {
 	UnmarshalFrom(dec *Decoder) error
 }
 
-// Envelope is a routed protocol message.
+// Envelope is a routed protocol message. Group selects the consensus
+// group the message belongs to when the process hosts several independent
+// Paxos groups (sharded mode, DESIGN.md §13); group 0 is encoded exactly
+// like the pre-sharding protocol, so a single-group deployment is
+// byte-for-byte the original wire format.
 type Envelope struct {
-	From NodeID
-	To   NodeID
-	Msg  Message
+	From  NodeID
+	To    NodeID
+	Group uint32
+	Msg   Message
 }
 
 // Prepare is the phase-1a message. A freshly elected leader sends a single

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"gridrep/internal/client"
 	"gridrep/internal/core"
 	"gridrep/internal/metrics"
+	"gridrep/internal/shard"
 	"gridrep/internal/storage"
 	"gridrep/internal/transport"
 	"gridrep/internal/wire"
@@ -31,8 +33,20 @@ type ServerOptions struct {
 	// listen address. The paper's prototype used raw TCP sockets
 	// between all processes (§4); so does this deployment mode.
 	Peers map[NodeID]string
-	// Service is this replica's service instance.
+	// Service is this replica's service instance (single-group mode).
 	Service Service
+	// Groups is the number of independent consensus groups this process
+	// hosts (default 1). With Groups > 1 the key space is partitioned by
+	// hash routing (DESIGN.md §13): each group runs its own state
+	// machine, Ω elector, and WAL (per-group subdirectories next to
+	// WALPath), multiplexed over the same TCP connections, with group
+	// g's preferred leader at replica g mod len(Peers). NewService is
+	// required instead of Service.
+	Groups int
+	// NewService creates one service instance per group; required when
+	// Groups > 1 (each group owns an independent partition of the key
+	// space), optional otherwise (used for group 0 if Service is nil).
+	NewService ServiceFactory
 	// WALPath, when non-empty, enables file-backed stable storage.
 	WALPath string
 	// SyncPolicy governs group-commit fsyncs on the WAL (default
@@ -61,19 +75,46 @@ type ServerOptions struct {
 	Transport TransportOptions
 }
 
-// Server is one running TCP replica.
+// Server is one running TCP replica process — every consensus group it
+// hosts (one in the classic deployment, N in a sharded one).
 type Server struct {
-	rep   *core.Replica
-	tr    *transport.TCP
-	store storage.Store // nil when running on in-memory storage
+	rep    *core.Replica   // group 0
+	groups []*core.Replica // all groups, index = group id
+	tr     *transport.TCP
+	mux    *transport.GroupMux // nil in single-group mode
+	stores []storage.Store     // per group; nil entries for in-memory
+	store  storage.Store       // group 0 (nil when in-memory)
+	reg    *metrics.Registry   // shared registry in sharded mode, else group 0's
+}
+
+// groupWALPath derives group g's WAL path from the configured one:
+// group 0 keeps it unchanged (a -groups 1 data dir is byte-for-byte a
+// single-group one), group g nests in a group-<g> subdirectory.
+func groupWALPath(walPath string, g int) string {
+	if g == 0 {
+		return walPath
+	}
+	return filepath.Join(filepath.Dir(walPath), fmt.Sprintf("group-%d", g), filepath.Base(walPath))
 }
 
 // ListenAndServe starts a replica serving the replication protocol over
 // TCP. It returns once the replica is listening; the protocol runs in
 // the background until Close.
 func ListenAndServe(opts ServerOptions) (*Server, error) {
-	if opts.Service == nil {
-		return nil, fmt.Errorf("gridrep: ServerOptions.Service is required")
+	groups := opts.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	newService := opts.NewService
+	if newService == nil {
+		if opts.Service == nil {
+			return nil, fmt.Errorf("gridrep: ServerOptions.Service (or NewService) is required")
+		}
+		if groups > 1 {
+			return nil, fmt.Errorf("gridrep: Groups > 1 requires ServerOptions.NewService (one independent service instance per group)")
+		}
+		svc := opts.Service
+		newService = func() Service { return svc }
 	}
 	book := make(map[wire.NodeID]string, len(opts.Peers))
 	peers := make([]wire.NodeID, 0, len(opts.Peers))
@@ -85,36 +126,99 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	var store storage.Store
-	if opts.WALPath != "" {
-		fs, err := storage.OpenFile(opts.WALPath)
-		if err != nil {
-			tr.Close()
-			return nil, err
+	s := &Server{tr: tr}
+	fail := func(err error) (*Server, error) {
+		for _, rep := range s.groups {
+			rep.Stop()
 		}
-		fs.SetPolicy(opts.SyncPolicy, opts.SyncEvery)
-		store = fs
-	}
-	rep, err := core.New(core.Config{
-		ID:                opts.ID,
-		Peers:             peers,
-		Service:           opts.Service,
-		Store:             store,
-		Transport:         tr,
-		HeartbeatInterval: opts.HeartbeatInterval,
-		PipelineDepth:     opts.PipelineDepth,
-		Join:              opts.Join,
-		AdvertiseAddr:     opts.Peers[opts.ID],
-		SnapshotEvery:     opts.SnapshotEvery,
-		PruneKeep:         opts.PruneKeep,
-	})
-	if err != nil {
-		tr.Close()
+		if s.mux != nil {
+			s.mux.Close()
+		} else {
+			tr.Close()
+		}
 		return nil, err
 	}
-	rep.Start()
-	return &Server{rep: rep, tr: tr, store: store}, nil
+
+	// Transport and metrics assembly. Single-group keeps the exact
+	// pre-sharding path: the TCP endpoint goes straight into the core,
+	// which probes it for metrics/health itself. Sharded mode wraps it
+	// in a GroupMux (hash routing, group-id stamping, health fan-out)
+	// and shares one registry: group 0 unprefixed, group g prefixed
+	// group_<g>_, the shared transport registered once at the root.
+	trFor := func(g int) transport.Transport { return tr }
+	regFor := func(g int) *metrics.Registry { return nil }
+	if groups > 1 {
+		router := shard.NewRouter(groups, newService())
+		s.mux = transport.NewGroupMux(tr, groups, router.Route)
+		s.reg = metrics.NewRegistry()
+		tr.RegisterMetrics(s.reg)
+		trFor = func(g int) transport.Transport { return s.mux.Group(g) }
+		regFor = func(g int) *metrics.Registry {
+			if g == 0 {
+				return s.reg
+			}
+			return s.reg.WithPrefix(fmt.Sprintf("group_%d_", g))
+		}
+	}
+	// Leadership spread ranks are derived from the bootstrap member
+	// count; a joiner's book already includes itself, so subtract it to
+	// agree with the members' ranks.
+	rankN := len(opts.Peers)
+	if opts.Join && rankN > 1 {
+		rankN--
+	}
+
+	for g := 0; g < groups; g++ {
+		var store storage.Store
+		if opts.WALPath != "" {
+			fs, err := storage.OpenFile(groupWALPath(opts.WALPath, g))
+			if err != nil {
+				return fail(err)
+			}
+			fs.SetPolicy(opts.SyncPolicy, opts.SyncEvery)
+			store = fs
+		}
+		var rank func(wire.NodeID) uint64
+		if groups > 1 {
+			rank = shard.LeaderRank(uint32(g), rankN)
+		}
+		rep, err := core.New(core.Config{
+			ID:                opts.ID,
+			Peers:             peers,
+			Service:           newService(),
+			Store:             store,
+			Transport:         trFor(g),
+			HeartbeatInterval: opts.HeartbeatInterval,
+			PipelineDepth:     opts.PipelineDepth,
+			Join:              opts.Join,
+			AdvertiseAddr:     opts.Peers[opts.ID],
+			SnapshotEvery:     opts.SnapshotEvery,
+			PruneKeep:         opts.PruneKeep,
+			Metrics:           regFor(g),
+			LeaderRank:        rank,
+		})
+		if err != nil {
+			if store != nil {
+				if cl, ok := store.(interface{ Close() error }); ok {
+					cl.Close()
+				}
+			}
+			return fail(err)
+		}
+		s.groups = append(s.groups, rep)
+		s.stores = append(s.stores, store)
+		rep.Start()
+	}
+	s.rep = s.groups[0]
+	s.store = s.stores[0]
+	if s.reg == nil {
+		s.reg = s.rep.Metrics()
+	}
+	return s, nil
 }
+
+// Groups returns the number of consensus groups this process hosts.
+func (s *Server) Groups() int { return len(s.groups) }
 
 // Addr returns the replica's actual listen address.
 func (s *Server) Addr() string { return s.tr.Addr() }
@@ -126,77 +230,142 @@ func (s *Server) TransportStats() TransportStats { return s.tr.Stats() }
 // occupancy, speculative rollbacks, and deferred-request drops.
 func (s *Server) ReplicaStats() ReplicaStats { return s.rep.Stats() }
 
-// Metrics returns the replica's metrics registry — protocol, WAL, and
-// transport instruments in one place. Safe from any goroutine.
-func (s *Server) Metrics() *MetricsRegistry { return s.rep.Metrics() }
+// Metrics returns the process's metrics registry — protocol, WAL, and
+// transport instruments in one place (sharded: group 0 unprefixed,
+// group g under group_<g>_). Safe from any goroutine.
+func (s *Server) Metrics() *MetricsRegistry { return s.reg }
 
-// Health snapshots the replica's protocol position: role, ballot, commit
-// index, applied index. Safe from any goroutine.
+// Health snapshots the group-0 replica's protocol position: role,
+// ballot, commit index, applied index. Safe from any goroutine; see
+// GroupHealths for the per-group view of a sharded server.
 func (s *Server) Health() Health { return s.rep.Health() }
+
+// GroupHealths snapshots every consensus group's protocol position, in
+// group order — the payload of the sharded /healthz array.
+func (s *Server) GroupHealths() []Health {
+	out := make([]Health, 0, len(s.groups))
+	for _, rep := range s.groups {
+		out = append(out, rep.Health())
+	}
+	return out
+}
+
+// groupHealth is one /healthz array element: a group id plus that
+// group's Health, flattened into one JSON object.
+type groupHealth struct {
+	Group int `json:"group"`
+	Health
+}
 
 // DebugHandler returns the replica's debug HTTP surface: /metrics serves
 // the registry (Prometheus text by default, JSON with ?format=json), and
-// /healthz serves the Health snapshot as JSON. replicad mounts this on
-// -metrics-addr; embedders can mount it on their own mux.
+// /healthz serves the Health snapshot as JSON — a single object for a
+// single-group server, an array of {"group": g, ...health} objects when
+// the process hosts several consensus groups (README documents both).
+// replicad mounts this on -metrics-addr; embedders can mount it on
+// their own mux.
 func (s *Server) DebugHandler() http.Handler {
-	return debugHandler(s.rep)
-}
-
-// debugHandler builds the /metrics + /healthz mux for one replica.
-func debugHandler(rep *core.Replica) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", metrics.Handler(rep.Metrics()))
+	mux.Handle("/metrics", metrics.Handler(s.reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(rep.Health())
+		if len(s.groups) == 1 {
+			_ = enc.Encode(s.rep.Health())
+			return
+		}
+		out := make([]groupHealth, 0, len(s.groups))
+		for g, rep := range s.groups {
+			out = append(out, groupHealth{Group: g, Health: rep.Health()})
+		}
+		_ = enc.Encode(out)
 	})
 	return mux
 }
 
-// Close stops the replica abruptly (the crash model: staged WAL
-// records are dropped — acknowledged writes are durable on a quorum,
-// not on one replica's shutdown path). Use Shutdown for a clean exit.
-func (s *Server) Close() { s.rep.Stop() }
+// Close stops the process abruptly — every group's replica (the crash
+// model: staged WAL records are dropped — acknowledged writes are
+// durable on a quorum, not on one replica's shutdown path). Use
+// Shutdown for a clean exit.
+func (s *Server) Close() {
+	for _, rep := range s.groups {
+		rep.Stop()
+	}
+	if s.mux != nil {
+		s.mux.Close()
+	}
+}
 
-// Shutdown stops the replica gracefully: the event loop and persister
-// exit, the staged WAL batch is flushed, and the store is closed —
-// which joins any in-flight background snapshot rewrite and truncates
-// the preallocated tail. Preferred over Close when the process will
-// restart and should replay as much of its own log as possible.
+// Shutdown stops the process gracefully: every group's event loop and
+// persister exit, staged WAL batches are flushed, and the stores are
+// closed — which joins any in-flight background snapshot rewrite and
+// truncates the preallocated tail. Preferred over Close when the
+// process will restart and should replay as much of its own logs as
+// possible.
 func (s *Server) Shutdown() error {
-	s.rep.Stop()
-	if s.store == nil {
-		return nil
+	for _, rep := range s.groups {
+		rep.Stop()
+	}
+	if s.mux != nil {
+		s.mux.Close()
 	}
 	var err error
-	if fl, ok := s.store.(storage.Flusher); ok {
-		err = fl.Flush()
-	}
-	if cl, ok := s.store.(interface{ Close() error }); ok {
-		if cerr := cl.Close(); err == nil {
-			err = cerr
+	for _, store := range s.stores {
+		if store == nil {
+			continue
+		}
+		if fl, ok := store.(storage.Flusher); ok {
+			if ferr := fl.Flush(); err == nil {
+				err = ferr
+			}
+		}
+		if cl, ok := store.(interface{ Close() error }); ok {
+			if cerr := cl.Close(); err == nil {
+				err = cerr
+			}
 		}
 	}
 	return err
 }
 
-// AddVoter asks this replica (which must be the active leader) to
-// promote a caught-up learner to voter; RemoveReplica proposes removing
-// a member. Both changes are decided by consensus and take effect at
-// the configuration entry's commit point (DESIGN.md §12).
+// AddVoter asks this replica to promote a caught-up learner to voter;
+// RemoveReplica proposes removing a member. Both changes are decided by
+// consensus and take effect at the configuration entry's commit point
+// (DESIGN.md §12). The change is proposed in every consensus group this
+// process hosts; with leadership spread across replicas a group whose
+// leader lives elsewhere answers ErrNotLeader, and the operator repeats
+// the call against the remaining leaders (group order is stable, and a
+// group that already committed the change accepts the retry as a
+// no-op-level refusal it reports distinctly).
 func (s *Server) AddVoter(id NodeID, addr string) error {
-	return s.rep.Reconfigure(wire.ConfigAddVoter, id, addr)
+	for g, rep := range s.groups {
+		if err := rep.Reconfigure(wire.ConfigAddVoter, id, addr); err != nil {
+			if len(s.groups) > 1 {
+				return fmt.Errorf("group %d: %w", g, err)
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // RemoveReplica proposes removing a member from the voting
 // configuration through this replica (which must be the active
-// leader). The leader refuses unsafe transitions: removing itself, or
-// any change that would drop the live voter count below the new
-// configuration's quorum.
+// leader of each hosted group; see AddVoter for the sharded contract).
+// The leader refuses unsafe transitions: removing itself, or any change
+// that would drop the live voter count below the new configuration's
+// quorum.
 func (s *Server) RemoveReplica(id NodeID) error {
-	return s.rep.Reconfigure(wire.ConfigRemove, id, "")
+	for g, rep := range s.groups {
+		if err := rep.Reconfigure(wire.ConfigRemove, id, ""); err != nil {
+			if len(s.groups) > 1 {
+				return fmt.Errorf("group %d: %w", g, err)
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // DialOptions configures a TCP client.
