@@ -10,7 +10,8 @@
 //	go run ./cmd/benchpaxos -exp fig6 -json out.json
 //
 // Experiment IDs: rrt-sysnet, fig5, fig6, rrt-b2p, fig7, rrt-wan, fig8,
-// table1, fig9a, fig9b, t2, pipeline, fig6-sharded, shard-sweep.
+// table1, fig9a, fig9b, t2, pipeline, fig6-sharded, shard-sweep,
+// multicore-sweep.
 //
 // -groups N runs every cluster with N consensus groups per process
 // (DESIGN.md §13); fig6-sharded and shard-sweep exercise sharding
@@ -190,10 +191,15 @@ type SeriesPoint struct {
 	LatP99MS  float64 `json:"lat_p99_ms,omitempty"`
 }
 
-// SeriesResult is one throughput curve of a figure.
+// SeriesResult is one throughput curve of a figure. GoMaxProcs records
+// the effective scheduler width while the series ran — sweeps that
+// mutate GOMAXPROCS mid-experiment (shard-sweep, multicore-sweep) stamp
+// it per row, because the report header only captures the value at
+// startup.
 type SeriesResult struct {
-	Label  string        `json:"label"`
-	Points []SeriesPoint `json:"points"`
+	Label      string        `json:"label"`
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	Points     []SeriesPoint `json:"points"`
 }
 
 // PhaseResult summarizes one leader-side phase latency histogram after a
@@ -208,15 +214,18 @@ type PhaseResult struct {
 	P99MS  float64 `json:"p99_ms"`
 }
 
-// ExpResult is everything one experiment measured.
+// ExpResult is everything one experiment measured. GoMaxProcs is the
+// scheduler width when the experiment started (per-row values live on
+// SeriesResult for experiments that sweep it).
 type ExpResult struct {
-	ID       string         `json:"id"`
-	Paper    string         `json:"paper"`
-	ElapsedS float64        `json:"elapsed_s"`
-	RRT      []RRTResult    `json:"rrt,omitempty"`
-	Series   []SeriesResult `json:"series,omitempty"`
-	Phases   []PhaseResult  `json:"phases,omitempty"`
-	Replicas []int          `json:"replicas,omitempty"`
+	ID         string         `json:"id"`
+	Paper      string         `json:"paper"`
+	ElapsedS   float64        `json:"elapsed_s"`
+	GoMaxProcs int            `json:"gomaxprocs,omitempty"`
+	RRT        []RRTResult    `json:"rrt,omitempty"`
+	Series     []SeriesResult `json:"series,omitempty"`
+	Phases     []PhaseResult  `json:"phases,omitempty"`
+	Replicas   []int          `json:"replicas,omitempty"`
 }
 
 // Report is the top-level -json document.
@@ -278,6 +287,7 @@ func main() {
 		{"pipeline", pipelineSweep, "PR 4: write throughput vs PipelineDepth (batching-vs-pipelining tradeoff)"},
 		{"fig6-sharded", fig6Sharded, "PR 7: Figure 6 write curve, single-group vs sharded (DESIGN.md §13)"},
 		{"shard-sweep", shardSweep, "PR 7: write throughput vs consensus groups × GOMAXPROCS"},
+		{"multicore-sweep", multicoreSweep, "PR 8: read & write throughput vs GOMAXPROCS × groups (DESIGN.md §14)"},
 	}
 	if *gomaxprocsFl > 0 {
 		runtime.GOMAXPROCS(*gomaxprocsFl)
@@ -308,7 +318,7 @@ func main() {
 		if want["all"] || want[e.id] {
 			found = true
 			fmt.Printf("=== %s — paper: %s ===\n", e.id, e.paper)
-			res := ExpResult{ID: e.id, Paper: e.paper}
+			res := ExpResult{ID: e.id, Paper: e.paper, GoMaxProcs: runtime.GOMAXPROCS(0)}
 			start := time.Now()
 			e.run(&res)
 			res.ElapsedS = time.Since(start).Seconds()
@@ -719,13 +729,67 @@ func shardSweep(res *ExpResult) {
 			}
 			label := fmt.Sprintf("groups=%d/procs=%d", gg, procs)
 			fmt.Printf("  %-20s %12.0f %12.2f %12.2f\n", label, pt.PerSecond, pt.LatP50MS, pt.LatP95MS)
-			res.Series = append(res.Series, SeriesResult{Label: label, Points: []SeriesPoint{{
-				Clients: clients, PerSec: pt.PerSecond,
-				LatMeanMS: pt.LatMeanMS, LatP50MS: pt.LatP50MS, LatP95MS: pt.LatP95MS, LatP99MS: pt.LatP99MS}}})
+			// Per-row effective GOMAXPROCS: this sweep mutates it, so the
+			// report-header value (captured at startup) is wrong for every
+			// row after the first proc count.
+			res.Series = append(res.Series, SeriesResult{Label: label, GoMaxProcs: runtime.GOMAXPROCS(0),
+				Points: []SeriesPoint{{
+					Clients: clients, PerSec: pt.PerSecond,
+					LatMeanMS: pt.LatMeanMS, LatP50MS: pt.LatP50MS, LatP95MS: pt.LatP95MS, LatP99MS: pt.LatP99MS}}})
 		}
 	}
 	fmt.Println("  expectation: groups×procs scale-out needs (a) a real fsync per")
 	fmt.Println("  group to decouple (run -durable) and (b) spare cores for the")
 	fmt.Println("  extra event loops; with one host CPU the sweep documents the")
 	fmt.Println("  substrate ceiling rather than a speedup")
+}
+
+// multicoreSweep is the PR 8 acceptance sweep: read and write
+// throughput across GOMAXPROCS × consensus groups at a fixed client
+// count. Reads exercise the parallel read path (DESIGN.md §14): past
+// the X-Paxos commit barrier they execute concurrently on the replica's
+// read worker pool against an immutable state view, so extra processors
+// lift read throughput without touching the write order. Writes stay
+// strictly ordered per group; their scaling axis is the group count
+// (shard-sweep's territory), which the groups dimension here
+// cross-checks. Run with -durable so writes carry their fsync cost.
+func multicoreSweep(res *ExpResult) {
+	procCounts := []int{1, 2, 4, 8}
+	groupCounts := []int{1, 4}
+	if *quick {
+		procCounts = []int{1, 4}
+		groupCounts = []int{1}
+	}
+	clients := 32
+	total := scale(8000)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	fmt.Printf("  %d clients, %d requests per point; host CPUs: %d\n", clients, total, runtime.NumCPU())
+	fmt.Printf("  %-28s %12s %12s %12s\n", "", "req/s", "p50 ms", "p95 ms")
+	for _, procs := range procCounts {
+		runtime.GOMAXPROCS(procs)
+		for _, gg := range groupCounts {
+			for _, class := range []bench.ReqClass{bench.ClassRead, bench.ClassWrite} {
+				cfg := clusterConfig(netem.Sysnet(), 3)
+				cfg.Groups = gg
+				c := startCluster(cfg)
+				pt, err := bench.MeasureThroughputPoint(c, class, clients, total)
+				c.Close()
+				if err != nil {
+					log.Fatal(err)
+				}
+				label := fmt.Sprintf("%s/procs=%d/groups=%d", class, procs, gg)
+				fmt.Printf("  %-28s %12.0f %12.2f %12.2f\n", label, pt.PerSecond, pt.LatP50MS, pt.LatP95MS)
+				res.Series = append(res.Series, SeriesResult{Label: label, GoMaxProcs: runtime.GOMAXPROCS(0),
+					Points: []SeriesPoint{{
+						Clients: clients, PerSec: pt.PerSecond,
+						LatMeanMS: pt.LatMeanMS, LatP50MS: pt.LatP50MS, LatP95MS: pt.LatP95MS, LatP99MS: pt.LatP99MS}}})
+			}
+		}
+	}
+	fmt.Println("  expectation: reads scale with procs once the pool engages")
+	fmt.Println("  (GOMAXPROCS>1) and spare cores exist; writes scale with groups,")
+	fmt.Println("  not procs. With one host CPU every extra proc only adds")
+	fmt.Println("  scheduler overlap, so the sweep documents the substrate ceiling")
+	fmt.Println("  (EXPERIMENTS.md, multi-core chapter) rather than a speedup")
 }

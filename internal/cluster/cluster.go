@@ -94,6 +94,11 @@ type Config struct {
 	NoPersist bool
 	// StateMode forwards the §3.3 state-transfer mode to every replica.
 	StateMode core.StateMode
+	// ReadConcurrency forwards the core parallel-read worker count
+	// (DESIGN.md §14): 0 sizes the pool to GOMAXPROCS (disabled on one
+	// processor), negative disables it, positive forces that many
+	// workers even on a single processor (tests use this).
+	ReadConcurrency int
 	// SnapshotEvery and PruneKeep forward the core snapshot/prune
 	// cadence (reconfiguration tests shrink them to exercise snapshot
 	// catch-up quickly).
@@ -162,7 +167,7 @@ type Cluster struct {
 func New(cfg Config) (*Cluster, error) {
 	cfg.fillDefaults()
 	net := transport.NewNetwork(cfg.Profile.NewModel(cfg.Seed))
-	net.Tracer = cfg.Tracer
+	net.SetTracer(cfg.Tracer)
 	c := &Cluster{
 		cfg:      cfg,
 		Net:      net,
@@ -292,6 +297,7 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 			NoBatch:           c.cfg.NoBatch,
 			NoPersist:         c.cfg.NoPersist,
 			StateMode:         c.cfg.StateMode,
+			ReadConcurrency:   c.cfg.ReadConcurrency,
 			SnapshotEvery:     c.cfg.SnapshotEvery,
 			PruneKeep:         c.cfg.PruneKeep,
 			Join:              c.joiners[id],

@@ -32,6 +32,7 @@ package core
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"sync"
 	"time"
 
@@ -160,6 +161,15 @@ type Config struct {
 	// fsynced inline on the event loop and dependent sends go out
 	// immediately — the pre-group-commit behavior. Default off.
 	NoPersist bool
+	// ReadConcurrency sizes the parallel-read worker pool (DESIGN.md
+	// §14): when the service implements service.ReadViewer, confirmed
+	// X-Paxos reads execute concurrently against pinned immutable views
+	// and their replies fan out off the event loop. 0 (the default)
+	// sizes the pool to GOMAXPROCS, and disables it when that is 1 —
+	// one core gains nothing from handing reads off, and skipping the
+	// pool keeps the single-core read path byte-identical to the serial
+	// engine. Negative disables the pool unconditionally.
+	ReadConcurrency int
 	// StateMode selects the state-transfer reduction of §3.3.
 	StateMode StateMode
 
@@ -279,6 +289,12 @@ type Replica struct {
 	mode     StateMode
 	differ   service.Differ   // non-nil in delta mode
 	replayer service.Replayer // non-nil in replay mode
+
+	// Parallel read execution (readpool.go): viewer pins immutable
+	// state views, readPool runs gate-cleared reads off-loop. Both nil
+	// when the service cannot pin views or ReadConcurrency disables it.
+	viewer   service.ReadViewer
+	readPool *readPool
 
 	role      Role
 	activated bool // leading and done with recovery
@@ -478,6 +494,29 @@ func New(cfg Config) (*Replica, error) {
 			r.fatalOffLoop("persist flush: %v", err)
 		})
 	}
+	if rv, ok := cfg.Service.(service.ReadViewer); ok && cfg.ReadConcurrency >= 0 {
+		// The service can pin immutable read views; start the parallel
+		// read pool (readpool.go) unless a single-core process makes it
+		// pure overhead.
+		workers := cfg.ReadConcurrency
+		if workers == 0 && runtime.GOMAXPROCS(0) > 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > 0 {
+			r.viewer = rv
+			r.readPool = newReadPool(cfg.Transport, cfg.ID, workers)
+			rp := r.readPool
+			r.reg.RegisterGaugeFunc("gridrep_read_pool_workers",
+				"goroutines executing X-Paxos reads in parallel",
+				func() int64 { return int64(rp.workers) })
+			r.reg.RegisterGaugeFunc("gridrep_read_pool_in_flight",
+				"parallel reads dispatched and not yet replied",
+				func() int64 { return rp.inFlight.Load() })
+			r.reg.RegisterGaugeFunc("gridrep_read_pool_queue_depth",
+				"parallel reads queued for a worker",
+				func() int64 { return int64(len(rp.jobs)) })
+		}
+	}
 	if hr, ok := cfg.Transport.(transport.HealthReporter); ok {
 		// Feed socket-level peer health into the event loop; leader
 		// election then reacts to real connection death (§3.6 leader
@@ -529,6 +568,11 @@ func (r *Replica) Stop() {
 	r.downOnce.Do(func() {
 		if r.persist != nil {
 			r.persist.stop()
+		}
+		if r.readPool != nil {
+			// Only the (now stopped) event loop dispatches, and workers
+			// reply through the transport — join them before Close.
+			r.readPool.stop()
 		}
 		r.tr.Close()
 	})

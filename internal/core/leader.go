@@ -618,7 +618,11 @@ func (r *Replica) tryFinishRead(pr *pendingRead) {
 		if len(pr.confirms) < r.quorum() || r.acc.Chosen() < pr.barrier {
 			return
 		}
+		if r.dispatchRead(pr) {
+			return
+		}
 		pr.executed = true
+		r.stats.readsInline.Add(1)
 		pr.execTop = r.nextInstance - 1
 		res, err := r.svc.Execute(pr.req.Op)
 		if err != nil {
@@ -637,6 +641,33 @@ func (r *Replica) tryFinishRead(pr *pendingRead) {
 		return
 	}
 	r.reply(pr.req, wire.StatusOK, pr.result, "")
+}
+
+// dispatchRead hands a gate-cleared read to the worker pool
+// (readpool.go). Eligibility beyond the pool existing: no speculative
+// wave may be in flight — with waves outstanding the live service state
+// leads the commit index, and a view pinned now would expose
+// uncommitted effects (those reads keep the inline execute-and-hold
+// path) — and the service must agree to pin (a KV with open transaction
+// locks refuses, because a frozen view cannot report lock conflicts).
+// A full pool queue also falls back inline; the event loop never
+// blocks. On dispatch the read is complete from the protocol's point of
+// view — confirmed, barrier-committed, state pinned — so it leaves
+// r.reads now and a later step-down has nothing to answer.
+func (r *Replica) dispatchRead(pr *pendingRead) bool {
+	if r.readPool == nil || len(r.waves) != 0 {
+		return false
+	}
+	view, ok := r.viewer.ReadView()
+	if !ok {
+		return false
+	}
+	if !r.readPool.tryDispatch(readJob{view: view, req: pr.req}) {
+		return false
+	}
+	delete(r.reads, pr.req.Key())
+	r.stats.readsParallel.Add(1)
+	return true
 }
 
 // flushReads re-checks barrier and execution-horizon satisfaction after a

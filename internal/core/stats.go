@@ -23,6 +23,13 @@ type stats struct {
 	wavesInFlight     metrics.Gauge
 	maxWavesInFlight  metrics.Gauge
 
+	// Read execution split (DESIGN.md §14): parallel counts reads
+	// dispatched to the worker pool, inline counts reads executed on
+	// the event loop (pool absent, speculative waves in flight, view
+	// pin refused, or pool queue full).
+	readsParallel metrics.Counter
+	readsInline   metrics.Counter
+
 	// Reconfiguration instruments (DESIGN.md §12): snapshot catch-up
 	// traffic on both sides, durable snapshot saves, WAL prune
 	// activity, and committed configuration changes.
@@ -85,6 +92,10 @@ func (s *stats) register(reg *metrics.Registry) {
 		"learned entries discarded during prepare-phase recovery", &s.recoveryDiscarded)
 	reg.RegisterCounter("gridrep_deferred_drops_total",
 		"client requests dropped from the full prepare-phase deferral buffer", &s.deferredDrops)
+	reg.RegisterCounter("gridrep_reads_parallel_total",
+		"X-Paxos reads executed on the parallel worker pool", &s.readsParallel)
+	reg.RegisterCounter("gridrep_reads_inline_total",
+		"X-Paxos reads executed inline on the event loop", &s.readsInline)
 	reg.RegisterGaugeFunc("gridrep_role",
 		"replica role (0 backup, 1 preparing, 2 leading)",
 		func() int64 { return int64(s.role.Load()) })

@@ -19,6 +19,12 @@ type KV struct {
 	data  map[string][]byte
 	locks map[string]uint64 // key -> owning transaction
 	open  map[uint64]*kvWS
+	// shared marks data as pinned by at least one concurrent ReadView:
+	// the next mutation must copy the map first (copy-on-write) so view
+	// holders keep reading the pinned state race-free. Values are never
+	// mutated in place (every put stores a fresh slice), so sharing the
+	// value slices between generations is safe.
+	shared bool
 }
 
 // NewKV returns an empty store.
@@ -175,9 +181,25 @@ func (s *KV) Execute(op []byte) ([]byte, error) {
 	}
 	res := kvApply(code, key, value,
 		func(k string) ([]byte, bool) { v, ok := s.data[k]; return v, ok },
-		func(k string, v []byte) { s.data[k] = v },
-		func(k string) { delete(s.data, k) })
+		func(k string, v []byte) { s.mutableData()[k] = v },
+		func(k string) { delete(s.mutableData(), k) })
 	return res, nil
+}
+
+// mutableData returns the data map, first cloning it if a concurrent
+// ReadView has it pinned. Amortized cost is one map copy per pinned
+// view generation; the single-goroutine mutation discipline is
+// unchanged (only the event loop calls this).
+func (s *KV) mutableData() map[string][]byte {
+	if s.shared {
+		clone := make(map[string][]byte, len(s.data))
+		for k, v := range s.data {
+			clone[k] = v
+		}
+		s.data = clone
+		s.shared = false
+	}
+	return s.data
 }
 
 // Snapshot implements Service with a deterministic (sorted) encoding.
@@ -214,6 +236,7 @@ func (s *KV) Restore(snap []byte) error {
 		return err
 	}
 	s.data = data
+	s.shared = false // brand-new map; pinned views keep the old one
 	s.locks = make(map[string]uint64)
 	s.open = make(map[uint64]*kvWS)
 	return nil
@@ -285,11 +308,14 @@ func (w *kvWS) Commit() error {
 	if w.done {
 		return nil
 	}
-	for k, v := range w.overlay {
-		w.s.data[k] = v
-	}
-	for k := range w.deleted {
-		delete(w.s.data, k)
+	if len(w.overlay) > 0 || len(w.deleted) > 0 {
+		data := w.s.mutableData()
+		for k, v := range w.overlay {
+			data[k] = v
+		}
+		for k := range w.deleted {
+			delete(data, k)
+		}
 	}
 	w.finish()
 	return nil
@@ -310,6 +336,43 @@ func (w *kvWS) finish() {
 		}
 	}
 	delete(w.s.open, w.txn)
+}
+
+// KV implements ReadViewer by copy-on-write: ReadView pins the current
+// data map; the next mutation clones it (mutableData), so view holders
+// keep a stable, never-again-written map with zero per-read cost.
+var _ ReadViewer = (*KV)(nil)
+
+// ReadView implements ReadViewer. Pinning is refused while any
+// transaction holds locks: an inline read of a locked key must return
+// ErrConflict (§3.5), and a frozen view cannot see the live lock table,
+// so the caller falls back to inline execution until the locks drain.
+func (s *KV) ReadView() (ReadView, bool) {
+	if len(s.locks) > 0 {
+		return nil, false
+	}
+	s.shared = true
+	return kvView{data: s.data}, true
+}
+
+// kvView is a pinned KV state generation. Safe for concurrent
+// ReadExecute calls: the map is never written after pinning.
+type kvView struct {
+	data map[string][]byte
+}
+
+// ReadExecute implements ReadView: kvGet only — every other opcode
+// mutates and must be rejected, not silently applied to a frozen copy.
+func (v kvView) ReadExecute(op []byte) ([]byte, error) {
+	code, key, _, err := kvParse(op)
+	if err != nil {
+		return nil, err
+	}
+	if code != kvGet {
+		return nil, fmt.Errorf("%w: opcode %d on read-only view", ErrBadOp, code)
+	}
+	val, ok := v.data[key]
+	return kvReply(val, ok), nil
 }
 
 // KVFactory is a Factory for the key-value store.
@@ -334,14 +397,14 @@ func (s *KV) ExecuteDelta(op []byte) (reply, delta []byte, err error) {
 	res := kvApply(code, key, value,
 		func(k string) ([]byte, bool) { v, ok := s.data[k]; return v, ok },
 		func(k string, v []byte) {
-			s.data[k] = v
+			s.mutableData()[k] = v
 			enc.Bool(true) // put
 			enc.String(k)
 			enc.Bytes8(v)
 			changes++
 		},
 		func(k string) {
-			delete(s.data, k)
+			delete(s.mutableData(), k)
 			enc.Bool(false) // delete
 			enc.String(k)
 			changes++
@@ -358,6 +421,10 @@ func (s *KV) ApplyDelta(delta []byte) error {
 	if dec.Err() != nil {
 		return dec.Err()
 	}
+	data := s.data
+	if n > 0 {
+		data = s.mutableData()
+	}
 	for i := 0; i < n; i++ {
 		if dec.Bool() {
 			k := dec.String()
@@ -365,13 +432,13 @@ func (s *KV) ApplyDelta(delta []byte) error {
 			if dec.Err() != nil {
 				return dec.Err()
 			}
-			s.data[k] = v
+			data[k] = v
 		} else {
 			k := dec.String()
 			if dec.Err() != nil {
 				return dec.Err()
 			}
-			delete(s.data, k)
+			delete(data, k)
 		}
 	}
 	return dec.Done()

@@ -83,6 +83,25 @@ func (w *noopWS) Commit() error {
 
 func (w *noopWS) Abort() { w.done = true }
 
+// Noop implements ReadViewer trivially: a read observes nothing, so the
+// pinned view is stateless and always available.
+var _ ReadViewer = (*Noop)(nil)
+
+type noopView struct{}
+
+// ReadView implements ReadViewer.
+func (n *Noop) ReadView() (ReadView, bool) { return noopView{}, true }
+
+// ReadExecute implements ReadView: only the empty (pure-read) op is
+// read-only; anything else would bump the version and must go through
+// the ordered write path.
+func (noopView) ReadExecute(op []byte) ([]byte, error) {
+	if len(op) > 0 {
+		return nil, ErrBadOp
+	}
+	return nil, nil
+}
+
 // NoopFactory is a Factory for the benchmark service.
 func NoopFactory() Service { return NewNoop() }
 

@@ -174,6 +174,35 @@ type Sharder interface {
 	ShardKey(op []byte) (key []byte, ok bool)
 }
 
+// ReadView is an immutable snapshot of a service's state, pinned at the
+// moment ReadViewer.ReadView returned it. Unlike every other service
+// surface it is NOT confined to the replica's event loop: the replica
+// hands views to a worker pool that executes X-Paxos reads concurrently,
+// so ReadExecute must be safe for simultaneous calls from many
+// goroutines and must keep observing exactly the pinned state no matter
+// what the owning service mutates afterwards.
+type ReadView interface {
+	// ReadExecute applies one read-only operation against the pinned
+	// state. It must not mutate anything (neither the view nor the
+	// owning service) and must reject operations that would.
+	ReadExecute(op []byte) ([]byte, error)
+}
+
+// ReadViewer is implemented by services that can pin an immutable view
+// of their current state — by copy-on-write, epoch pinning, or any other
+// scheme — enabling the replica to execute reads in parallel off the
+// event loop while writes keep mutating the live state. Services without
+// ReadViewer still serve reads; they just execute inline on the event
+// loop, the pre-parallelism behavior.
+type ReadViewer interface {
+	Service
+	// ReadView pins the current state. ok is false when the state cannot
+	// be pinned right now (e.g. open transactions hold locks whose
+	// conflict semantics a concurrent frozen view could not honor); the
+	// caller then falls back to inline execution.
+	ReadView() (ReadView, bool)
+}
+
 // Replayer is the §3.3 "request plus additional information" optimization:
 // the nondeterministic operation can be reproduced from the request and
 // the choices the leader actually made, so replicas exchange only that

@@ -55,8 +55,11 @@ type txnKey struct {
 // in-flight transactions is far beyond any deployment here.
 const maxPinned = 1 << 16
 
-// Router maps requests to groups. It is confined to a single goroutine
-// (the multiplexer's pump); it is not safe for concurrent use.
+// Router maps requests to groups. It is not safe for concurrent use:
+// the multiplexer serializes calls to Route (historically by confining
+// them to its pump goroutine; since the sharded fan-in of DESIGN.md §14
+// by a mutex, because dispatch runs on per-connection transport
+// goroutines).
 type Router struct {
 	n       int
 	sharder service.Sharder // nil: hash whole ops

@@ -298,7 +298,7 @@ func (s *File) replay() error {
 		}
 		body := data[off+hdr : off+hdr+int(n)]
 		sum := binary.LittleEndian.Uint32(data[off+hdr+int(n):])
-		if crc32.ChecksumIEEE(body) != sum {
+		if crc32.Update(0, crcTable, body) != sum {
 			break // corrupt tail
 		}
 		if err := s.applyRecord(body); err != nil {
@@ -467,15 +467,23 @@ func (s *File) poison(err error) error {
 	return err
 }
 
+// crcTable is the shared IEEE polynomial table. Building it once keeps
+// the append and replay hot paths off ChecksumIEEE's per-call lazy-init
+// check, and crc32.Update against it streams over each record body in
+// place — a large group-committed burst is checksummed as its frames
+// are built, never by rescanning a rebuilt buffer.
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
 // appendFrame appends one length-prefixed, checksummed record frame to
-// dst.
+// dst. The checksum covers exactly the body bytes just appended,
+// computed by streaming over them (crc32.Update) with the shared table.
 func appendFrame(dst, body []byte) []byte {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(body)))
 	dst = append(dst, hdr[:n]...)
 	dst = append(dst, body...)
 	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(sum[:], crc32.Update(0, crcTable, body))
 	return append(dst, sum[:]...)
 }
 

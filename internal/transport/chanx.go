@@ -32,9 +32,10 @@ type Network struct {
 	wake      chan struct{}
 	closed    bool
 
-	// Tracer, if set, observes every delivered message (for the
-	// space-time diagrams of Figures 1-4). Set before traffic starts.
-	Tracer func(at time.Time, env *wire.Envelope)
+	// tracer, if set, observes every delivered message (for the
+	// space-time diagrams of Figures 1-4). Guarded by mu — the delivery
+	// loop starts before SetTracer can run.
+	tracer func(at time.Time, env *wire.Envelope)
 
 	// drops counts messages dropped by the model (loss, partitions,
 	// crashed nodes) or by full receiver buffers; read via Drops.
@@ -85,6 +86,15 @@ func NewNetwork(model *netem.Model) *Network {
 
 // Model returns the underlying network model (for failure injection).
 func (n *Network) Model() *netem.Model { return n.model }
+
+// SetTracer installs an observer for every delivered message (the
+// space-time diagrams of Figures 1-4). Call before traffic starts;
+// delivery order relative to in-flight messages is unspecified.
+func (n *Network) SetTracer(fn func(at time.Time, env *wire.Envelope)) {
+	n.mu.Lock()
+	n.tracer = fn
+	n.mu.Unlock()
+}
 
 // Endpoint registers (or returns the existing) endpoint for id. A closed
 // endpoint is replaced with a fresh one, which is how a recovered process
@@ -215,7 +225,7 @@ func (n *Network) run() {
 		if len(n.queue) > 0 {
 			wait = n.queue[0].at.Sub(now)
 		}
-		tracer := n.Tracer
+		tracer := n.tracer
 		n.mu.Unlock()
 
 		for _, d := range due {
@@ -250,6 +260,11 @@ type Endpoint struct {
 	id   wire.NodeID
 	net  *Network
 	recv chan *wire.Envelope
+	// sink, when set (Sinker), replaces the recv channel: the fabric's
+	// delivery goroutine calls it directly, skipping one queue hop (the
+	// group multiplexer uses this to dispatch straight into per-group
+	// queues).
+	sink atomic.Pointer[func(*wire.Envelope)]
 
 	mu     sync.Mutex
 	closed bool
@@ -257,6 +272,10 @@ type Endpoint struct {
 
 var _ Transport = (*Endpoint)(nil)
 var _ Meter = (*Endpoint)(nil)
+var _ Sinker = (*Endpoint)(nil)
+
+// SetSink implements Sinker. Set before traffic starts.
+func (ep *Endpoint) SetSink(fn func(*wire.Envelope)) { ep.sink.Store(&fn) }
 
 // Local implements Transport.
 func (ep *Endpoint) Local() wire.NodeID { return ep.id }
@@ -293,6 +312,13 @@ func (ep *Endpoint) closeRecv() {
 }
 
 func (ep *Endpoint) deliver(env *wire.Envelope, n *Network) {
+	if fn := ep.sink.Load(); fn != nil {
+		if ep.isClosed() {
+			return
+		}
+		(*fn)(env)
+		return
+	}
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {

@@ -181,7 +181,7 @@ func TestChanxEndpointIdempotent(t *testing.T) {
 func TestChanxTracer(t *testing.T) {
 	n := newTestNet(t, netem.Loopback())
 	seen := make(chan wire.MsgType, 4)
-	n.Tracer = func(_ time.Time, env *wire.Envelope) { seen <- env.Msg.Type() }
+	n.SetTracer(func(_ time.Time, env *wire.Envelope) { seen <- env.Msg.Type() })
 	a, _ := n.Endpoint(0)
 	b, _ := n.Endpoint(1)
 	env := hb(0, 1)

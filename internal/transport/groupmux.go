@@ -29,7 +29,11 @@ type GroupMux struct {
 	// the request is unroutable (cross-group transaction) and the mux
 	// replies wire.StatusCrossGroup on the caller's behalf.
 	route func(*wire.Request) (uint32, error)
-	eps   []*groupEndpoint
+	// routeMu serializes route calls: with a Sinker underneath, dispatch
+	// runs concurrently from per-connection decode goroutines, and the
+	// shard router keeps single-goroutine transaction-pinning state.
+	routeMu sync.Mutex
+	eps     []*groupEndpoint
 
 	healthMu sync.Mutex
 	healthFn []func(wire.NodeID, bool)
@@ -42,7 +46,11 @@ type GroupMux struct {
 
 // NewGroupMux wraps under with an n-group multiplexer. route decides
 // the group for every inbound client request (see Route semantics in
-// internal/shard); it runs on the pump goroutine only.
+// internal/shard); the mux serializes calls to it. When the underlying
+// transport implements Sinker, inbound envelopes dispatch to group
+// queues directly from the transport's per-connection goroutines —
+// fan-in stays sharded by connection and no pump goroutine exists
+// (DESIGN.md §14); otherwise a pump drains under.Recv, the legacy path.
 func NewGroupMux(under Transport, n int, route func(*wire.Request) (uint32, error)) *GroupMux {
 	m := &GroupMux{
 		under:    under,
@@ -60,7 +68,12 @@ func NewGroupMux(under Transport, n int, route func(*wire.Request) (uint32, erro
 	if hr, ok := under.(HealthReporter); ok {
 		hr.SetHealth(m.fanOutHealth)
 	}
-	go m.pump()
+	if sk, ok := under.(Sinker); ok {
+		sk.SetSink(m.dispatch)
+		close(m.pumpDone) // no pump to wait for
+	} else {
+		go m.pump()
+	}
 	return m
 }
 
@@ -107,37 +120,48 @@ func (m *GroupMux) fanOutHealth(peer wire.NodeID, up bool) {
 	}
 }
 
-// pump dispatches inbound envelopes to group channels.
+// pump dispatches inbound envelopes to group channels on transports
+// without a Sinker.
 func (m *GroupMux) pump() {
 	defer close(m.pumpDone)
 	for env := range m.under.Recv() {
-		g := env.Group
-		if rm, ok := env.Msg.(*wire.RequestMsg); ok && m.route != nil {
-			// Client traffic arrives unstamped (clients are
-			// group-unaware); route it by key hash. Peer traffic is
-			// never MsgRequest.
-			rg, err := m.route(&rm.Req)
-			if err != nil {
-				m.crossGrp.Add(1)
-				m.under.Send(&wire.Envelope{
-					To: env.From,
-					Msg: &wire.ReplyMsg{Rep: wire.Reply{
-						Client: rm.Req.Client,
-						Seq:    rm.Req.Seq,
-						Status: wire.StatusCrossGroup,
-						Err:    err.Error(),
-					}},
-				})
-				continue
-			}
-			g = rg
-		}
-		if int(g) >= len(m.eps) {
-			m.drops.Add(1)
-			continue
-		}
-		m.eps[g].deliver(env)
+		m.dispatch(env)
 	}
+}
+
+// dispatch routes one inbound envelope to its group's queue. Safe for
+// concurrent callers (the sink path runs it from every connection's
+// decode goroutine): routing is serialized by routeMu, and group
+// delivery is mutex-guarded per endpoint.
+func (m *GroupMux) dispatch(env *wire.Envelope) {
+	g := env.Group
+	if rm, ok := env.Msg.(*wire.RequestMsg); ok && m.route != nil {
+		// Client traffic arrives unstamped (clients are
+		// group-unaware); route it by key hash. Peer traffic is
+		// never MsgRequest.
+		m.routeMu.Lock()
+		rg, err := m.route(&rm.Req)
+		m.routeMu.Unlock()
+		if err != nil {
+			m.crossGrp.Add(1)
+			m.under.Send(&wire.Envelope{
+				To: env.From,
+				Msg: &wire.ReplyMsg{Rep: wire.Reply{
+					Client: rm.Req.Client,
+					Seq:    rm.Req.Seq,
+					Status: wire.StatusCrossGroup,
+					Err:    err.Error(),
+				}},
+			})
+			return
+		}
+		g = rg
+	}
+	if int(g) >= len(m.eps) {
+		m.drops.Add(1)
+		return
+	}
+	m.eps[g].deliver(env)
 }
 
 // groupEndpoint is one group's virtual Transport.

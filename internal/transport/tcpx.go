@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridrep/internal/metrics"
@@ -36,6 +37,11 @@ type TCP struct {
 	ln    net.Listener
 	recv  chan *wire.Envelope
 	stats counters
+	// sink, when set (Sinker), replaces the recv channel: each
+	// connection's decode goroutine calls it directly, so inbound
+	// fan-in stays sharded by connection instead of funneling through
+	// one consumer.
+	sink atomic.Pointer[func(*wire.Envelope)]
 
 	mu       sync.Mutex
 	book     map[wire.NodeID]string
@@ -121,7 +127,12 @@ type counters struct {
 	pingsSent, pongsRecvd           metrics.Counter
 	dropQueueFull, dropNoRoute      metrics.Counter
 	dropWriteFail, dropRecvOverflow metrics.Counter
+	dropReplyOverflow               metrics.Counter
 	lastRTT                         metrics.Gauge // nanoseconds
+	// decodeLat times the off-loop decode stage per envelope frame
+	// (created at transport construction, registered on demand — the
+	// storage.File histogram pattern).
+	decodeLat *metrics.Histogram
 }
 
 // Stats is a point-in-time snapshot of the transport's counters, the
@@ -141,8 +152,10 @@ type Stats struct {
 	// (oldest envelope discarded). DropsNoRoute: no address and no
 	// learned return route. DropsWriteFail: a frame died with its
 	// connection. DropsRecvOverflow: the receive buffer overflowed
-	// (oldest envelope discarded).
+	// (oldest envelope discarded). DropsReplyOverflow: an accept-side
+	// reply writer's queue overflowed (oldest reply discarded).
 	DropsQueueFull, DropsNoRoute, DropsWriteFail, DropsRecvOverflow uint64
+	DropsReplyOverflow                                              uint64
 	// QueueDepth is the current total of enqueued outbound envelopes
 	// across all peer supervisors; ConnectedPeers counts supervised
 	// links that are currently up.
@@ -153,7 +166,8 @@ type Stats struct {
 // Drops returns the total number of dropped envelopes, matching the
 // accounting Network.Drops provides for the in-process transport.
 func (s Stats) Drops() uint64 {
-	return s.DropsQueueFull + s.DropsNoRoute + s.DropsWriteFail + s.DropsRecvOverflow
+	return s.DropsQueueFull + s.DropsNoRoute + s.DropsWriteFail +
+		s.DropsRecvOverflow + s.DropsReplyOverflow
 }
 
 type tcpConn struct {
@@ -161,10 +175,44 @@ type tcpConn struct {
 	w  *bufio.Writer
 	wt time.Duration // per-frame write deadline
 	mu sync.Mutex    // serializes frame writes
+
+	// Accept-side reply writer (nil on supervisor connections): Send
+	// enqueues encoded replies here and replyLoop writes them from a
+	// dedicated goroutine, so a replica's event loop never blocks on a
+	// slow client socket. wstop is closed by the connection's read loop
+	// on the way out; queued buffers are drained back to the pool.
+	wq    chan *[]byte
+	wstop chan struct{}
 }
 
 func newTCPConn(nc net.Conn, wt time.Duration) *tcpConn {
 	return &tcpConn{c: nc, w: bufio.NewWriter(nc), wt: wt}
+}
+
+// replyQueue bounds each accept-side connection's outbound reply queue.
+const replyQueue = 4096
+
+// enqueueReply hands an encoded reply (pooled buffer, ownership
+// transfers) to the connection's writer goroutine, evicting the oldest
+// queued reply when full — the supervisor-queue discipline.
+func (tc *tcpConn) enqueueReply(bp *[]byte, st *counters) {
+	select {
+	case tc.wq <- bp:
+		return
+	default:
+	}
+	select {
+	case old := <-tc.wq:
+		wire.PutBuf(old)
+		st.dropReplyOverflow.Add(1)
+	default:
+	}
+	select {
+	case tc.wq <- bp:
+	default:
+		st.dropReplyOverflow.Add(1)
+		wire.PutBuf(bp)
+	}
 }
 
 func (tc *tcpConn) writeFrame(kind byte, payload []byte) error {
@@ -229,7 +277,7 @@ func newTCP(local wire.NodeID, book map[wire.NodeID]string, opts Options) *TCP {
 	for k, v := range book {
 		b[k] = v
 	}
-	return &TCP{
+	t := &TCP{
 		local:    local,
 		opts:     opts,
 		book:     b,
@@ -238,11 +286,19 @@ func newTCP(local wire.NodeID, book map[wire.NodeID]string, opts Options) *TCP {
 		inbound:  make(map[wire.NodeID]*tcpConn),
 		accepted: make(map[*tcpConn]struct{}),
 	}
+	t.stats.decodeLat = metrics.NewHistogram(metrics.UnitNanoseconds)
+	return t
 }
 
 var _ Transport = (*TCP)(nil)
 var _ HealthReporter = (*TCP)(nil)
 var _ Meter = (*TCP)(nil)
+var _ Sinker = (*TCP)(nil)
+
+// SetSink implements Sinker: inbound envelopes are handed to fn —
+// possibly concurrently, one caller per live connection's decode stage —
+// instead of the Recv channel. Set before traffic starts.
+func (t *TCP) SetSink(fn func(*wire.Envelope)) { t.sink.Store(&fn) }
 
 // Local implements Transport.
 func (t *TCP) Local() wire.NodeID { return t.local }
@@ -286,18 +342,19 @@ func (t *TCP) notifyHealth(peer wire.NodeID, up bool) {
 // Stats returns a snapshot of the transport counters.
 func (t *TCP) Stats() Stats {
 	s := Stats{
-		Dials:             t.stats.dials.Load(),
-		DialFails:         t.stats.dialFails.Load(),
-		Reconnects:        t.stats.reconnects.Load(),
-		Sent:              t.stats.sent.Load(),
-		Recvd:             t.stats.recvd.Load(),
-		PingsSent:         t.stats.pingsSent.Load(),
-		PongsRecvd:        t.stats.pongsRecvd.Load(),
-		LastRTT:           time.Duration(t.stats.lastRTT.Load()),
-		DropsQueueFull:    t.stats.dropQueueFull.Load(),
-		DropsNoRoute:      t.stats.dropNoRoute.Load(),
-		DropsWriteFail:    t.stats.dropWriteFail.Load(),
-		DropsRecvOverflow: t.stats.dropRecvOverflow.Load(),
+		Dials:              t.stats.dials.Load(),
+		DialFails:          t.stats.dialFails.Load(),
+		Reconnects:         t.stats.reconnects.Load(),
+		Sent:               t.stats.sent.Load(),
+		Recvd:              t.stats.recvd.Load(),
+		PingsSent:          t.stats.pingsSent.Load(),
+		PongsRecvd:         t.stats.pongsRecvd.Load(),
+		LastRTT:            time.Duration(t.stats.lastRTT.Load()),
+		DropsQueueFull:     t.stats.dropQueueFull.Load(),
+		DropsNoRoute:       t.stats.dropNoRoute.Load(),
+		DropsWriteFail:     t.stats.dropWriteFail.Load(),
+		DropsRecvOverflow:  t.stats.dropRecvOverflow.Load(),
+		DropsReplyOverflow: t.stats.dropReplyOverflow.Load(),
 	}
 	t.mu.Lock()
 	for _, sup := range t.sups {
@@ -341,6 +398,10 @@ func (t *TCP) RegisterMetrics(reg *metrics.Registry) {
 		"envelopes that died with their connection", &t.stats.dropWriteFail)
 	reg.RegisterCounter("gridrep_tcp_drop_recv_overflow_total",
 		"envelopes dropped by receive buffer overflow", &t.stats.dropRecvOverflow)
+	reg.RegisterCounter("gridrep_tcp_drop_reply_overflow_total",
+		"replies dropped by accept-side writer queue overflow", &t.stats.dropReplyOverflow)
+	reg.RegisterHistogram("gridrep_tcp_decode_seconds",
+		"off-loop envelope decode latency per frame", t.stats.decodeLat)
 	reg.RegisterGauge("gridrep_tcp_last_rtt_nanoseconds",
 		"most recent measured ping round trip", &t.stats.lastRTT)
 	reg.RegisterGaugeFunc("gridrep_tcp_queue_depth",
@@ -404,6 +465,13 @@ func (t *TCP) Send(env *wire.Envelope) {
 	if !ok {
 		t.stats.dropNoRoute.Add(1)
 		wire.PutBuf(bp)
+		return
+	}
+	if conn.wq != nil {
+		// Learned client route: hand the reply to the connection's
+		// writer goroutine so the caller (a replica's event loop, or a
+		// parallel-read worker) never blocks on the client's socket.
+		conn.enqueueReply(bp, &t.stats)
 		return
 	}
 	err := conn.writeFrame(frameEnv, *bp)
@@ -490,6 +558,8 @@ func (t *TCP) acceptLoop() {
 			return
 		}
 		conn := newTCPConn(nc, t.opts.WriteTimeout)
+		conn.wq = make(chan *[]byte, replyQueue)
+		conn.wstop = make(chan struct{})
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
@@ -497,16 +567,55 @@ func (t *TCP) acceptLoop() {
 			return
 		}
 		t.accepted[conn] = struct{}{}
-		t.wg.Add(1)
+		t.wg.Add(2)
 		t.mu.Unlock()
 		go t.readLoop(conn, true, nil)
+		go t.replyLoop(conn)
 	}
 }
 
-// deliver hands env to the receive channel. On overflow the oldest
-// buffered envelope is evicted in favour of the new one — fresh protocol
-// messages supersede stale ones — and the drop is counted.
+// replyLoop writes one accept-side connection's queued replies. It
+// lives until the connection's read loop closes wstop, then drains the
+// queue back to the buffer pool. A write failure severs the connection
+// (the read loop notices and tears the learned routes down); later
+// queued frames fail fast on the closed socket.
+func (t *TCP) replyLoop(conn *tcpConn) {
+	defer t.wg.Done()
+	for {
+		select {
+		case bp := <-conn.wq:
+			err := conn.writeFrame(frameEnv, *bp)
+			wire.PutBuf(bp)
+			if err != nil {
+				t.stats.dropWriteFail.Add(1)
+				conn.c.Close()
+				continue
+			}
+			t.stats.sent.Add(1)
+		case <-conn.wstop:
+			for {
+				select {
+				case bp := <-conn.wq:
+					t.stats.dropWriteFail.Add(1)
+					wire.PutBuf(bp)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver hands env to the sink when one is set (each decode goroutine
+// calls it directly — sharded fan-in), else to the receive channel. On
+// channel overflow the oldest buffered envelope is evicted in favour of
+// the new one — fresh protocol messages supersede stale ones — and the
+// drop is counted.
 func (t *TCP) deliver(env *wire.Envelope) {
+	if fn := t.sink.Load(); fn != nil {
+		(*fn)(env)
+		return
+	}
 	select {
 	case t.recv <- env:
 		return
@@ -525,10 +634,19 @@ func (t *TCP) deliver(env *wire.Envelope) {
 	}
 }
 
-// readLoop reads frames from one connection. Accept-side loops learn
-// return routes for clients (nodes with no book address) from each
-// envelope's From field; supervisor-side loops report pongs to their
-// supervisor via the pong channel.
+// decodeBacklog bounds each connection's read-to-decode hand-off queue.
+// A blocked send here is the same backpressure the old inline decode
+// exerted: the socket read stalls until the decode stage catches up.
+const decodeBacklog = 256
+
+// readLoop reads frames from one connection and hands envelope payloads
+// to the connection's decode stage (decodeLoop), keeping socket reads
+// and envelope decoding on separate goroutines so N connections decode
+// on N cores instead of serializing decode behind I/O. Ping/pong frames
+// stay inline — they are latency-sensitive and byte-cheap. Accept-side
+// route learning moves with the decode (it needs the envelope's From
+// field); supervisor-side loops report pongs to their supervisor via
+// the pong channel.
 func (t *TCP) readLoop(conn *tcpConn, acceptSide bool, pong chan<- int64) {
 	defer t.wg.Done()
 	defer conn.c.Close()
@@ -537,19 +655,14 @@ func (t *TCP) readLoop(conn *tcpConn, acceptSide bool, pong chan<- int64) {
 			t.mu.Lock()
 			delete(t.accepted, conn)
 			t.mu.Unlock()
+			close(conn.wstop) // release the reply writer
 		}()
 	}
+	frames := make(chan []byte, decodeBacklog)
+	t.wg.Add(1)
+	go t.decodeLoop(conn, acceptSide, frames)
+	defer close(frames)
 	r := bufio.NewReader(conn.c)
-	var learned []wire.NodeID
-	defer func() {
-		t.mu.Lock()
-		for _, id := range learned {
-			if t.inbound[id] == conn {
-				delete(t.inbound, id)
-			}
-		}
-		t.mu.Unlock()
-	}()
 	var scratch [16]byte // reused for ping/pong payloads: no alloc per heartbeat
 	for {
 		n, err := binary.ReadUvarint(r)
@@ -586,18 +699,55 @@ func (t *TCP) readLoop(conn *tcpConn, acceptSide bool, pong chan<- int64) {
 				}
 			}
 		case frameEnv:
-			env, err := wire.DecodeEnvelopeOwned(payload)
-			if err != nil {
-				return // corrupt peer; sever the connection
-			}
-			t.stats.recvd.Add(1)
-			if acceptSide {
-				t.learn(env.From, conn, &learned)
-			}
-			t.deliver(env)
+			// Ownership of the payload buffer transfers to the decode
+			// stage (and from there into the decoded message — the PR 2
+			// pooled-buffer contract is untouched because this buffer
+			// was never pooled; it is the exact-size owned allocation).
+			frames <- payload
 		default:
 			return // unknown frame kind; sever
 		}
+	}
+}
+
+// decodeLoop is one connection's decode stage: it turns owned frame
+// payloads into envelopes, learns client return routes (accept side),
+// and delivers. A corrupt frame severs the connection; the loop then
+// keeps draining so the reader can never block on a dead stage. The
+// learned-route cleanup lives here because only this goroutine ever
+// appends to learned.
+func (t *TCP) decodeLoop(conn *tcpConn, acceptSide bool, frames <-chan []byte) {
+	defer t.wg.Done()
+	var learned []wire.NodeID
+	defer func() {
+		t.mu.Lock()
+		for _, id := range learned {
+			if t.inbound[id] == conn {
+				delete(t.inbound, id)
+			}
+		}
+		t.mu.Unlock()
+	}()
+	dead := false
+	for payload := range frames {
+		if dead {
+			continue
+		}
+		start := time.Now()
+		env, err := wire.DecodeEnvelopeOwned(payload)
+		if err != nil {
+			// Corrupt peer: sever. The read loop exits on the closed
+			// socket and closes frames; until then, drain.
+			conn.c.Close()
+			dead = true
+			continue
+		}
+		t.stats.decodeLat.Since(start)
+		t.stats.recvd.Add(1)
+		if acceptSide {
+			t.learn(env.From, conn, &learned)
+		}
+		t.deliver(env)
 	}
 }
 

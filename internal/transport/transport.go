@@ -36,6 +36,20 @@ type HealthReporter interface {
 	SetHealth(fn func(peer wire.NodeID, up bool))
 }
 
+// Sinker is implemented by transports that can deliver inbound
+// envelopes by direct callback instead of through the Recv channel.
+// Once a sink is set, Recv receives nothing further; the callback may
+// run concurrently from multiple transport goroutines (one per
+// connection on TCP), so receivers must synchronize internally and must
+// never block — the callback runs on the hot receive path. Set the sink
+// before traffic starts. This is how the group multiplexer shards
+// receive fan-in by connection: each connection's decode stage
+// dispatches straight into per-group queues instead of funneling
+// through one pump goroutine (DESIGN.md §14).
+type Sinker interface {
+	SetSink(fn func(*wire.Envelope))
+}
+
 // Meter is implemented by transports that account for dropped messages.
 // Both the in-process Network endpoints and the TCP transport implement
 // it with the same semantics: a monotonic count of envelopes the
