@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 fmt race chaos chaos-reconfig pipeline-race shard-race multicore-race bench bench-quick bench-durable-quick bench-pipeline-quick bench-shard-quick bench-multicore-quick microbench benchstat clean
+.PHONY: all tier1 fmt race chaos chaos-reconfig pipeline-race shard-race multicore-race overload-race bench bench-quick bench-durable-quick bench-pipeline-quick bench-shard-quick bench-multicore-quick bench-overload-quick microbench benchstat clean
 
 all: tier1
 
@@ -93,6 +93,23 @@ bench-shard-quick:
 # GOMAXPROCS × groups over durable WALs.
 bench-multicore-quick:
 	$(GO) run ./cmd/benchpaxos -exp multicore-sweep -quick -durable
+
+# Gateway / overload suite under the race detector at GOMAXPROCS=4
+# (PR 9, DESIGN.md §15): the full edge package (admission, fair
+# queueing, dedup window, session mux), the typed-overload client
+# contract, the reply-drop accounting split, the open-loop harness,
+# and the idempotent-retry-across-leader-crash test over real TCP +
+# WALs.
+overload-race:
+	GOMAXPROCS=4 $(GO) test -race -count 1 ./internal/gateway
+	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'Overload|RetryAfter|ReplyDrop|Shed|OpenLoop' ./internal/client ./internal/transport ./internal/bench
+	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'TCPIdempotentRetryAcrossLeaderCrash' .
+
+# Scaled-down open-loop goodput ablation (PR 9): Poisson offered load
+# at 1-4x saturation with admission on vs off, on the latency-bound
+# overload-lab substrate.
+bench-overload-quick:
+	$(GO) run ./cmd/benchpaxos -exp fig-overload -quick
 
 # Hot-path microbenchmarks: wire codec, both transports, and the WAL
 # write path (per-record vs group commit), with allocs.

@@ -40,6 +40,11 @@ func main() {
 	join := flag.Bool("join", false, "join a running cluster as a learner: catch up via snapshot streaming, then get promoted to voter by a committed config entry")
 	snapEvery := flag.Uint64("snapshot-every", 0, "durable service snapshot cadence in applied instances (0 = default 4096)")
 	pruneKeep := flag.Uint64("prune-keep", 0, "WAL instances retained below the cluster-min applied watermark (0 = default 1024)")
+	gatewayOn := flag.Bool("gateway", false, "enable the client-facing edge: admission control, per-tenant fair queueing, typed overload sheds, session dedup window")
+	gwInflight := flag.Int("gateway-inflight", 0, "global admitted-but-unanswered budget (0 = pipeline depth x groups x 64)")
+	gwQueue := flag.Int("gateway-queue", 0, "per-tenant fair-queue length (0 = 2x the in-flight budget)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in requests/second (0 = no per-tenant throttle)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token bucket capacity (0 = max(16, in-flight budget))")
 	statsEvery := flag.Duration("stats", 0, "log transport and replica counters at this interval (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text; ?format=json) and /healthz on this host:port (empty = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file (stopped on shutdown)")
@@ -98,7 +103,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("replicad: %v", err)
 	}
-	srv, err := gridrep.ListenAndServe(gridrep.ServerOptions{
+	sopts := gridrep.ServerOptions{
 		ID:                gridrep.NodeID(*id),
 		Peers:             peers,
 		NewService:        newSvc,
@@ -111,7 +116,16 @@ func main() {
 		Join:              *join,
 		SnapshotEvery:     *snapEvery,
 		PruneKeep:         *pruneKeep,
-	})
+	}
+	if *gatewayOn {
+		sopts.Gateway = &gridrep.GatewayOptions{
+			MaxInFlight: *gwInflight,
+			QueueLen:    *gwQueue,
+			TenantRate:  *tenantRate,
+			TenantBurst: *tenantBurst,
+		}
+	}
+	srv, err := gridrep.ListenAndServe(sopts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,10 +161,18 @@ func main() {
 					return
 				case <-ticker.C:
 					st := srv.TransportStats()
-					log.Printf("transport: peers=%d depth=%d dials=%d fails=%d reconnects=%d sent=%d recvd=%d rtt=%v drops{queue=%d route=%d write=%d recv=%d}",
+					log.Printf("transport: peers=%d depth=%d dials=%d fails=%d reconnects=%d sent=%d recvd=%d rtt=%v drops{queue=%d route=%d write=%d recv=%d reply=%d(shed=%d slow=%d)}",
 						st.ConnectedPeers, st.QueueDepth, st.Dials, st.DialFails,
 						st.Reconnects, st.Sent, st.Recvd, st.LastRTT,
-						st.DropsQueueFull, st.DropsNoRoute, st.DropsWriteFail, st.DropsRecvOverflow)
+						st.DropsQueueFull, st.DropsNoRoute, st.DropsWriteFail, st.DropsRecvOverflow,
+						st.DropsReplyOverflow, st.DropsReplyShed, st.DropsReplySlowClient)
+					if *gatewayOn {
+						gs := srv.GatewayStats()
+						log.Printf("gateway: admitted=%d queued=%d dedup=%d dup_pass=%d sheds{throttle=%d queue_full=%d aged=%d} expired=%d inflight=%d depth=%d sessions=%d",
+							gs.Admitted, gs.Queued, gs.DedupHits, gs.DupPassthrough,
+							gs.ShedThrottle, gs.ShedQueueFull, gs.ShedQueueAged,
+							gs.ExpiredInFlight, gs.InFlight, gs.QueueDepth, gs.Sessions)
+					}
 					rs := srv.ReplicaStats()
 					log.Printf("replica: pipeline=%d inflight=%d/%d waves{started=%d committed=%d} rollbacks{demotions=%d waves=%d recovery_discarded=%d} deferred_drops=%d",
 						rs.PipelineDepth, rs.WavesInFlight, rs.MaxWavesInFlight,

@@ -125,6 +125,10 @@ var (
 	// each group coordinates independently, so a transaction must stay
 	// within the group of its first operation.
 	ErrCrossGroup = client.ErrCrossGroup
+	// ErrOverloaded reports a request shed at the gateway edge with
+	// StatusOverload (DESIGN.md §15) that no replica answered before
+	// the deadline. The request never executed; retrying is safe.
+	ErrOverloaded = client.ErrOverloaded
 )
 
 // Reconfiguration errors (DESIGN.md §12), returned by Server.AddVoter

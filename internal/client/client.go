@@ -35,6 +35,11 @@ var (
 	// Sharded deployments (DESIGN.md §13) coordinate each group
 	// independently; a transaction must stay within one group.
 	ErrCrossGroup = errors.New("client: transaction spans consensus groups")
+	// ErrOverloaded reports that the gateway shed the request at the
+	// edge (StatusOverload, DESIGN.md §15) and no replica answered it
+	// before the deadline. The request was never executed; retrying it
+	// is safe.
+	ErrOverloaded = errors.New("client: request shed by overloaded gateway")
 )
 
 // ServiceError wraps a StatusError reply from the service.
@@ -59,6 +64,14 @@ type Config struct {
 	RetryMax time.Duration
 	// Deadline bounds one operation end to end (default 30s).
 	Deadline time.Duration
+	// AbortOnOverload makes the first StatusOverload reply terminal: the
+	// call returns ErrOverloaded immediately instead of honoring the
+	// retry-after hint until the deadline. Production clients should
+	// leave this off; open-loop measurement clients set it so that a
+	// shed arrival is counted once and its worker freed, rather than
+	// turning the shed into a client-side retry storm that inflates the
+	// very offered load the sweep is trying to control.
+	AbortOnOverload bool
 }
 
 // Client issues requests to a replicated service. It is synchronous and
@@ -146,6 +159,7 @@ func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte)
 	deadline := time.Now().Add(c.cfg.Deadline)
 	c.broadcast(&req)
 	attempt := 0
+	overloaded := false
 	retry := time.NewTimer(retryBackoff(c.rng, c.cfg.RetryEvery, c.cfg.RetryMax, attempt, time.Until(deadline)))
 	defer retry.Stop()
 	for {
@@ -162,18 +176,59 @@ func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte)
 			case wire.StatusOK:
 				return rm.Rep.Result, nil
 			case wire.StatusAborted:
+				// Terminal: retrying cannot help (the transaction is
+				// dead), so stop rather than rebroadcast.
 				return nil, fmt.Errorf("%w: %s", ErrAborted, rm.Rep.Err)
 			case wire.StatusError:
+				// Terminal: the service rejected the operation itself.
 				return nil, &ServiceError{Msg: rm.Rep.Err}
 			case wire.StatusCrossGroup:
+				// Terminal: a retry would route identically.
 				return nil, fmt.Errorf("%w: %s", ErrCrossGroup, rm.Rep.Err)
 			case wire.StatusNotLeader:
 				// Keep waiting; the rebroadcast timer covers the case
 				// where no real leader saw the request.
 				continue
+			case wire.StatusOverload:
+				if c.cfg.AbortOnOverload {
+					// Measurement mode: the shed is the outcome.
+					if rm.Rep.Err != "" {
+						return nil, fmt.Errorf("%w: %s", ErrOverloaded, rm.Rep.Err)
+					}
+					return nil, ErrOverloaded
+				}
+				// One edge shed the request — but it was broadcast, so
+				// the leader may still answer. Keep waiting, and honor
+				// the typed retry-after hint in place of the blind
+				// exponential backoff: the next rebroadcast fires when
+				// the gateway said there may be room, not sooner.
+				overloaded = true
+				wait := time.Duration(rm.Rep.RetryAfterMS) * time.Millisecond
+				if wait <= 0 {
+					wait = c.cfg.RetryEvery
+				}
+				if remain := time.Until(deadline); wait > remain {
+					wait = remain
+				}
+				if wait <= 0 {
+					return nil, fmt.Errorf("%w: %s", ErrOverloaded, rm.Rep.Err)
+				}
+				if !retry.Stop() {
+					select {
+					case <-retry.C:
+					default:
+					}
+				}
+				retry.Reset(wait)
+				continue
 			}
 		case <-retry.C:
 			if !time.Now().Before(deadline) {
+				if overloaded {
+					// The last word from the cluster was a shed: report
+					// the typed overload, not a generic timeout.
+					return nil, ErrOverloaded
+				}
 				return nil, ErrTimeout
 			}
 			attempt++

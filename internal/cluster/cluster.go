@@ -19,6 +19,7 @@ import (
 
 	"gridrep/internal/client"
 	"gridrep/internal/core"
+	"gridrep/internal/gateway"
 	"gridrep/internal/metrics"
 	"gridrep/internal/netem"
 	"gridrep/internal/service"
@@ -104,6 +105,11 @@ type Config struct {
 	// catch-up quickly).
 	SnapshotEvery uint64
 	PruneKeep     uint64
+	// Gateway, when non-nil, wraps every node's endpoint in the
+	// client-facing edge (DESIGN.md §15): admission control, weighted
+	// fair queueing, typed overload sheds, per-session dedup. Nil keeps
+	// the exact pre-gateway assembly.
+	Gateway *gateway.Config
 }
 
 func (c *Config) fillDefaults() {
@@ -161,6 +167,7 @@ type Cluster struct {
 	gstores map[gsKey]storage.Store             // groups beyond 0
 	muxes   map[wire.NodeID]*transport.GroupMux // sharded nodes only
 	regs    map[wire.NodeID]*metrics.Registry   // shared per-node registry (sharded)
+	gws     map[wire.NodeID]*gateway.Gateway    // per-node edge (Config.Gateway set)
 }
 
 // New builds and starts a cluster.
@@ -177,6 +184,7 @@ func New(cfg Config) (*Cluster, error) {
 		gstores:  make(map[gsKey]storage.Store),
 		muxes:    make(map[wire.NodeID]*transport.GroupMux),
 		regs:     make(map[wire.NodeID]*metrics.Registry),
+		gws:      make(map[wire.NodeID]*gateway.Gateway),
 	}
 	for i := 0; i < cfg.N; i++ {
 		c.ids = append(c.ids, wire.NodeID(i))
@@ -251,6 +259,15 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 	if err != nil {
 		return err
 	}
+	// The client-facing edge wraps the endpoint before the group
+	// multiplexer, matching the TCP server assembly: endpoint → gateway
+	// → (mux) → cores.
+	var edge transport.Transport = ep
+	if c.cfg.Gateway != nil {
+		gw := gateway.Wrap(ep, *c.cfg.Gateway)
+		c.gws[id] = gw
+		edge = gw
+	}
 	groups := c.cfg.Groups
 	var trFor func(g int) transport.Transport
 	var regFor func(g int) *metrics.Registry
@@ -259,11 +276,11 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 		// multiplexer, no shared registry. This is the exact pre-sharding
 		// assembly, byte-for-byte on the wire and name-for-name in
 		// metrics.
-		trFor = func(int) transport.Transport { return ep }
+		trFor = func(int) transport.Transport { return edge }
 		regFor = func(int) *metrics.Registry { return nil }
 	} else {
 		router := shard.NewRouter(groups, c.cfg.Service())
-		mux := transport.NewGroupMux(ep, groups, router.Route)
+		mux := transport.NewGroupMux(edge, groups, router.Route)
 		c.muxes[id] = mux
 		reg := metrics.NewRegistry()
 		c.regs[id] = reg
@@ -339,6 +356,59 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 		RetryEvery: c.cfg.ClientRetryEvery,
 		Deadline:   c.cfg.ClientDeadline,
 	}), nil
+}
+
+// NewSessionClient attaches a client for one logical session of a
+// tenant. On the in-process network every session gets its own cheap
+// endpoint — the session ID packs the tenant into the client NodeID
+// exactly as the TCP ClientMux does, so replica-side gateways see the
+// same tenant space either way.
+func (c *Cluster) NewSessionClient(tenant uint8, n uint32) (*client.Client, error) {
+	ep, err := c.Net.Endpoint(gateway.SessionID(tenant, n))
+	if err != nil {
+		return nil, err
+	}
+	return client.New(client.Config{
+		Transport:  ep,
+		Replicas:   c.IDs(),
+		RetryEvery: c.cfg.ClientRetryEvery,
+		Deadline:   c.cfg.ClientDeadline,
+	}), nil
+}
+
+// Gateway returns node id's client-facing edge, when one is running.
+func (c *Cluster) Gateway(id wire.NodeID) (*gateway.Gateway, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gw, ok := c.gws[id]
+	return gw, ok
+}
+
+// GatewayStats sums the edge counters across every running node — the
+// cluster-wide view of admissions, sheds, and dedup hits.
+func (c *Cluster) GatewayStats() gateway.Stats {
+	c.mu.Lock()
+	gws := make([]*gateway.Gateway, 0, len(c.gws))
+	for _, gw := range c.gws {
+		gws = append(gws, gw)
+	}
+	c.mu.Unlock()
+	var sum gateway.Stats
+	for _, gw := range gws {
+		st := gw.Stats()
+		sum.Admitted += st.Admitted
+		sum.Queued += st.Queued
+		sum.DedupHits += st.DedupHits
+		sum.DupPassthrough += st.DupPassthrough
+		sum.ShedThrottle += st.ShedThrottle
+		sum.ShedQueueFull += st.ShedQueueFull
+		sum.ShedQueueAged += st.ShedQueueAged
+		sum.ExpiredInFlight += st.ExpiredInFlight
+		sum.InFlight += st.InFlight
+		sum.QueueDepth += st.QueueDepth
+		sum.Sessions += st.Sessions
+	}
+	return sum
 }
 
 // Replica returns the running group-0 replica with the given ID, if any.
@@ -494,6 +564,7 @@ func (c *Cluster) Crash(id wire.NodeID) {
 	mux := c.muxes[id]
 	delete(c.muxes, id)
 	delete(c.regs, id)
+	delete(c.gws, id) // closed via rep.Stop (single-group) or mux.Close
 	c.mu.Unlock()
 	for _, rep := range reps {
 		rep.Stop()
@@ -651,6 +722,7 @@ func (c *Cluster) Close() {
 		muxes = append(muxes, m)
 	}
 	c.muxes = map[wire.NodeID]*transport.GroupMux{}
+	c.gws = map[wire.NodeID]*gateway.Gateway{} // closed via Stop/mux.Close below
 	c.mu.Unlock()
 	for _, rep := range reps {
 		rep.Stop()

@@ -1,0 +1,712 @@
+// Package gateway is the client-facing edge of a replica process
+// (DESIGN.md §15). It wraps the process transport the same way the
+// group multiplexer does and interposes on exactly two flows: inbound
+// client requests and outbound client replies. Everything else — peer
+// consensus traffic, heartbeats, catch-up — passes through untouched
+// on the hot path with no locking.
+//
+// The edge provides three protections the consensus layer should never
+// have to pay for:
+//
+//   - Admission control: a token bucket per tenant plus one global
+//     in-flight budget sized from pipeline depth × groups. When the
+//     budget is exhausted, requests wait in per-tenant fair queues
+//     (deficit round-robin, weighted); when those fill, the gateway
+//     sheds at the edge with a typed StatusOverload reply carrying a
+//     retry-after hint, instead of letting work queue on an event loop.
+//   - Idempotent retry: a bounded per-session dedup window caches
+//     terminal replies, so a client retry of an answered request is
+//     served from the edge without touching consensus. (Across leader
+//     switches the new leader's log-rebuilt reply cache is the
+//     authority; the window is an edge cache layered on top.)
+//   - Session multiplexing (session.go): many logical sessions share
+//     one connection, each with its own session ID and sequence space.
+//
+// Only a replying replica enforces admission. Followers never answer
+// clients — their cores silently ignore client writes — so a gateway
+// that has not produced a client reply within ActiveWindow is passive
+// and forwards everything. This keeps follower sheds from polluting
+// client broadcast, costs nothing at cold start (the first requests
+// pass through, the leader answers, its gateway turns active), and
+// means in-flight accounting only happens where replies actually clear
+// it.
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrep/internal/metrics"
+	"gridrep/internal/transport"
+	"gridrep/internal/wire"
+)
+
+// Config tunes the edge. The zero value gets sensible defaults from
+// withDefaults; a zero TenantRate disables the per-tenant bucket while
+// keeping the global budget.
+type Config struct {
+	// MaxInFlight is the global admitted-but-unanswered budget. Size it
+	// from pipeline depth × groups × batch headroom: admitting more than
+	// the consensus layer can have in flight only grows queues.
+	MaxInFlight int
+	// TenantRate is the per-tenant token refill rate in requests/second.
+	// 0 disables per-tenant throttling.
+	TenantRate float64
+	// TenantBurst is the token bucket capacity (default max(16, MaxInFlight)).
+	TenantBurst int
+	// QueueLen bounds each tenant's fair queue (default 2×MaxInFlight).
+	QueueLen int
+	// Weights sets per-tenant DRR weights; unlisted tenants weigh 1.
+	Weights map[uint8]int
+	// RetryAfter is the base shed backoff hint (default 50ms). The
+	// actual hint scales with queue depth.
+	RetryAfter time.Duration
+	// InFlightTTL expires admissions that will never see a reply — e.g.
+	// admitted just before leadership moved away (default 2s).
+	InFlightTTL time.Duration
+	// DedupWindow is the number of terminal replies cached per session
+	// (default 32).
+	DedupWindow int
+	// SessionTTL evicts idle session state (default 60s).
+	SessionTTL time.Duration
+	// ActiveWindow is how long after its last client reply a gateway
+	// keeps enforcing admission (default 1s). A gateway that has not
+	// replied within the window is passive: a pure pass-through.
+	ActiveWindow time.Duration
+	// Clock is a test seam; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = c.MaxInFlight
+		if c.TenantBurst < 16 {
+			c.TenantBurst = 16
+		}
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 2 * c.MaxInFlight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 50 * time.Millisecond
+	}
+	if c.InFlightTTL <= 0 {
+		c.InFlightTTL = 2 * time.Second
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 32
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 60 * time.Second
+	}
+	if c.ActiveWindow <= 0 {
+		c.ActiveWindow = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// entry is one admitted-but-unanswered request. counted marks entries
+// that occupy a budget slot (forwarded inward); queued entries flip to
+// counted when the fair queue drains them.
+type entry struct {
+	at      time.Time
+	counted bool
+}
+
+// session is the per-session edge state: in-flight admissions, the
+// dedup window (a seq→reply map plus a fixed eviction ring), and the
+// highest sequence number ever admitted. The window caches only
+// terminal statuses; sheds and NotLeader are never cached because the
+// request may still execute later.
+type session struct {
+	tenant   uint8
+	lastSeen time.Time
+	maxSeq   uint64
+	inflight map[uint64]entry
+	window   map[uint64]*wire.Reply
+	ring     []uint64
+	pos      int
+}
+
+func (s *session) cache(rep *wire.Reply, window int) {
+	cp := *rep
+	if cp.Result != nil {
+		cp.Result = append([]byte(nil), cp.Result...)
+	}
+	if _, ok := s.window[cp.Seq]; ok {
+		s.window[cp.Seq] = &cp
+		return
+	}
+	if len(s.ring) < window {
+		s.ring = append(s.ring, cp.Seq)
+	} else {
+		delete(s.window, s.ring[s.pos])
+		s.ring[s.pos] = cp.Seq
+		s.pos = (s.pos + 1) % window
+	}
+	s.window[cp.Seq] = &cp
+}
+
+// queuedReq is one request parked in a tenant's fair queue.
+type queuedReq struct {
+	env *wire.Envelope
+	at  time.Time
+}
+
+// tenant is the per-tenant admission state: the token bucket and the
+// DRR queue.
+type tenant struct {
+	weight  int
+	tokens  float64
+	last    time.Time
+	queue   []queuedReq
+	deficit float64
+	active  bool
+}
+
+func (t *tenant) refill(now time.Time, rate, burst float64) {
+	if rate <= 0 {
+		return
+	}
+	t.tokens += rate * now.Sub(t.last).Seconds()
+	if t.tokens > burst {
+		t.tokens = burst
+	}
+	t.last = now
+}
+
+// Gateway wraps a transport.Transport. Wrap it around the process
+// transport before the group multiplexer: TCP/Endpoint → Gateway →
+// GroupMux → cores.
+type Gateway struct {
+	under transport.Transport
+	cfg   Config
+
+	sink atomic.Pointer[func(*wire.Envelope)]
+
+	recvMu     sync.Mutex
+	recv       chan *wire.Envelope
+	recvClosed bool
+
+	lastReplyNS atomic.Int64 // wall clock of the last outbound client reply
+
+	mu       sync.Mutex
+	sessions map[wire.NodeID]*session
+	tenants  map[uint8]*tenant
+	rr       []uint8 // active-tenant ring for DRR
+	rrIdx    int
+	inflight int
+	queuedN  int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	admitted      metrics.Counter
+	queuedTot     metrics.Counter
+	shedThrottle  metrics.Counter
+	shedQueueFull metrics.Counter
+	shedQueueAged metrics.Counter
+	dedupHits     metrics.Counter
+	dupPass       metrics.Counter
+	expiredTot    metrics.Counter
+	drops         atomic.Uint64
+}
+
+const gatewayRecvBuf = 65536
+
+// Wrap interposes the gateway on under. If under can sink (TCP,
+// chanx), inbound envelopes are filtered on the decode goroutines with
+// no extra hop; otherwise a pump goroutine drains under.Recv.
+func Wrap(under transport.Transport, cfg Config) *Gateway {
+	g := &Gateway{
+		under:    under,
+		cfg:      cfg.withDefaults(),
+		recv:     make(chan *wire.Envelope, gatewayRecvBuf),
+		sessions: make(map[wire.NodeID]*session),
+		tenants:  make(map[uint8]*tenant),
+		stop:     make(chan struct{}),
+	}
+	if s, ok := under.(transport.Sinker); ok {
+		s.SetSink(g.inbound)
+	} else {
+		g.wg.Add(1)
+		go g.pump()
+	}
+	g.wg.Add(1)
+	go g.sweeper()
+	return g
+}
+
+// Local implements transport.Transport.
+func (g *Gateway) Local() wire.NodeID { return g.under.Local() }
+
+// Recv implements transport.Transport.
+func (g *Gateway) Recv() <-chan *wire.Envelope { return g.recv }
+
+// SetSink implements transport.Sinker for the layer above (the group
+// multiplexer or a core). Set it before traffic starts.
+func (g *Gateway) SetSink(fn func(*wire.Envelope)) { g.sink.Store(&fn) }
+
+// SetHealth forwards to the underlying transport when it reports
+// link health.
+func (g *Gateway) SetHealth(fn func(peer wire.NodeID, up bool)) {
+	if hr, ok := g.under.(transport.HealthReporter); ok {
+		hr.SetHealth(fn)
+	}
+}
+
+// Drops implements transport.Meter: the gateway's own recv overflow
+// plus whatever the wrapped transport dropped.
+func (g *Gateway) Drops() uint64 {
+	d := g.drops.Load()
+	if m, ok := g.under.(transport.Meter); ok {
+		d += m.Drops()
+	}
+	return d
+}
+
+// Close stops the sweeper, closes the wrapped transport (which
+// quiesces its sink callbacks), and closes Recv.
+func (g *Gateway) Close() error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	err := g.under.Close()
+	g.wg.Wait()
+	g.closeRecv()
+	return err
+}
+
+func (g *Gateway) closeRecv() {
+	g.recvMu.Lock()
+	if !g.recvClosed {
+		g.recvClosed = true
+		close(g.recv)
+	}
+	g.recvMu.Unlock()
+}
+
+func (g *Gateway) pump() {
+	defer g.wg.Done()
+	for env := range g.under.Recv() {
+		g.inbound(env)
+	}
+	g.closeRecv()
+}
+
+// deliver hands an envelope to the layer above: the inner sink when one
+// is set, the recv channel otherwise.
+func (g *Gateway) deliver(env *wire.Envelope) {
+	if fn := g.sink.Load(); fn != nil {
+		(*fn)(env)
+		return
+	}
+	g.recvMu.Lock()
+	if g.recvClosed {
+		g.recvMu.Unlock()
+		g.drops.Add(1)
+		return
+	}
+	select {
+	case g.recv <- env:
+		g.recvMu.Unlock()
+	default:
+		g.recvMu.Unlock()
+		g.drops.Add(1)
+	}
+}
+
+// inbound filters one received envelope. Non-request traffic (all peer
+// consensus messages) takes the first branch and pays nothing.
+func (g *Gateway) inbound(env *wire.Envelope) {
+	rm, ok := env.Msg.(*wire.RequestMsg)
+	if !ok {
+		g.deliver(env)
+		return
+	}
+	g.handleRequest(env, &rm.Req)
+}
+
+// replying reports whether this replica has answered a client within
+// the activity window — the signal that it is the one enforcing
+// admission (see the package comment).
+func (g *Gateway) replying(now time.Time) bool {
+	last := g.lastReplyNS.Load()
+	return last != 0 && now.UnixNano()-last <= int64(g.cfg.ActiveWindow)
+}
+
+func (g *Gateway) handleRequest(env *wire.Envelope, req *wire.Request) {
+	now := g.cfg.Clock()
+	if !g.replying(now) {
+		// Passive edge: a follower (or a not-yet-warm leader). Forward
+		// untouched; the core ignores what it should ignore.
+		g.deliver(env)
+		return
+	}
+
+	g.mu.Lock()
+	sess := g.session(req.Client, now)
+
+	// 1. Retry of an answered request: serve the cached terminal reply
+	// from the edge. Consensus never sees the duplicate.
+	if rep, ok := sess.window[req.Seq]; ok {
+		cp := *rep
+		g.mu.Unlock()
+		g.dedupHits.Inc()
+		g.under.Send(&wire.Envelope{To: cp.Client, Msg: &wire.ReplyMsg{Rep: cp}})
+		return
+	}
+
+	// 2. Retransmit of an accepted-but-unanswered request (or a stale
+	// seq below the admitted watermark): pass through. The protocol
+	// layer owns retransmission and the leader's log-rebuilt reply
+	// cache dedups execution; admitting it again would double-count
+	// the budget slot.
+	if _, ok := sess.inflight[req.Seq]; ok || req.Seq <= sess.maxSeq {
+		g.mu.Unlock()
+		g.dupPass.Inc()
+		g.deliver(env)
+		return
+	}
+
+	// 3. Fresh request: admission. Token bucket first — a tenant over
+	// its rate is shed immediately with the time until its next token.
+	tn := g.tenantState(sess.tenant, now)
+	tn.refill(now, g.cfg.TenantRate, float64(g.cfg.TenantBurst))
+	if g.cfg.TenantRate > 0 {
+		if tn.tokens < 1 {
+			wait := time.Duration((1 - tn.tokens) / g.cfg.TenantRate * float64(time.Second))
+			g.mu.Unlock()
+			g.shedThrottle.Inc()
+			g.shed(req, wait)
+			return
+		}
+		tn.tokens--
+	}
+
+	// Global budget next: admit and forward while slots remain.
+	if g.inflight < g.cfg.MaxInFlight {
+		sess.inflight[req.Seq] = entry{at: now, counted: true}
+		sess.maxSeq = req.Seq
+		g.inflight++
+		g.mu.Unlock()
+		g.admitted.Inc()
+		g.deliver(env)
+		return
+	}
+
+	// Budget exhausted: park in the tenant's fair queue if it has room,
+	// shed with a depth-scaled hint otherwise.
+	if len(tn.queue) < g.cfg.QueueLen {
+		sess.inflight[req.Seq] = entry{at: now}
+		sess.maxSeq = req.Seq
+		tn.queue = append(tn.queue, queuedReq{env: env, at: now})
+		g.queuedN++
+		if !tn.active {
+			tn.active = true
+			g.rr = append(g.rr, sess.tenant)
+		}
+		g.mu.Unlock()
+		g.queuedTot.Inc()
+		return
+	}
+	hint := g.hintLocked()
+	g.mu.Unlock()
+	g.shedQueueFull.Inc()
+	g.shed(req, hint)
+}
+
+// hintLocked scales the base retry-after by how deep the backlog is,
+// clamped to 5s. Called with g.mu held.
+func (g *Gateway) hintLocked() time.Duration {
+	h := g.cfg.RetryAfter * time.Duration(1+g.queuedN/g.cfg.MaxInFlight)
+	if h > 5*time.Second {
+		h = 5 * time.Second
+	}
+	return h
+}
+
+// shed answers req with StatusOverload and a retry-after hint. The
+// request was not executed; retrying the same sequence number is safe.
+func (g *Gateway) shed(req *wire.Request, wait time.Duration) {
+	ms := wait.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	g.under.Send(&wire.Envelope{To: req.Client, Msg: &wire.ReplyMsg{Rep: wire.Reply{
+		Client:       req.Client,
+		Seq:          req.Seq,
+		Status:       wire.StatusOverload,
+		RetryAfterMS: uint32(ms),
+	}}})
+}
+
+func (g *Gateway) session(id wire.NodeID, now time.Time) *session {
+	s, ok := g.sessions[id]
+	if !ok {
+		s = &session{
+			tenant:   TenantOf(id),
+			inflight: make(map[uint64]entry),
+			window:   make(map[uint64]*wire.Reply),
+		}
+		g.sessions[id] = s
+	}
+	s.lastSeen = now
+	return s
+}
+
+func (g *Gateway) tenantState(id uint8, now time.Time) *tenant {
+	t, ok := g.tenants[id]
+	if !ok {
+		w := g.cfg.Weights[id]
+		if w < 1 {
+			w = 1
+		}
+		t = &tenant{weight: w, tokens: float64(g.cfg.TenantBurst), last: now}
+		g.tenants[id] = t
+	}
+	return t
+}
+
+// Send implements transport.Transport. Outbound client replies clear
+// their in-flight slot, feed the dedup window, and trigger a queue
+// drain; everything else passes straight through.
+func (g *Gateway) Send(env *wire.Envelope) {
+	if rm, ok := env.Msg.(*wire.ReplyMsg); ok {
+		g.observeReply(&rm.Rep)
+	}
+	g.under.Send(env)
+}
+
+func (g *Gateway) observeReply(rep *wire.Reply) {
+	now := g.cfg.Clock()
+	g.lastReplyNS.Store(now.UnixNano())
+	g.mu.Lock()
+	sess, ok := g.sessions[rep.Client]
+	if !ok {
+		g.mu.Unlock()
+		return
+	}
+	sess.lastSeen = now
+	if e, ok := sess.inflight[rep.Seq]; ok {
+		delete(sess.inflight, rep.Seq)
+		if e.counted {
+			g.inflight--
+		}
+	}
+	switch rep.Status {
+	case wire.StatusOK, wire.StatusAborted, wire.StatusError, wire.StatusCrossGroup:
+		sess.cache(rep, g.cfg.DedupWindow)
+	}
+	out := g.drainLocked()
+	g.mu.Unlock()
+	for _, e := range out {
+		g.deliver(e)
+	}
+}
+
+// drainLocked releases parked requests under deficit round-robin while
+// budget slots remain. Called with g.mu held; returns the envelopes to
+// forward after unlock.
+func (g *Gateway) drainLocked() []*wire.Envelope {
+	var out []*wire.Envelope
+	for g.inflight < g.cfg.MaxInFlight && len(g.rr) > 0 {
+		if g.rrIdx >= len(g.rr) {
+			g.rrIdx = 0
+		}
+		id := g.rr[g.rrIdx]
+		tn := g.tenants[id]
+		// Top up the quantum only once the previous one is spent, so a
+		// heavy tenant keeps its turn across slot-at-a-time drains and
+		// weights hold even when the budget frees one slot per reply.
+		if tn.deficit < 1 {
+			tn.deficit += float64(tn.weight)
+		}
+		for tn.deficit >= 1 && len(tn.queue) > 0 && g.inflight < g.cfg.MaxInFlight {
+			q := tn.queue[0]
+			tn.queue = tn.queue[1:]
+			g.queuedN--
+			tn.deficit--
+			req := &q.env.Msg.(*wire.RequestMsg).Req
+			sess := g.sessions[req.Client]
+			if sess == nil {
+				continue
+			}
+			e, ok := sess.inflight[req.Seq]
+			if !ok || e.counted {
+				// Answered (or forwarded via a retransmit) while parked.
+				continue
+			}
+			e.counted = true
+			sess.inflight[req.Seq] = e
+			g.inflight++
+			out = append(out, q.env)
+		}
+		if len(tn.queue) == 0 {
+			tn.active = false
+			tn.deficit = 0
+			g.rr = append(g.rr[:g.rrIdx], g.rr[g.rrIdx+1:]...)
+		} else if tn.deficit < 1 {
+			// Quantum spent: rotate. A tenant stopped mid-quantum by the
+			// budget keeps the turn for the next drain.
+			g.rrIdx++
+		}
+	}
+	return out
+}
+
+// sweeper periodically expires in-flight admissions that will never see
+// a reply (leadership moved away mid-flight), sheds queued requests
+// older than the TTL, and evicts idle sessions.
+func (g *Gateway) sweeper() {
+	defer g.wg.Done()
+	period := g.cfg.InFlightTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tk := time.NewTicker(period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-tk.C:
+			g.sweep(g.cfg.Clock())
+		}
+	}
+}
+
+func (g *Gateway) sweep(now time.Time) {
+	var sheds []*wire.Request
+	g.mu.Lock()
+	for id, sess := range g.sessions {
+		for seq, e := range sess.inflight {
+			if e.counted && now.Sub(e.at) > g.cfg.InFlightTTL {
+				delete(sess.inflight, seq)
+				g.inflight--
+				g.expiredTot.Add(1)
+			}
+		}
+		if len(sess.inflight) == 0 && now.Sub(sess.lastSeen) > g.cfg.SessionTTL {
+			delete(g.sessions, id)
+		}
+	}
+	for _, tn := range g.tenants {
+		keep := tn.queue[:0]
+		for _, q := range tn.queue {
+			if now.Sub(q.at) > g.cfg.InFlightTTL {
+				req := &q.env.Msg.(*wire.RequestMsg).Req
+				if sess := g.sessions[req.Client]; sess != nil {
+					delete(sess.inflight, req.Seq)
+				}
+				g.queuedN--
+				g.shedQueueAged.Add(1)
+				sheds = append(sheds, req)
+				continue
+			}
+			keep = append(keep, q)
+		}
+		tn.queue = keep
+	}
+	hint := g.hintLocked()
+	out := g.drainLocked()
+	g.mu.Unlock()
+	for _, req := range sheds {
+		g.shed(req, hint)
+	}
+	for _, e := range out {
+		g.deliver(e)
+	}
+}
+
+// Stats is a point-in-time snapshot of the edge counters, for tests
+// and the bench harness.
+type Stats struct {
+	Admitted        uint64
+	Queued          uint64
+	DedupHits       uint64
+	DupPassthrough  uint64
+	ShedThrottle    uint64
+	ShedQueueFull   uint64
+	ShedQueueAged   uint64
+	ExpiredInFlight uint64
+	InFlight        int
+	QueueDepth      int
+	Sessions        int
+}
+
+// Sheds is the total number of requests shed at the edge.
+func (s Stats) Sheds() uint64 { return s.ShedThrottle + s.ShedQueueFull + s.ShedQueueAged }
+
+// Stats returns a snapshot of the gateway counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	inflight, queued, sessions := g.inflight, g.queuedN, len(g.sessions)
+	g.mu.Unlock()
+	return Stats{
+		Admitted:        g.admitted.Load(),
+		Queued:          g.queuedTot.Load(),
+		DedupHits:       g.dedupHits.Load(),
+		DupPassthrough:  g.dupPass.Load(),
+		ShedThrottle:    g.shedThrottle.Load(),
+		ShedQueueFull:   g.shedQueueFull.Load(),
+		ShedQueueAged:   g.shedQueueAged.Load(),
+		ExpiredInFlight: g.expiredTot.Load(),
+		InFlight:        inflight,
+		QueueDepth:      queued,
+		Sessions:        sessions,
+	}
+}
+
+// RegisterMetrics implements metrics.Instrumented: the wrapped
+// transport's instruments first (the gateway replaces it in the probe
+// chain, so it must keep the transport visible), then the gateway's
+// own.
+func (g *Gateway) RegisterMetrics(reg *metrics.Registry) {
+	if ins, ok := g.under.(metrics.Instrumented); ok {
+		ins.RegisterMetrics(reg)
+	}
+	reg.RegisterCounter("gridrep_gateway_admitted_total",
+		"requests admitted past the edge into the consensus layer", &g.admitted)
+	reg.RegisterCounter("gridrep_gateway_queued_total",
+		"requests parked in a tenant fair queue before admission", &g.queuedTot)
+	reg.RegisterCounter("gridrep_gateway_shed_throttle_total",
+		"requests shed because the tenant token bucket was empty", &g.shedThrottle)
+	reg.RegisterCounter("gridrep_gateway_shed_queue_full_total",
+		"requests shed because the tenant fair queue was full", &g.shedQueueFull)
+	reg.RegisterCounter("gridrep_gateway_shed_queue_aged_total",
+		"queued requests shed after waiting longer than the in-flight TTL", &g.shedQueueAged)
+	reg.RegisterCounter("gridrep_gateway_dedup_hits_total",
+		"retries answered from the per-session dedup window", &g.dedupHits)
+	reg.RegisterCounter("gridrep_gateway_dup_passthrough_total",
+		"retransmits of in-flight requests passed through unadmitted", &g.dupPass)
+	reg.RegisterCounter("gridrep_gateway_expired_inflight_total",
+		"admitted requests expired by TTL with no reply observed", &g.expiredTot)
+	reg.RegisterGaugeFunc("gridrep_gateway_inflight",
+		"admitted requests currently awaiting a reply", func() int64 {
+			g.mu.Lock()
+			v := g.inflight
+			g.mu.Unlock()
+			return int64(v)
+		})
+	reg.RegisterGaugeFunc("gridrep_gateway_queued",
+		"requests currently parked in tenant fair queues", func() int64 {
+			g.mu.Lock()
+			v := g.queuedN
+			g.mu.Unlock()
+			return int64(v)
+		})
+	reg.RegisterGaugeFunc("gridrep_gateway_sessions",
+		"live client sessions tracked at the edge", func() int64 {
+			g.mu.Lock()
+			v := len(g.sessions)
+			g.mu.Unlock()
+			return int64(v)
+		})
+}

@@ -24,13 +24,14 @@ import (
 type Network struct {
 	model *netem.Model
 
-	mu        sync.Mutex
-	endpoints map[wire.NodeID]*Endpoint
-	queue     deliveryHeap
-	lastAt    map[[2]wire.NodeID]time.Time // FIFO floor per directed link
-	seq       uint64
-	wake      chan struct{}
-	closed    bool
+	mu         sync.Mutex
+	endpoints  map[wire.NodeID]*Endpoint
+	queue      deliveryHeap
+	lastAt     map[[2]wire.NodeID]time.Time // FIFO floor per directed link
+	floorSwept time.Time                    // last lastAt purge (see run)
+	seq        uint64
+	wake       chan struct{}
+	closed     bool
 
 	// tracer, if set, observes every delivered message (for the
 	// space-time diagrams of Figures 1-4). Guarded by mu — the delivery
@@ -96,10 +97,22 @@ func (n *Network) SetTracer(fn func(at time.Time, env *wire.Envelope)) {
 	n.mu.Unlock()
 }
 
+// Receive buffer depths by endpoint class. Replicas absorb bursts from
+// every client and peer at once, so they get a deep buffer. Client and
+// session endpoints each carry a handful of outstanding requests; giving
+// them the replica-sized buffer too (64k slots ≈ 512KB, zeroed at
+// make) turns a gateway-scale session fleet into gigabytes of channel
+// backing array and sustained GC pressure — measured as a cliff from
+// ~2ms to ~40ms per op once a few thousand sessions were live.
+const (
+	replicaRecvBuf = 65536
+	clientRecvBuf  = 1024
+)
+
 // Endpoint registers (or returns the existing) endpoint for id. A closed
 // endpoint is replaced with a fresh one, which is how a recovered process
-// rejoins the network. The receive buffer holds up to 64k envelopes;
-// overflow drops messages, which the asynchronous system model permits.
+// rejoins the network. Overflowing the receive buffer drops messages,
+// which the asynchronous system model permits.
 func (n *Network) Endpoint(id wire.NodeID) (*Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -109,10 +122,14 @@ func (n *Network) Endpoint(id wire.NodeID) (*Endpoint, error) {
 	if ep, ok := n.endpoints[id]; ok && !ep.isClosed() {
 		return ep, nil
 	}
+	buf := replicaRecvBuf
+	if id >= wire.ClientIDBase {
+		buf = clientRecvBuf
+	}
 	ep := &Endpoint{
 		id:   id,
 		net:  n,
-		recv: make(chan *wire.Envelope, 65536),
+		recv: make(chan *wire.Envelope, buf),
 	}
 	n.endpoints[id] = ep
 	return ep, nil
@@ -150,7 +167,13 @@ func (n *Network) kick() {
 }
 
 func (n *Network) send(from wire.NodeID, env *wire.Envelope) {
-	env.From = from
+	// Stamp the sender only when the caller left it blank: a gateway
+	// session mux (internal/gateway) pre-stamps logical session IDs so
+	// many sessions share one endpoint, and those must survive. The
+	// fault model still keys on the physical endpoint.
+	if env.From == 0 {
+		env.From = from
+	}
 	delay, ok := n.model.Decide(from, env.To)
 	if !ok {
 		n.drops.Add(1)
@@ -221,6 +244,18 @@ func (n *Network) run() {
 		for len(n.queue) > 0 && !n.queue[0].at.After(now) {
 			due = append(due, heap.Pop(&n.queue).(delivery))
 		}
+		// Purge FIFO floors that can no longer bind: a floor in the past
+		// is dominated by any future send's at = now+delay. Without this
+		// the map keeps one entry per directed link ever used, which a
+		// churning session fleet turns into unbounded growth.
+		if now.Sub(n.floorSwept) > 5*time.Second {
+			n.floorSwept = now
+			for link, at := range n.lastAt {
+				if at.Before(now) {
+					delete(n.lastAt, link)
+				}
+			}
+		}
 		var wait time.Duration = time.Hour
 		if len(n.queue) > 0 {
 			wait = n.queue[0].at.Sub(now)
@@ -290,9 +325,17 @@ func (ep *Endpoint) Recv() <-chan *wire.Envelope { return ep.recv }
 func (ep *Endpoint) Drops() uint64 { return ep.net.Drops() }
 
 // Close implements Transport. The endpoint stops receiving; the fabric
-// keeps running for other endpoints.
+// keeps running for other endpoints. The registry slot is released so a
+// long-lived network shedding thousands of short-lived session
+// endpoints (an open-loop benchmark, a gateway soak) does not
+// accumulate dead endpoints and their buffers forever.
 func (ep *Endpoint) Close() error {
 	ep.closeRecv()
+	ep.net.mu.Lock()
+	if cur, ok := ep.net.endpoints[ep.id]; ok && cur == ep {
+		delete(ep.net.endpoints, ep.id)
+	}
+	ep.net.mu.Unlock()
 	return nil
 }
 

@@ -128,7 +128,13 @@ type counters struct {
 	dropQueueFull, dropNoRoute      metrics.Counter
 	dropWriteFail, dropRecvOverflow metrics.Counter
 	dropReplyOverflow               metrics.Counter
-	lastRTT                         metrics.Gauge // nanoseconds
+	// dropReplyOverflow split by cause (its two addends): overflow while
+	// writing gateway sheds (the edge is rejecting faster than the
+	// socket drains — expected under overload, the shed must never block
+	// the event loop) vs overflow on ordinary replies (a slow client not
+	// reading its socket).
+	dropReplyShed, dropReplySlow metrics.Counter
+	lastRTT                      metrics.Gauge // nanoseconds
 	// decodeLat times the off-loop decode stage per envelope frame
 	// (created at transport construction, registered on demand — the
 	// storage.File histogram pattern).
@@ -153,9 +159,15 @@ type Stats struct {
 	// learned return route. DropsWriteFail: a frame died with its
 	// connection. DropsRecvOverflow: the receive buffer overflowed
 	// (oldest envelope discarded). DropsReplyOverflow: an accept-side
-	// reply writer's queue overflowed (oldest reply discarded).
+	// reply writer's queue overflowed (oldest reply discarded); it is
+	// split by cause into DropsReplyShed (the overflowing write was a
+	// gateway StatusOverload shed — backpressure from the edge rejecting
+	// faster than the client socket drains) and DropsReplySlowClient
+	// (an ordinary reply to a client that stopped reading). The two
+	// addends sum to DropsReplyOverflow.
 	DropsQueueFull, DropsNoRoute, DropsWriteFail, DropsRecvOverflow uint64
 	DropsReplyOverflow                                              uint64
+	DropsReplyShed, DropsReplySlowClient                            uint64
 	// QueueDepth is the current total of enqueued outbound envelopes
 	// across all peer supervisors; ConnectedPeers counts supervised
 	// links that are currently up.
@@ -194,8 +206,19 @@ const replyQueue = 4096
 
 // enqueueReply hands an encoded reply (pooled buffer, ownership
 // transfers) to the connection's writer goroutine, evicting the oldest
-// queued reply when full — the supervisor-queue discipline.
-func (tc *tcpConn) enqueueReply(bp *[]byte, st *counters) {
+// queued reply when full — the supervisor-queue discipline. shed marks
+// the incoming reply as a gateway StatusOverload shed; overflow drops
+// are attributed to that cause (sheds flooding the queue) or to a slow
+// client otherwise, on top of the total.
+func (tc *tcpConn) enqueueReply(bp *[]byte, st *counters, shed bool) {
+	drop := func() {
+		st.dropReplyOverflow.Add(1)
+		if shed {
+			st.dropReplyShed.Add(1)
+		} else {
+			st.dropReplySlow.Add(1)
+		}
+	}
 	select {
 	case tc.wq <- bp:
 		return
@@ -204,13 +227,13 @@ func (tc *tcpConn) enqueueReply(bp *[]byte, st *counters) {
 	select {
 	case old := <-tc.wq:
 		wire.PutBuf(old)
-		st.dropReplyOverflow.Add(1)
+		drop()
 	default:
 	}
 	select {
 	case tc.wq <- bp:
 	default:
-		st.dropReplyOverflow.Add(1)
+		drop()
 		wire.PutBuf(bp)
 	}
 }
@@ -342,19 +365,21 @@ func (t *TCP) notifyHealth(peer wire.NodeID, up bool) {
 // Stats returns a snapshot of the transport counters.
 func (t *TCP) Stats() Stats {
 	s := Stats{
-		Dials:              t.stats.dials.Load(),
-		DialFails:          t.stats.dialFails.Load(),
-		Reconnects:         t.stats.reconnects.Load(),
-		Sent:               t.stats.sent.Load(),
-		Recvd:              t.stats.recvd.Load(),
-		PingsSent:          t.stats.pingsSent.Load(),
-		PongsRecvd:         t.stats.pongsRecvd.Load(),
-		LastRTT:            time.Duration(t.stats.lastRTT.Load()),
-		DropsQueueFull:     t.stats.dropQueueFull.Load(),
-		DropsNoRoute:       t.stats.dropNoRoute.Load(),
-		DropsWriteFail:     t.stats.dropWriteFail.Load(),
-		DropsRecvOverflow:  t.stats.dropRecvOverflow.Load(),
-		DropsReplyOverflow: t.stats.dropReplyOverflow.Load(),
+		Dials:                t.stats.dials.Load(),
+		DialFails:            t.stats.dialFails.Load(),
+		Reconnects:           t.stats.reconnects.Load(),
+		Sent:                 t.stats.sent.Load(),
+		Recvd:                t.stats.recvd.Load(),
+		PingsSent:            t.stats.pingsSent.Load(),
+		PongsRecvd:           t.stats.pongsRecvd.Load(),
+		LastRTT:              time.Duration(t.stats.lastRTT.Load()),
+		DropsQueueFull:       t.stats.dropQueueFull.Load(),
+		DropsNoRoute:         t.stats.dropNoRoute.Load(),
+		DropsWriteFail:       t.stats.dropWriteFail.Load(),
+		DropsRecvOverflow:    t.stats.dropRecvOverflow.Load(),
+		DropsReplyOverflow:   t.stats.dropReplyOverflow.Load(),
+		DropsReplyShed:       t.stats.dropReplyShed.Load(),
+		DropsReplySlowClient: t.stats.dropReplySlow.Load(),
 	}
 	t.mu.Lock()
 	for _, sup := range t.sups {
@@ -400,6 +425,10 @@ func (t *TCP) RegisterMetrics(reg *metrics.Registry) {
 		"envelopes dropped by receive buffer overflow", &t.stats.dropRecvOverflow)
 	reg.RegisterCounter("gridrep_tcp_drop_reply_overflow_total",
 		"replies dropped by accept-side writer queue overflow", &t.stats.dropReplyOverflow)
+	reg.RegisterCounter("gridrep_tcp_drop_reply_shed_total",
+		"overflow-dropped replies that were gateway sheds (StatusOverload)", &t.stats.dropReplyShed)
+	reg.RegisterCounter("gridrep_tcp_drop_reply_slow_client_total",
+		"overflow-dropped replies lost to a client that stopped reading", &t.stats.dropReplySlow)
 	reg.RegisterHistogram("gridrep_tcp_decode_seconds",
 		"off-loop envelope decode latency per frame", t.stats.decodeLat)
 	reg.RegisterGauge("gridrep_tcp_last_rtt_nanoseconds",
@@ -439,7 +468,18 @@ func (t *TCP) RegisterMetrics(reg *metrics.Registry) {
 // buffer that returns to the pool once written (or dropped), so a warm
 // send path allocates nothing per envelope.
 func (t *TCP) Send(env *wire.Envelope) {
-	env.From = t.local
+	// Preserve a pre-stamped sender: gateway session muxes send with
+	// logical session IDs on a shared connection (DESIGN.md §15), and the
+	// accept side learns one reply route per session From it sees.
+	if env.From == 0 {
+		env.From = t.local
+	}
+	// Classify before encoding: reply-writer overflow drops are
+	// attributed by whether the write was a gateway shed.
+	shed := false
+	if rm, ok := env.Msg.(*wire.ReplyMsg); ok {
+		shed = rm.Rep.Status == wire.StatusOverload
+	}
 	bp := wire.GetBuf()
 	*bp = wire.EncodeEnvelope((*bp)[:0], env)
 
@@ -471,7 +511,7 @@ func (t *TCP) Send(env *wire.Envelope) {
 		// Learned client route: hand the reply to the connection's
 		// writer goroutine so the caller (a replica's event loop, or a
 		// parallel-read worker) never blocks on the client's socket.
-		conn.enqueueReply(bp, &t.stats)
+		conn.enqueueReply(bp, &t.stats, shed)
 		return
 	}
 	err := conn.writeFrame(frameEnv, *bp)

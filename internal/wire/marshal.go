@@ -183,6 +183,11 @@ func (m *ReplyMsg) MarshalTo(enc *Encoder) {
 	enc.NodeID(r.Leader)
 	enc.Bytes8(r.Result)
 	enc.String(r.Err)
+	if r.Status == StatusOverload {
+		// Status-gated field: legacy replies encode byte-for-byte as
+		// before, and only gateway sheds pay for the hint.
+		enc.Uvarint(uint64(r.RetryAfterMS))
+	}
 }
 
 // UnmarshalFrom implements Message.
@@ -194,6 +199,9 @@ func (m *ReplyMsg) UnmarshalFrom(dec *Decoder) error {
 	r.Leader = dec.NodeID()
 	r.Result = dec.Bytes8()
 	r.Err = dec.String()
+	if r.Status == StatusOverload {
+		r.RetryAfterMS = uint32(dec.Uvarint())
+	}
 	return dec.Err()
 }
 

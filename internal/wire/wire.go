@@ -161,6 +161,11 @@ const (
 	// consensus group in a sharded deployment; cross-group transactions
 	// are not supported (DESIGN.md §13).
 	StatusCrossGroup
+	// StatusOverload: the gateway shed the request at the edge before it
+	// reached a consensus group (DESIGN.md §15). Reply.RetryAfterMS
+	// carries the typed backoff hint; the request was NOT executed and
+	// retrying it with the same sequence number is safe.
+	StatusOverload
 )
 
 func (s ReplyStatus) String() string {
@@ -175,6 +180,8 @@ func (s ReplyStatus) String() string {
 		return "error"
 	case StatusCrossGroup:
 		return "cross-group"
+	case StatusOverload:
+		return "overload"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -188,6 +195,12 @@ type Reply struct {
 	Leader NodeID // hint: the replying (or believed) leader
 	Result []byte // service reply payload
 	Err    string // diagnostic detail for StatusError / StatusAborted
+	// RetryAfterMS is the gateway's typed backoff hint, present on the
+	// wire only when Status == StatusOverload — like the envelope group
+	// field (codec.go), the extension costs zero bytes on every reply the
+	// pre-gateway protocol can produce, keeping the PR 8 byte-for-byte
+	// compatibility guarantee with the gateway disabled.
+	RetryAfterMS uint32
 }
 
 // StateKind classifies a proposal's State payload. §3.3 describes two

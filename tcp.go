@@ -9,6 +9,7 @@ import (
 
 	"gridrep/internal/client"
 	"gridrep/internal/core"
+	"gridrep/internal/gateway"
 	"gridrep/internal/metrics"
 	"gridrep/internal/shard"
 	"gridrep/internal/storage"
@@ -73,7 +74,21 @@ type ServerOptions struct {
 	PruneKeep     uint64
 	// Transport tunes the TCP transport (zero value = defaults).
 	Transport TransportOptions
+	// Gateway, when non-nil, enables the client-facing edge (DESIGN.md
+	// §15): per-tenant admission control, weighted fair queueing, typed
+	// StatusOverload sheds with retry-after hints, and the per-session
+	// dedup window. A zero GatewayOptions value picks defaults, with the
+	// global in-flight budget sized from pipeline depth × groups. Nil
+	// keeps the exact PR 8 byte path.
+	Gateway *GatewayOptions
 }
+
+// GatewayOptions tunes the client-facing edge; see internal/gateway.
+type GatewayOptions = gateway.Config
+
+// GatewayStats is a snapshot of the edge counters: admissions, queue
+// occupancy, sheds by cause, and dedup hits.
+type GatewayStats = gateway.Stats
 
 // Server is one running TCP replica process — every consensus group it
 // hosts (one in the classic deployment, N in a sharded one).
@@ -81,6 +96,7 @@ type Server struct {
 	rep    *core.Replica   // group 0
 	groups []*core.Replica // all groups, index = group id
 	tr     *transport.TCP
+	gw     *gateway.Gateway    // nil when the edge is disabled
 	mux    *transport.GroupMux // nil in single-group mode
 	stores []storage.Store     // per group; nil entries for in-memory
 	store  storage.Store       // group 0 (nil when in-memory)
@@ -127,6 +143,26 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{tr: tr}
+
+	// The client-facing edge wraps the TCP transport before the group
+	// multiplexer sees it: TCP → gateway → (mux) → cores, so admission
+	// decisions happen on the decode goroutines, at the edge. With
+	// Gateway nil the TCP endpoint is used directly — the PR 8 path,
+	// byte for byte.
+	var edge transport.Transport = tr
+	if opts.Gateway != nil {
+		gcfg := *opts.Gateway
+		if gcfg.MaxInFlight <= 0 {
+			depth := opts.PipelineDepth
+			if depth <= 0 {
+				depth = 1
+			}
+			gcfg.MaxInFlight = depth * groups * 64
+		}
+		s.gw = gateway.Wrap(tr, gcfg)
+		edge = s.gw
+	}
+
 	fail := func(err error) (*Server, error) {
 		for _, rep := range s.groups {
 			rep.Stop()
@@ -134,7 +170,7 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 		if s.mux != nil {
 			s.mux.Close()
 		} else {
-			tr.Close()
+			edge.Close()
 		}
 		return nil, err
 	}
@@ -145,13 +181,17 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 	// in a GroupMux (hash routing, group-id stamping, health fan-out)
 	// and shares one registry: group 0 unprefixed, group g prefixed
 	// group_<g>_, the shared transport registered once at the root.
-	trFor := func(g int) transport.Transport { return tr }
+	trFor := func(g int) transport.Transport { return edge }
 	regFor := func(g int) *metrics.Registry { return nil }
 	if groups > 1 {
 		router := shard.NewRouter(groups, newService())
-		s.mux = transport.NewGroupMux(tr, groups, router.Route)
+		s.mux = transport.NewGroupMux(edge, groups, router.Route)
 		s.reg = metrics.NewRegistry()
-		tr.RegisterMetrics(s.reg)
+		if s.gw != nil {
+			s.gw.RegisterMetrics(s.reg) // registers the TCP underlay too
+		} else {
+			tr.RegisterMetrics(s.reg)
+		}
 		trFor = func(g int) transport.Transport { return s.mux.Group(g) }
 		regFor = func(g int) *metrics.Registry {
 			if g == 0 {
@@ -229,6 +269,15 @@ func (s *Server) TransportStats() TransportStats { return s.tr.Stats() }
 // ReplicaStats snapshots the replica's protocol counters: pipeline
 // occupancy, speculative rollbacks, and deferred-request drops.
 func (s *Server) ReplicaStats() ReplicaStats { return s.rep.Stats() }
+
+// GatewayStats snapshots the client-facing edge counters; the zero
+// value when the gateway is disabled.
+func (s *Server) GatewayStats() GatewayStats {
+	if s.gw == nil {
+		return GatewayStats{}
+	}
+	return s.gw.Stats()
+}
 
 // Metrics returns the process's metrics registry — protocol, WAL, and
 // transport instruments in one place (sharded: group 0 unprefixed,
@@ -399,3 +448,53 @@ func Dial(opts DialOptions) (*Client, error) {
 		Deadline:  opts.Deadline,
 	}), nil
 }
+
+// ClientMux multiplexes many logical client sessions over one shared
+// TCP connection set (DESIGN.md §15): each session gets its own client
+// ID — tenant in the upper bits, session number in the lower — and its
+// own sequence space, so tens of thousands of clients don't need tens
+// of thousands of sockets.
+type ClientMux struct {
+	mux      *gateway.SessionMux
+	replicas []wire.NodeID
+	deadline time.Duration
+}
+
+// DialMux connects the shared transport for a session-multiplexed
+// client process. The ID in opts seeds nothing here — session identity
+// comes from Session's tenant and session number.
+func DialMux(opts DialOptions) (*ClientMux, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("gridrep: DialOptions.Replicas is required")
+	}
+	book := make(map[wire.NodeID]string, len(opts.Replicas))
+	ids := make([]wire.NodeID, 0, len(opts.Replicas))
+	for id, addr := range opts.Replicas {
+		book[id] = addr
+		ids = append(ids, id)
+	}
+	tr := transport.DialTCPOpts(wire.ClientIDBase+wire.NodeID(opts.ID), book, opts.Transport)
+	return &ClientMux{
+		mux:      gateway.NewSessionMux(tr),
+		replicas: ids,
+		deadline: opts.Deadline,
+	}, nil
+}
+
+// Session opens (or returns) the client for session n of tenant. All
+// sessions share the underlying connections; closing the returned
+// client detaches only that session.
+func (m *ClientMux) Session(tenant uint8, n uint32) (*Client, error) {
+	ep, err := m.mux.Open(tenant, n)
+	if err != nil {
+		return nil, err
+	}
+	return client.New(client.Config{
+		Transport: ep,
+		Replicas:  m.replicas,
+		Deadline:  m.deadline,
+	}), nil
+}
+
+// Close closes every session and the shared transport.
+func (m *ClientMux) Close() error { return m.mux.Close() }
