@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 fmt race chaos chaos-reconfig pipeline-race shard-race multicore-race overload-race bench bench-quick bench-durable-quick bench-pipeline-quick bench-shard-quick bench-multicore-quick bench-overload-quick microbench benchstat clean
+.PHONY: all tier1 fmt race chaos chaos-reconfig pipeline-race shard-race multicore-race overload-race wan-race bench bench-quick bench-durable-quick bench-pipeline-quick bench-shard-quick bench-multicore-quick bench-overload-quick bench-wan-quick microbench benchstat clean
 
 all: tier1
 
@@ -52,16 +52,13 @@ shard-race:
 # vs write commits vs snapshot rewrites vs metrics scrapes, the
 # read-view copy-on-write service contract, the off-loop decode stage,
 # and the linearizability bracket at GOMAXPROCS ∈ {1,4}.
-# The two skipped tests assert leadership *placement* (group g lands on
-# replica g mod N), which is a boot-order property: claims are
-# epoch-priority and rank only breaks ties, so whichever entitled
-# replica claims first keeps the group (stability by design, §13). At
-# GOMAXPROCS=1 boot is deterministic and the preferred replica always
-# claims first; at 4 the group loops race and placement is best-effort.
-# Leadership safety and isolation are still covered by the rest of the
-# suite at GOMAXPROCS=4.
+# The leadership *placement* tests (group g lands on replica g mod N)
+# run unskipped since PR 10: a rank function now opts the elector into
+# rank preemption, so the preferred replica reclaims its group after
+# the stability holddown even when a GOMAXPROCS=4 boot race let a
+# sibling claim first (DESIGN.md §16).
 multicore-race:
-	GOMAXPROCS=4 $(GO) test -count 1 -skip 'TestShardedLeadershipSpread|TestShardedGroupFailoverIsolation' ./...
+	GOMAXPROCS=4 $(GO) test -count 1 ./...
 	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'Pipelin|Linearizability|Recovery' ./internal/core ./internal/chaos ./internal/paxos
 	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'Shard|GroupMux|CrossGroup|OpenFile|WithPrefix|Rank|Group' ./internal/shard ./internal/transport ./internal/storage ./internal/metrics ./internal/omega ./internal/cluster ./internal/bench .
 	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'ParallelRead|ReadView|ReadPool|Sink|DecodeStage|ReplyWriter|Multicore' ./internal/core ./internal/service ./internal/transport ./internal/cluster
@@ -110,6 +107,20 @@ overload-race:
 # overload-lab substrate.
 bench-overload-quick:
 	$(GO) run ./cmd/benchpaxos -exp fig-overload -quick
+
+# Geo-replication suite under the race detector at GOMAXPROCS=4
+# (PR 10, DESIGN.md §16): Ω rank preemption and cost-composed ranks,
+# the RTT placement feed, nearest-replica reads end to end, the WAN
+# profile timeout derivation, the wan3 linearizability bracket under
+# region partition (in-process fabric), and the region-partition chaos
+# scenario over real TCP.
+wan-race:
+	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'Preempt|Cost|Rank|Near|WAN|Wan|ProfileTimeout|ProfileByName|RegionPartition' ./internal/omega ./internal/core ./internal/client ./internal/netem ./internal/cluster ./internal/chaos .
+
+# Scaled-down per-region read-latency comparison (PR 10): leader reads
+# vs nearest-replica reads on the compressed wan3/wan5 geographies.
+bench-wan-quick:
+	$(GO) run ./cmd/benchpaxos -exp fig-wan -quick
 
 # Hot-path microbenchmarks: wire codec, both transports, and the WAL
 # write path (per-record vs group commit), with allocs.

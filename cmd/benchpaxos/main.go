@@ -11,7 +11,7 @@
 //
 // Experiment IDs: rrt-sysnet, fig5, fig6, rrt-b2p, fig7, rrt-wan, fig8,
 // table1, fig9a, fig9b, t2, pipeline, fig6-sharded, shard-sweep,
-// multicore-sweep, fig-overload.
+// multicore-sweep, fig-overload, fig-wan.
 //
 // -groups N runs every cluster with N consensus groups per process
 // (DESIGN.md §13); fig6-sharded and shard-sweep exercise sharding
@@ -39,12 +39,17 @@ import (
 	"sync"
 	"time"
 
+	"sort"
+
 	"gridrep/internal/bench"
+	"gridrep/internal/client"
 	"gridrep/internal/cluster"
 	"gridrep/internal/gateway"
 	"gridrep/internal/metrics"
 	"gridrep/internal/netem"
+	"gridrep/internal/service"
 	"gridrep/internal/storage"
+	"gridrep/internal/wire"
 )
 
 var (
@@ -313,6 +318,7 @@ func main() {
 		{"shard-sweep", shardSweep, "PR 7: write throughput vs consensus groups × GOMAXPROCS"},
 		{"multicore-sweep", multicoreSweep, "PR 8: read & write throughput vs GOMAXPROCS × groups (DESIGN.md §14)"},
 		{"fig-overload", figOverload, "PR 9: open-loop goodput vs offered load, admission on/off (DESIGN.md §15)"},
+		{"fig-wan", figWAN, "PR 10: per-region read latency on the geo spreads, leader vs nearest-replica reads (DESIGN.md §16)"},
 	}
 	if *gomaxprocsFl > 0 {
 		runtime.GOMAXPROCS(*gomaxprocsFl)
@@ -817,6 +823,142 @@ func multicoreSweep(res *ExpResult) {
 	fmt.Println("  not procs. With one host CPU every extra proc only adds")
 	fmt.Println("  scheduler overlap, so the sweep documents the substrate ceiling")
 	fmt.Println("  (EXPERIMENTS.md, multi-core chapter) rather than a speedup")
+}
+
+// figWAN is the PR 10 acceptance experiment: per-region read latency on
+// the modernized geo spreads (wan3/wan5), once with every read served by
+// the leader (the classic X-Paxos path) and once with nearest-replica
+// reads (DESIGN.md §16). One client per region measures reads against
+// the same profile and seed in both modes; the per-region p50/p95 make
+// the geography visible — the leader's region is fast either way, while
+// remote regions drop from a cross-continent round trip to a local one.
+// Writes (leader path, mode-independent) are measured once for context.
+// -quick compresses the geography with WAN3Scaled/WAN5Scaled instead of
+// shrinking only the sample count, so even CI runs keep the real latency
+// shape.
+func figWAN(res *ExpResult) {
+	scalef := 1.0
+	samples := scale(60)
+	if *quick {
+		scalef = 0.05
+	}
+	profs := []struct {
+		name string
+		p    netem.Profile
+		n    int
+	}{
+		{"wan3", netem.WAN3Scaled(scalef), 3},
+		{"wan5", netem.WAN5Scaled(scalef), 5},
+	}
+	for _, pr := range profs {
+		type regionRow struct {
+			leader, near, write []time.Duration
+		}
+		rows := make([]regionRow, pr.n)
+		var lead wire.NodeID
+		for _, near := range []bool{false, true} {
+			cfg := clusterConfig(pr.p, pr.n)
+			cfg.NearReads = near
+			c := startCluster(cfg)
+			lead, _ = c.Leader()
+			clis := regionClients(c, pr.n)
+			for r, cli := range clis {
+				// Warm the session (and the near replica's applied index)
+				// before timing.
+				if _, err := cli.Write(service.KVPut("k", []byte("v"))); err != nil {
+					log.Fatal(err)
+				}
+				for i := 0; i < samples; i++ {
+					t := time.Now()
+					if _, err := cli.Read(service.KVGet("k")); err != nil {
+						log.Fatal(err)
+					}
+					d := time.Since(t)
+					if near {
+						rows[r].near = append(rows[r].near, d)
+					} else {
+						rows[r].leader = append(rows[r].leader, d)
+					}
+				}
+				if !near {
+					for i := 0; i < samples; i++ {
+						t := time.Now()
+						if _, err := cli.Write(service.KVPut("k", []byte("v"))); err != nil {
+							log.Fatal(err)
+						}
+						rows[r].write = append(rows[r].write, time.Since(t))
+					}
+				}
+				cli.Close()
+			}
+			c.Close()
+		}
+		fmt.Printf("  %s: %d samples per region per mode, latencies x%.2f, leader at %s\n",
+			pr.name, samples, scalef, netem.RegionName(int(lead)%pr.n))
+		fmt.Printf("  %-14s %18s %18s %18s\n", "region", "leader-read p50/p95", "near-read p50/p95", "write p50/p95")
+		nearWins := 0
+		for r := 0; r < pr.n; r++ {
+			lp50, lp95 := pctiles(rows[r].leader)
+			np50, np95 := pctiles(rows[r].near)
+			wp50, wp95 := pctiles(rows[r].write)
+			fmt.Printf("  %-14s %18s %18s %18s\n", netem.RegionName(r),
+				fmtP(lp50, lp95), fmtP(np50, np95), fmtP(wp50, wp95))
+			if np50 < lp50 && np95 < lp95 {
+				nearWins++
+			}
+			res.RRT = append(res.RRT,
+				RRTResult{Label: fmt.Sprintf("%s/%s/leader-read", pr.name, netem.RegionName(r)),
+					N: len(rows[r].leader), P50: lp50, P95: lp95},
+				RRTResult{Label: fmt.Sprintf("%s/%s/near-read", pr.name, netem.RegionName(r)),
+					N: len(rows[r].near), P50: np50, P95: np95},
+				RRTResult{Label: fmt.Sprintf("%s/%s/write", pr.name, netem.RegionName(r)),
+					N: len(rows[r].write), P50: wp50, P95: wp95})
+		}
+		fmt.Printf("  near reads beat leader reads on p50+p95 in %d/%d regions\n", nearWins, pr.n)
+	}
+	fmt.Println("  expectation: in the leader's region the two read modes tie; in")
+	fmt.Println("  every other region nearest-replica reads replace the cross-")
+	fmt.Println("  continent hop to the leader with a local confirm quorum, so both")
+	fmt.Println("  p50 and p95 drop — while writes stay on the leader path either way")
+}
+
+// regionClients returns one client per region of an n-region geo spread,
+// indexed by region. Cluster client IDs are sequential, and wanSpread
+// maps client c to region (c - ClientIDBase) mod n, so n consecutive
+// clients cover every region; surplus ones are closed.
+func regionClients(c *cluster.Cluster, n int) []*client.Client {
+	out := make([]*client.Client, n)
+	for have := 0; have < n; {
+		cli, err := c.NewClient()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := int(cli.ID()-wire.ClientIDBase) % n
+		if out[r] == nil {
+			out[r] = cli
+			have++
+		} else {
+			cli.Close()
+		}
+	}
+	return out
+}
+
+// pctiles returns the p50 and p95 of a sample set, in milliseconds.
+func pctiles(ds []time.Duration) (p50, p95 float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		return float64(sorted[int(q*float64(len(sorted)-1))]) / 1e6
+	}
+	return at(0.50), at(0.95)
+}
+
+func fmtP(p50, p95 float64) string {
+	return fmt.Sprintf("%.1f/%.1f ms", p50, p95)
 }
 
 // overloadLabProfile is the substrate for fig-overload: a latency-bound

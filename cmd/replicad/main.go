@@ -37,6 +37,8 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "RNG seed for nondeterministic services")
 	hb := flag.Duration("heartbeat", 25*time.Millisecond, "Ω heartbeat interval")
 	pipeline := flag.Int("pipeline", 1, "max accept waves in flight while leading (1 = serial protocol)")
+	commitFlush := flag.Duration("commit-flush", 0, "commit notification batching window (0 = default 1ms; widen on WAN links)")
+	rttPlace := flag.Bool("rtt-placement", false, "fold measured peer RTTs into leader placement: the cluster converges on the best-connected replica regardless of boot order (DESIGN.md 16)")
 	join := flag.Bool("join", false, "join a running cluster as a learner: catch up via snapshot streaming, then get promoted to voter by a committed config entry")
 	snapEvery := flag.Uint64("snapshot-every", 0, "durable service snapshot cadence in applied instances (0 = default 4096)")
 	pruneKeep := flag.Uint64("prune-keep", 0, "WAL instances retained below the cluster-min applied watermark (0 = default 1024)")
@@ -113,6 +115,8 @@ func main() {
 		SyncEvery:         *syncEvery,
 		HeartbeatInterval: *hb,
 		PipelineDepth:     *pipeline,
+		CommitFlushDelay:  *commitFlush,
+		RTTPlacement:      *rttPlace,
 		Join:              *join,
 		SnapshotEvery:     *snapEvery,
 		PruneKeep:         *pruneKeep,

@@ -30,6 +30,7 @@ import (
 	"gridrep/internal/core"
 	"gridrep/internal/failure"
 	"gridrep/internal/gateway"
+	"gridrep/internal/netem"
 	"gridrep/internal/service"
 )
 
@@ -41,6 +42,10 @@ func main() {
 	openloop := flag.Bool("openloop", false, "open-loop (Poisson) offered load through the admission gateway instead of the closed-loop pool")
 	rate := flag.Float64("rate", 2000, "open-loop offered load in req/s (with -openloop)")
 	workers := flag.Int("workers", 256, "open-loop session pool; sized past the edge budget so faults produce real sheds (with -openloop)")
+	profile := flag.String("profile", "", "netem profile for the in-process fabric (see -profile list; e.g. wan3 soaks the geo spread)")
+	profileScale := flag.Float64("profile-scale", 1, "latency scale factor applied to the chosen profile (0.05 compresses wan3 for quick runs)")
+	near := flag.Bool("near", false, "serve client reads from the nearest replica's confirm quorum (DESIGN.md §16)")
+	rttPlace := flag.Bool("rtt-placement", false, "feed measured per-peer RTT into leader placement so Ω prefers the lowest-aggregate-RTT replica")
 	flag.Parse()
 
 	cfg := cluster.Config{
@@ -48,6 +53,29 @@ func main() {
 		HeartbeatInterval: 5 * time.Millisecond,
 		ClientRetryEvery:  50 * time.Millisecond,
 		ClientDeadline:    30 * time.Second,
+		NearReads:         *near,
+		RTTPlacement:      *rttPlace,
+	}
+	if *profile != "" {
+		p, err := netem.ProfileByName(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *profileScale != 1 {
+			switch *profile {
+			case "wan3":
+				p = netem.WAN3Scaled(*profileScale)
+			case "wan5":
+				p = netem.WAN5Scaled(*profileScale)
+			default:
+				log.Fatalf("-profile-scale is only supported for the geo spreads (wan3, wan5), not %q", *profile)
+			}
+		}
+		cfg.Profile = p
+		// WAN geographies need timeouts derived from the profile's
+		// worst one-way delay, not the LAN defaults above.
+		cfg.HeartbeatInterval = 0
+		cfg.ClientRetryEvery = 0
 	}
 	if *openloop {
 		cfg.Gateway = &gateway.Config{}

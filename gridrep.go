@@ -193,6 +193,17 @@ var (
 	ProfileWAN = netem.WAN
 	// ProfileLoopback is a near-zero-latency profile for tests.
 	ProfileLoopback = netem.Loopback
+	// ProfileWAN3 models three replicas spread across three continents
+	// with asymmetric per-link latency and heavy-tail jitter; ProfileWAN5
+	// extends the spread to five regions. See internal/netem/profiles.go
+	// for the latency matrices and EXPERIMENTS.md for the fig-wan runs.
+	ProfileWAN3 = netem.WAN3
+	ProfileWAN5 = netem.WAN5
+	// ProfileByName resolves a profile from its -profile flag name
+	// (sysnet, b2p, wan, wan3, wan5, loopback); the error lists the valid
+	// names. ProfileNames returns them in flag-help order.
+	ProfileByName = netem.ProfileByName
+	ProfileNames  = netem.ProfileNames
 )
 
 // ClusterOptions configures an in-process deployment.
@@ -234,6 +245,19 @@ type ClusterOptions struct {
 	// multi-group transaction fails with ErrCrossGroup. See DESIGN.md
 	// §13.
 	Groups int
+	// CommitFlushDelay bounds how long a committed wave's client
+	// notifications may wait for batching. Zero adopts the profile's
+	// tuning hint (WAN profiles widen the window), falling back to 1ms.
+	CommitFlushDelay time.Duration
+	// RTTPlacement folds measured network distance into Ω leader
+	// placement (DESIGN.md §16): each replica gossips its mean peer RTT
+	// and the elector converges on the best-connected replica regardless
+	// of boot order.
+	RTTPlacement bool
+	// NearReads makes clients serve X-Paxos reads from their nearest
+	// replica's confirm quorum instead of always the leader (DESIGN.md
+	// §16) — the WAN read-latency optimisation.
+	NearReads bool
 }
 
 // Cluster is a running in-process deployment.
@@ -252,6 +276,10 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		ClientDeadline: opts.ClientDeadline,
 		StateMode:      opts.StateMode,
 		PipelineDepth:  opts.PipelineDepth,
+
+		CommitFlushDelay: opts.CommitFlushDelay,
+		RTTPlacement:     opts.RTTPlacement,
+		NearReads:        opts.NearReads,
 	}
 	if opts.DataDir != "" {
 		cfg.Stores = make(map[wire.NodeID]storage.Store)

@@ -116,12 +116,16 @@ func TestLatencyOrderingLoopback(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("loopback RRT: original=%.3fms read=%.3fms write=%.3fms", orig.Mean, read.Mean, write.Mean)
-	// Allow scheduling noise but require the structural ordering.
-	if write.Mean < orig.Mean {
-		t.Errorf("write (%.3f) should not beat original (%.3f)", write.Mean, orig.Mean)
+	// Require the structural ordering, with a noise allowance: on
+	// loopback the three 40-sample means sit within tens of
+	// microseconds of each other, so a single scheduling hiccup in one
+	// series can invert the raw means without any protocol regression.
+	slack := 0.25*orig.Mean + 0.05 // ms
+	if write.Mean < orig.Mean-slack {
+		t.Errorf("write (%.3f) should not beat original (%.3f) beyond noise (slack %.3f)", write.Mean, orig.Mean, slack)
 	}
-	if write.Mean < read.Mean {
-		t.Errorf("write (%.3f) should not beat read (%.3f)", write.Mean, read.Mean)
+	if write.Mean < read.Mean-slack {
+		t.Errorf("write (%.3f) should not beat read (%.3f) beyond noise (slack %.3f)", write.Mean, read.Mean, slack)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"gridrep/internal/netem"
 	"gridrep/internal/wire"
 )
 
@@ -176,6 +177,71 @@ func (g *Grid) Isolate(n wire.NodeID, on bool) {
 	for _, p := range ps {
 		p.SetBlackhole(on)
 	}
+}
+
+// ApplyProfile programs every directed replica link's one-way delay
+// from a netem profile's latency model, so a real-TCP deployment runs
+// on the same geography as the in-process fabric (the geo spreads
+// wan3/wan5 in particular). Proxies are created eagerly for every
+// directed pair; each gets the profile's mean one-way delay for its
+// class pair — the proxy adds a constant delay, so the jitter and tail
+// terms collapse to their expectation here. Pass the same seed the
+// in-process run used for a like-for-like topology.
+func (g *Grid) ApplyProfile(p netem.Profile, seed int64) error {
+	m := p.NewModel(seed)
+	g.mu.Lock()
+	ids := make([]wire.NodeID, 0, len(g.real))
+	for id := range g.real {
+		ids = append(ids, id)
+	}
+	type hop struct {
+		p *Proxy
+		d time.Duration
+	}
+	var hops []hop
+	for _, from := range ids {
+		for _, to := range ids {
+			if from == to {
+				continue
+			}
+			pr, err := g.linkLocked(from, to)
+			if err != nil {
+				g.mu.Unlock()
+				return err
+			}
+			hops = append(hops, hop{pr, m.MeanLatency(m.ClassOf(from), m.ClassOf(to))})
+		}
+	}
+	g.mu.Unlock()
+	for _, h := range hops {
+		h.p.SetDelay(h.d)
+	}
+	return nil
+}
+
+// PartitionRegion takes every link crossing region r's boundary offline
+// (on=true) or heals it in place (on=false). regionOf maps node →
+// region (netem.Profile.RegionOf for the geo spreads). Intra-region
+// links stay up: the partitioned region keeps talking to itself, it
+// just cannot reach the rest of the world — the "continent drops off
+// the backbone" scenario of the WAN chaos suite.
+func (g *Grid) PartitionRegion(r int, regionOf func(wire.NodeID) int, on bool) error {
+	g.mu.Lock()
+	var ps []*Proxy
+	for key, p := range g.links {
+		in0, in1 := regionOf(key[0]) == r, regionOf(key[1]) == r
+		if in0 != in1 {
+			ps = append(ps, p)
+		}
+	}
+	g.mu.Unlock()
+	var firstErr error
+	for _, p := range ps {
+		if err := p.SetDown(on); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // SeverNode cuts every live connection touching node n.

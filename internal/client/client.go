@@ -72,6 +72,21 @@ type Config struct {
 	// turning the shed into a client-side retry storm that inflates the
 	// very offered load the sweep is trying to control.
 	AbortOnOverload bool
+	// NearRead routes reads through the nearest-replica path (DESIGN.md
+	// §16): the first broadcast of every read is stamped with the
+	// replica the transport reports the lowest RTT to, asking it to
+	// serve the read from its local state once a voter quorum vouches.
+	// Any rebroadcast drops the stamp and falls back to the leader
+	// path, so a dead or partitioned near replica costs one retry
+	// interval, never liveness. No-op when the transport cannot report
+	// RTTs (unless NearPin names a replica explicitly).
+	NearRead bool
+	// NearPin, with NearRead, pins the near replica to NearReplica
+	// instead of consulting transport RTTs — deployments that know
+	// their geography (a client co-located with a specific replica)
+	// skip the estimator warm-up.
+	NearPin     bool
+	NearReplica wire.NodeID
 }
 
 // Client issues requests to a replicated service. It is synchronous and
@@ -156,6 +171,11 @@ func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte)
 		TxnSeq: txnSeq,
 		Op:     op,
 	}
+	if kind == wire.KindRead && c.cfg.NearRead {
+		if near, ok := c.nearestReplica(); ok {
+			req.Near, req.NearSet = near, true
+		}
+	}
 	deadline := time.Now().Add(c.cfg.Deadline)
 	c.broadcast(&req)
 	attempt := 0
@@ -232,6 +252,10 @@ func (c *Client) do(kind wire.RequestKind, txn uint64, txnSeq uint32, op []byte)
 				return nil, ErrTimeout
 			}
 			attempt++
+			// A rebroadcast drops the Near stamp: if the nearest
+			// replica could not assemble its quorum (down,
+			// partitioned), the leader path is the liveness backstop.
+			req.Near, req.NearSet = 0, false
 			c.broadcast(&req)
 			retry.Reset(retryBackoff(c.rng, c.cfg.RetryEvery, c.cfg.RetryMax, attempt, time.Until(deadline)))
 		}
@@ -262,6 +286,28 @@ func retryBackoff(rng *rand.Rand, base, max time.Duration, attempt int, remain t
 		d = remain
 	}
 	return d
+}
+
+// nearestReplica picks the replica to stamp on a near read: the pinned
+// one, or the lowest-RTT replica per the transport's estimator. False
+// when no replica has an estimate yet (cold client) — the read then
+// takes the ordinary leader path.
+func (c *Client) nearestReplica() (wire.NodeID, bool) {
+	if c.cfg.NearPin {
+		return c.cfg.NearReplica, true
+	}
+	rr, ok := c.cfg.Transport.(transport.RTTReporter)
+	if !ok {
+		return 0, false
+	}
+	var best wire.NodeID
+	bestRTT := time.Duration(-1)
+	for _, rep := range c.cfg.Replicas {
+		if d, ok := rr.PeerRTT(rep); ok && (bestRTT < 0 || d < bestRTT) {
+			best, bestRTT = rep, d
+		}
+	}
+	return best, bestRTT >= 0
 }
 
 func (c *Client) broadcast(req *wire.Request) {

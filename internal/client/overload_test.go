@@ -109,13 +109,23 @@ func TestClientStopsRetryingOnTerminalStatus(t *testing.T) {
 		if _, err := cli.Write([]byte("op")); !tc.check(err) {
 			t.Fatalf("status %v mapped to %v", tc.status, err)
 		}
-		// Give any (wrong) rebroadcast time to land.
-		time.Sleep(50 * time.Millisecond)
+		// The property is silence AFTER the terminal reply was seen. A
+		// scheduling hiccup can delay the reply past RetryEvery and
+		// produce one legitimate pre-reply retransmit, so let any such
+		// in-flight transmission land, take a baseline, then require
+		// that a full retry interval passes with no further send — a
+		// retry loop that wrongly survived the terminal status would
+		// fire within RetryMax.
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		before := sends
+		mu.Unlock()
+		time.Sleep(60 * time.Millisecond)
 		mu.Lock()
 		n := sends
 		mu.Unlock()
-		if n != 1 {
-			t.Fatalf("status %v: replica saw %d transmissions, want 1 (terminal statuses must stop the retry loop)", tc.status, n)
+		if n != before {
+			t.Fatalf("status %v: replica saw %d transmissions after the terminal reply (baseline %d) — terminal statuses must stop the retry loop", tc.status, n-before, before)
 		}
 	}
 }

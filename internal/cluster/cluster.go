@@ -83,9 +83,26 @@ type Config struct {
 	Tracer func(time.Time, *wire.Envelope)
 
 	// PipelineDepth forwards the core speculative-pipelining bound: how
-	// many accept waves the leader may keep in flight (default 1, the
-	// paper's serial protocol).
+	// many accept waves the leader may keep in flight. Zero adopts the
+	// profile's tuning hint when it has one (long-haul profiles ask for
+	// a deep pipeline), else the core default 1, the paper's serial
+	// protocol.
 	PipelineDepth int
+	// CommitFlushDelay forwards the core commit-flush window. Zero
+	// adopts the profile's tuning hint when it has one (long-haul
+	// profiles widen it to amortize commit broadcasts), else the core
+	// default.
+	CommitFlushDelay time.Duration
+	// RTTPlacement forwards the core RTT-aware leader placement knob
+	// (DESIGN.md §16): replicas gossip their aggregate peer RTT and Ω
+	// moves leadership to the replica closest to the rest of the
+	// cluster, regardless of boot order.
+	RTTPlacement bool
+	// NearReads makes every client stamp its reads with the replica the
+	// transport reports the lowest RTT to, which then serves the read
+	// from its local state after a voter-quorum confirm round (DESIGN.md
+	// §16) — cross-continent clients skip the hop to a far leader.
+	NearReads bool
 	// NoBatch forwards the core ablation knob: one request per accept
 	// wave.
 	NoBatch bool
@@ -139,6 +156,12 @@ func (c *Config) fillDefaults() {
 		if rt := 6 * c.Profile.MaxOneWay; rt > c.RetryTimeout {
 			c.RetryTimeout = rt
 		}
+	}
+	if c.PipelineDepth == 0 && c.Profile.PipelineDepth > 0 {
+		c.PipelineDepth = c.Profile.PipelineDepth
+	}
+	if c.CommitFlushDelay == 0 {
+		c.CommitFlushDelay = c.Profile.CommitFlushDelay
 	}
 	if c.Stores == nil {
 		c.Stores = make(map[wire.NodeID]storage.Store)
@@ -310,7 +333,9 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 			HeartbeatInterval: c.cfg.HeartbeatInterval,
 			ElectionTimeout:   c.cfg.ElectionTimeout,
 			RetryTimeout:      c.cfg.RetryTimeout,
+			CommitFlushDelay:  c.cfg.CommitFlushDelay,
 			PipelineDepth:     c.cfg.PipelineDepth,
+			RTTPlacement:      c.cfg.RTTPlacement,
 			NoBatch:           c.cfg.NoBatch,
 			NoPersist:         c.cfg.NoPersist,
 			StateMode:         c.cfg.StateMode,
@@ -355,6 +380,7 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 		Replicas:   c.IDs(),
 		RetryEvery: c.cfg.ClientRetryEvery,
 		Deadline:   c.cfg.ClientDeadline,
+		NearRead:   c.cfg.NearReads,
 	}), nil
 }
 
@@ -373,6 +399,7 @@ func (c *Cluster) NewSessionClient(tenant uint8, n uint32) (*client.Client, erro
 		Replicas:   c.IDs(),
 		RetryEvery: c.cfg.ClientRetryEvery,
 		Deadline:   c.cfg.ClientDeadline,
+		NearRead:   c.cfg.NearReads,
 	}), nil
 }
 

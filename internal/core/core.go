@@ -201,7 +201,22 @@ type Config struct {
 	// LeaderRank orders replicas for Ω leader preference (lowest rank
 	// leads); nil means prefer the lowest ID. Sharded deployments rotate
 	// it per group so leadership spreads across the membership.
+	//
+	// Setting LeaderRank also enables Ω rank preemption: the preferred
+	// replica reclaims leadership from a higher-ranked incumbent after a
+	// holddown, so placement converges regardless of replica boot order
+	// instead of sticking with whoever claimed first.
 	LeaderRank func(wire.NodeID) uint64
+
+	// RTTPlacement folds measured network distance into Ω leader
+	// preference (DESIGN.md §16): each replica smooths its transport's
+	// per-peer round-trip estimates (transport.RTTReporter) into one
+	// placement cost, gossips it on heartbeats, and Ω ranks replicas by
+	// cost before LeaderRank/ID — so leadership converges onto the
+	// replica closest to the rest of the cluster. Enables the same rank
+	// preemption as LeaderRank. No-op when the transport cannot report
+	// RTTs.
+	RTTPlacement bool
 
 	// Logger, if set, receives role transitions and anomalies.
 	Logger *log.Logger
@@ -267,6 +282,29 @@ type pendingRead struct {
 	result   []byte
 	errStr   string
 	failed   bool
+}
+
+// pendingNearRead is an X-Paxos read this replica serves on the
+// client's behalf because it is the client's nearest replica (DESIGN.md
+// §16). It needs (a) confirms from a quorum of voters — each carrying
+// the sender's max accepted instance — and (b) the local applied index
+// to reach the highest such instance. Any write acked before the read
+// started was accepted at its instance by a majority, every confirm
+// quorum intersects that majority, and the intersecting voter's MaxAcc
+// covers the write — so waiting for applied ≥ max(MaxAcc) guarantees
+// the served state includes it.
+type pendingNearRead struct {
+	req     wire.Request
+	froms   map[wire.NodeID]bool
+	maxAcc  uint64 // barrier: highest accepted instance any confirmer reported
+	expires time.Time
+}
+
+// nearConfirm buffers a near-read confirm that outran the client's own
+// request (the same race confirmBuf covers for the leader path).
+type nearConfirm struct {
+	from   wire.NodeID
+	maxAcc uint64
 }
 
 // cachedReply supports at-most-once execution per client.
@@ -356,6 +394,23 @@ type Replica struct {
 	confirmBuf map[wire.Key][]wire.NodeID
 	confirmQ   []wire.Key     // reads awaiting one coalesced Confirm send
 	deferred   []wire.Request // requests received while preparing
+
+	// Nearest-replica reads (DESIGN.md §16): nearReads holds reads this
+	// replica is serving as the client's nearest replica, nearConfirmBuf
+	// buffers confirms that outran their read, and nearQ batches confirm
+	// keys per near-serving target for one coalesced Confirm each
+	// (nearQN counts the queued keys across targets, for the cap).
+	nearReads      map[wire.Key]*pendingNearRead
+	nearConfirmBuf map[wire.Key][]nearConfirm
+	nearQ          map[wire.NodeID][]wire.Key
+	nearQN         int
+	nearBufSwept   time.Time
+
+	// lastCost is the placement cost last handed to the elector;
+	// updatePlacementCost applies hysteresis against it so EWMA noise on
+	// the RTT estimates cannot flap the gossiped rank.
+	lastCost    uint32
+	lastCostSet bool
 
 	txns    map[txnKey]*txnState
 	blocked []wire.Request // work blocked behind an exclusive transaction
@@ -451,19 +506,27 @@ func New(cfg Config) (*Replica, error) {
 			Interval: cfg.HeartbeatInterval,
 			Timeout:  cfg.ElectionTimeout,
 			Rank:     cfg.LeaderRank,
+			// Preemption is opt-in: only deployments that express a
+			// placement preference (explicit rank or RTT cost) want
+			// leadership to move toward it; everyone else keeps the
+			// stability-first behaviour pinned by the omega tests.
+			Preempt: cfg.LeaderRank != nil || cfg.RTTPlacement,
 		}),
-		reads:       make(map[wire.Key]*pendingRead),
-		confirmBuf:  make(map[wire.Key][]wire.NodeID),
-		txns:        make(map[txnKey]*txnState),
-		lastReply:   make(map[wire.NodeID]cachedReply),
-		pending:     make(map[wire.Key]bool),
-		writers:     make(map[wire.NodeID]time.Time),
-		peerAddrs:   make(map[wire.NodeID]string),
-		peerApplied: make(map[wire.NodeID]uint64),
-		stop:        make(chan struct{}),
-		done:        make(chan struct{}),
-		ctl:         make(chan func(), 16),
-		health:      make(chan peerHealth, 64),
+		reads:          make(map[wire.Key]*pendingRead),
+		confirmBuf:     make(map[wire.Key][]wire.NodeID),
+		nearReads:      make(map[wire.Key]*pendingNearRead),
+		nearConfirmBuf: make(map[wire.Key][]nearConfirm),
+		nearQ:          make(map[wire.NodeID][]wire.Key),
+		txns:           make(map[txnKey]*txnState),
+		lastReply:      make(map[wire.NodeID]cachedReply),
+		pending:        make(map[wire.Key]bool),
+		writers:        make(map[wire.NodeID]time.Time),
+		peerAddrs:      make(map[wire.NodeID]string),
+		peerApplied:    make(map[wire.NodeID]uint64),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		ctl:            make(chan func(), 16),
+		health:         make(chan peerHealth, 64),
 	}
 	r.commitFlush = time.NewTimer(time.Hour)
 	if !r.commitFlush.Stop() {
@@ -702,6 +765,7 @@ func (r *Replica) run() {
 				r.handle(more)
 			}
 			r.flushConfirms()
+			r.flushNearReads()
 		case ph := <-r.health:
 			r.onPeerHealth(ph)
 		case <-r.commitFlush.C:
@@ -849,6 +913,10 @@ func (r *Replica) onPeerHealth(ph peerHealth) {
 
 // tick drives heartbeats, leadership transitions, and retransmissions.
 func (r *Replica) tick(now time.Time) {
+	if r.cfg.RTTPlacement {
+		r.updatePlacementCost()
+	}
+	r.sweepNearReads(now)
 	if hb := r.elector.Tick(now); hb != nil {
 		hb.Chosen = r.acc.Chosen()
 		hb.Applied = r.applied // gossip the applied watermark (prune driver)
@@ -904,6 +972,46 @@ func (r *Replica) tick(now time.Time) {
 			r.sendCatchup(now)
 		}
 	}
+}
+
+// placementCostUnknown ranks a replica with no RTT estimates behind
+// every replica that has them: at boot all replicas share it (cost ties
+// degenerate to the base rank), and a freshly restarted replica cannot
+// out-rank warmed incumbents just because its estimator is empty.
+const placementCostUnknown = ^uint32(0)
+
+// updatePlacementCost smooths the transport's per-peer RTT estimates
+// into one placement cost and hands it to the elector, which gossips it
+// on heartbeats and folds it in front of the base rank (lowest
+// aggregate RTT leads). Quantized to 1ms buckets with 2ms hysteresis:
+// placement only cares about differences of tens of milliseconds, and
+// the hysteresis keeps EWMA noise from flapping the cluster-wide rank
+// order.
+func (r *Replica) updatePlacementCost() {
+	rr, ok := r.tr.(transport.RTTReporter)
+	if !ok {
+		return
+	}
+	var sum time.Duration
+	n := 0
+	for _, p := range r.others {
+		if d, ok := rr.PeerRTT(p); ok {
+			sum += d
+			n++
+		}
+	}
+	cost := placementCostUnknown
+	if n > 0 {
+		cost = uint32(sum / time.Duration(n) / time.Millisecond)
+	}
+	if r.lastCostSet {
+		diff := int64(cost) - int64(r.lastCost)
+		if diff > -2 && diff < 2 {
+			return
+		}
+	}
+	r.lastCost, r.lastCostSet = cost, true
+	r.elector.SetCost(cost)
 }
 
 // startPrepare begins the prepare phase for a fresh ballot (§3.2).

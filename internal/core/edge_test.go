@@ -147,13 +147,22 @@ func TestManySequentialLeaderSwitches(t *testing.T) {
 		}
 		old, _ := c.Leader()
 		c.SuspectLeader()
-		deadline := time.Now().Add(5 * time.Second)
+		// Generous deadline and periodic re-suspicion: under whole-tree
+		// test load a single election can overrun several seconds, and a
+		// lone suspicion can be washed out by an incumbent heartbeat
+		// that was already in flight.
+		deadline := time.Now().Add(20 * time.Second)
+		resuspect := time.Now().Add(time.Second)
 		for {
 			if l, ok := c.Leader(); ok && l != old {
 				break
 			}
 			if time.Now().After(deadline) {
 				t.Fatalf("round %d: no switch", round)
+			}
+			if time.Now().After(resuspect) {
+				c.SuspectLeader()
+				resuspect = time.Now().Add(time.Second)
 			}
 			time.Sleep(2 * time.Millisecond)
 		}

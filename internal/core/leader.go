@@ -15,7 +15,13 @@ import (
 func (r *Replica) onRequest(req wire.Request) {
 	switch req.Kind {
 	case wire.KindRead:
-		if r.role == RoleLeading && r.activated {
+		if req.NearSet && req.Near != r.cfg.ID {
+			// The client asked its nearest replica to serve this read;
+			// everyone else — leader included — just vouches for it.
+			r.queueNearConfirm(req)
+		} else if req.NearSet && !(r.role == RoleLeading && r.activated) {
+			r.registerNearRead(req)
+		} else if r.role == RoleLeading && r.activated {
 			r.registerRead(req)
 		} else if r.role == RolePreparing {
 			r.deferRequest(req)
@@ -400,6 +406,7 @@ func (r *Replica) commitReady() {
 	// Unblock reads whose barrier (or speculative execution horizon) the
 	// commits satisfied, then refill the pipeline.
 	r.flushReads()
+	r.flushNearReads()
 	r.drainBlocked()
 	r.maybeStartWave()
 }
@@ -520,11 +527,30 @@ func (r *Replica) sendConfirm(req wire.Request) {
 }
 
 // flushConfirms sends the queued read confirmations as one Confirm
-// message. The ballot and destination are evaluated at send time, which
-// is what makes each listed key valid per-read evidence: the message
-// leaves after every listed read was received, carrying the highest
-// ballot this replica has accepted as of now.
+// message per destination. The ballot and destination are evaluated at
+// send time, which is what makes each listed key valid per-read
+// evidence: the message leaves after every listed read was received,
+// carrying the highest ballot this replica has accepted as of now.
+// Every confirm also carries MaxAcc, the highest accepted instance —
+// the near-read barrier (DESIGN.md §16); near-serving replicas take the
+// max over their confirm quorum, so the stamp must be on every confirm
+// a quorum might count, not just the near-targeted ones.
 func (r *Replica) flushConfirms() {
+	maxAcc := r.acc.MaxInstance()
+	if r.nearQN > 0 {
+		// Near-targeted confirms skip the durability gate (r.send, not
+		// sendDurable): the serving replica ignores their ballot, and
+		// MaxAcc only ever raises its barrier — a claim backed by
+		// staged-but-unflushed accepts merely overshoots, so safety
+		// never depends on this replica remembering the horizon it
+		// reported.
+		bal := r.acc.Promised()
+		for target, keys := range r.nearQ {
+			r.send(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys, MaxAcc: maxAcc})
+			delete(r.nearQ, target)
+		}
+		r.nearQN = 0
+	}
 	if len(r.confirmQ) == 0 {
 		return
 	}
@@ -546,7 +572,7 @@ func (r *Replica) flushConfirms() {
 	// A confirm asserts this replica's promise/accept horizon; if that
 	// ballot's promise is still staged, sending now would let a §3.4 read
 	// majority count a vote the disk could forget. Durable-gate it.
-	r.sendDurable(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys})
+	r.sendDurable(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys, MaxAcc: maxAcc})
 }
 
 // registerRead starts X-Paxos coordination for a read at the leader: the
@@ -584,12 +610,23 @@ func (r *Replica) registerRead(req wire.Request) {
 // accepted ballot can assemble a majority).
 func (r *Replica) onConfirm(m *wire.Confirm) {
 	if r.role != RoleLeading || !m.Bal.Equal(r.bal) {
+		// Not valid §3.4 leadership evidence — but it may still vouch
+		// for reads this replica serves as the client's nearest, whose
+		// claim (the sender's accepted horizon) is ballot-independent.
+		r.onNearConfirm(m)
 		return
 	}
 	if !r.isVoter(m.From) {
 		return // a learner's confirm is not §3.4 majority evidence
 	}
 	for _, key := range m.Reads {
+		if pnr, ok := r.nearReads[key]; ok {
+			// Registered before this replica took leadership; the
+			// confirm still serves it on the near path.
+			r.foldNearConfirm(pnr, m.From, m.MaxAcc)
+			r.tryFinishNearRead(pnr)
+			continue
+		}
 		pr, ok := r.reads[key]
 		if !ok {
 			// The confirm can outrun the client's request; buffer it.
@@ -600,6 +637,141 @@ func (r *Replica) onConfirm(m *wire.Confirm) {
 		}
 		pr.confirms[m.From] = true
 		r.tryFinishRead(pr)
+	}
+}
+
+// --- nearest-replica reads (DESIGN.md §16) ---
+
+// queueNearConfirm queues one confirm for a read another replica serves
+// as the client's nearest; flushConfirms coalesces the queue into one
+// Confirm per serving replica. Any role may vouch — the message claims
+// only this replica's accepted horizon, never leadership.
+func (r *Replica) queueNearConfirm(req wire.Request) {
+	if r.nearQN >= 65536 {
+		return
+	}
+	r.nearQ[req.Near] = append(r.nearQ[req.Near], req.Key())
+	r.nearQN++
+}
+
+// registerNearRead starts serving a read stamped with this replica as
+// the client's nearest. An active leader never lands here — onRequest
+// routes its near-stamped reads through the ordinary §3.4 path, which
+// is strictly cheaper when client and leader are already adjacent.
+func (r *Replica) registerNearRead(req wire.Request) {
+	key := req.Key()
+	if _, dup := r.nearReads[key]; dup {
+		return
+	}
+	pnr := &pendingNearRead{
+		req:     req,
+		froms:   make(map[wire.NodeID]bool),
+		maxAcc:  r.acc.MaxInstance(),
+		expires: time.Now().Add(r.cfg.ElectionTimeout),
+	}
+	if r.isVoter(r.cfg.ID) {
+		pnr.froms[r.cfg.ID] = true
+	}
+	for _, c := range r.nearConfirmBuf[key] {
+		r.foldNearConfirm(pnr, c.from, c.maxAcc)
+	}
+	delete(r.nearConfirmBuf, key)
+	r.nearReads[key] = pnr
+	r.tryFinishNearRead(pnr)
+}
+
+// onNearConfirm folds a confirm into the near reads it vouches for; a
+// confirm that outran its read is buffered, mirroring confirmBuf.
+func (r *Replica) onNearConfirm(m *wire.Confirm) {
+	if !r.isVoter(m.From) {
+		return
+	}
+	for _, key := range m.Reads {
+		pnr, ok := r.nearReads[key]
+		if !ok {
+			if len(r.nearConfirmBuf) < 65536 {
+				r.nearConfirmBuf[key] = append(r.nearConfirmBuf[key],
+					nearConfirm{from: m.From, maxAcc: m.MaxAcc})
+			}
+			continue
+		}
+		r.foldNearConfirm(pnr, m.From, m.MaxAcc)
+		r.tryFinishNearRead(pnr)
+	}
+}
+
+// foldNearConfirm counts one voter's vouch and raises the read's
+// barrier to the accepted horizon it reported.
+func (r *Replica) foldNearConfirm(pnr *pendingNearRead, from wire.NodeID, maxAcc uint64) {
+	if !r.isVoter(from) {
+		return
+	}
+	pnr.froms[from] = true
+	if maxAcc > pnr.maxAcc {
+		pnr.maxAcc = maxAcc
+	}
+}
+
+// tryFinishNearRead serves a near read once a voter quorum has vouched
+// and the locally applied state covers every reported accepted horizon.
+// Why that is linearizable: a write acked before the read started was
+// accepted at its instance i by a majority; the read's voter quorum
+// intersects it, and the intersecting voter had accepted i before it
+// confirmed — so the barrier is ≥ i, and applied ≥ barrier means the
+// served state includes the write. A leading replica additionally needs
+// a quiet pipeline: with waves in flight (or an exclusive transaction
+// open) the live service state is speculative, and a near read must
+// only ever expose committed state.
+func (r *Replica) tryFinishNearRead(pnr *pendingNearRead) {
+	if len(pnr.froms) < r.quorum() || r.applied < pnr.maxAcc {
+		return
+	}
+	if r.role == RoleLeading && (len(r.waves) > 0 || r.exclusiveBusy()) {
+		return
+	}
+	delete(r.nearReads, pnr.req.Key())
+	r.stats.readsNear.Add(1)
+	res, err := r.svc.Execute(pnr.req.Op)
+	if err != nil {
+		r.reply(pnr.req, wire.StatusError, nil, err.Error())
+		return
+	}
+	r.reply(pnr.req, wire.StatusOK, res, "")
+}
+
+// flushNearReads re-checks the near reads' gates after applied moved or
+// the pipeline drained.
+func (r *Replica) flushNearReads() {
+	if len(r.nearReads) == 0 {
+		return
+	}
+	var ready []*pendingNearRead
+	for _, pnr := range r.nearReads {
+		if len(pnr.froms) >= r.quorum() && r.applied >= pnr.maxAcc {
+			ready = append(ready, pnr)
+		}
+	}
+	for _, pnr := range ready {
+		r.tryFinishNearRead(pnr)
+	}
+}
+
+// sweepNearReads expires near reads whose quorum or barrier never
+// materialized (partitioned voters, an accepted-but-never-chosen
+// barrier instance). The client is told to retry; its rebroadcast
+// drops the Near stamp and the leader path takes over. The confirm
+// buffer is generation-swept on the same cadence so confirms for reads
+// that never arrive cannot accrete.
+func (r *Replica) sweepNearReads(now time.Time) {
+	for key, pnr := range r.nearReads {
+		if now.After(pnr.expires) {
+			delete(r.nearReads, key)
+			r.reply(pnr.req, wire.StatusNotLeader, nil, "near read timed out")
+		}
+	}
+	if len(r.nearConfirmBuf) > 0 && now.Sub(r.nearBufSwept) > r.cfg.ElectionTimeout {
+		r.nearBufSwept = now
+		r.nearConfirmBuf = make(map[wire.Key][]nearConfirm)
 	}
 }
 

@@ -29,6 +29,9 @@ type stats struct {
 	// pin refused, or pool queue full).
 	readsParallel metrics.Counter
 	readsInline   metrics.Counter
+	// readsNear counts X-Paxos reads this replica served as the
+	// client's nearest replica (DESIGN.md §16).
+	readsNear metrics.Counter
 
 	// Reconfiguration instruments (DESIGN.md §12): snapshot catch-up
 	// traffic on both sides, durable snapshot saves, WAL prune
@@ -96,6 +99,8 @@ func (s *stats) register(reg *metrics.Registry) {
 		"X-Paxos reads executed on the parallel worker pool", &s.readsParallel)
 	reg.RegisterCounter("gridrep_reads_inline_total",
 		"X-Paxos reads executed inline on the event loop", &s.readsInline)
+	reg.RegisterCounter("gridrep_reads_near_total",
+		"X-Paxos reads served as the client's nearest replica", &s.readsNear)
 	reg.RegisterGaugeFunc("gridrep_role",
 		"replica role (0 backup, 1 preparing, 2 leading)",
 		func() int64 { return int64(s.role.Load()) })
@@ -178,6 +183,9 @@ type Stats struct {
 	// DeferredDrops counts client requests dropped because the
 	// prepare-phase deferral buffer was full (the client retries).
 	DeferredDrops uint64
+	// ReadsNear counts X-Paxos reads this replica served as the
+	// client's nearest replica (DESIGN.md §16).
+	ReadsNear uint64
 }
 
 // Stats snapshots the replica's counters. Unlike the other accessors it
@@ -193,6 +201,7 @@ func (r *Replica) Stats() Stats {
 		WavesRolledBack:   r.stats.wavesRolledBack.Load(),
 		RecoveryDiscarded: r.stats.recoveryDiscarded.Load(),
 		DeferredDrops:     r.stats.deferredDrops.Load(),
+		ReadsNear:         r.stats.readsNear.Load(),
 	}
 }
 

@@ -177,3 +177,22 @@ func (m *Model) MeanLatency(a, b Class) time.Duration {
 
 // ClassOf exposes the node→class mapping.
 func (m *Model) ClassOf(n wire.NodeID) Class { return m.classOf(n) }
+
+// MaxOneWay returns the largest one-way delay any configured link can
+// sample: base + jitter + tail over the whole class matrix. Profiles
+// must advertise a MaxOneWay at least this large, or the timeouts
+// harnesses derive from it would be false-triggered by tail samples.
+func (m *Model) MaxOneWay() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max time.Duration
+	for a := 0; a < classLimit; a++ {
+		for b := 0; b < classLimit; b++ {
+			l := m.link[a][b]
+			if w := l.Base + l.Jitter + l.Tail; w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}

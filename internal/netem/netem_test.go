@@ -2,6 +2,7 @@ package netem
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -214,8 +215,11 @@ func TestWANClassMapping(t *testing.T) {
 }
 
 func TestProfileByName(t *testing.T) {
-	for _, name := range []string{"sysnet", "b2p", "wan", "loopback"} {
-		p := ProfileByName(name)
+	for _, name := range ProfileNames() {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
 		if p.Name != name {
 			t.Errorf("ProfileByName(%q).Name = %q", name, p.Name)
 		}
@@ -223,8 +227,76 @@ func TestProfileByName(t *testing.T) {
 			t.Errorf("profile %q incomplete", name)
 		}
 	}
-	if p := ProfileByName("nope"); p.Name != "" {
-		t.Error("unknown profile must return zero value")
+	// Regression: an unknown name must be a hard error naming the valid
+	// profiles, not a silently unconfigured zero model.
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile must return an error")
+	} else if !strings.Contains(err.Error(), "wan3") {
+		t.Errorf("error should list valid names, got %v", err)
+	}
+}
+
+// TestProfileMaxOneWayCoversTails pins the timeout-derivation contract:
+// every profile's advertised MaxOneWay bounds the worst sample any of
+// its links can produce, jitter and heavy tail included. A profile that
+// violates this makes cluster-derived Ω timeouts false-trigger under
+// tail delays.
+func TestProfileMaxOneWayCoversTails(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.NewModel(1)
+		if worst := m.MaxOneWay(); worst > p.MaxOneWay {
+			t.Errorf("profile %q: worst link sample %v exceeds advertised MaxOneWay %v",
+				name, worst, p.MaxOneWay)
+		}
+	}
+}
+
+// TestWANSpreadGeometry sanity-checks the modernized geo profiles:
+// region mapping covers replicas and clients, links are asymmetric, and
+// scaling compresses latency without changing shape.
+func TestWANSpreadGeometry(t *testing.T) {
+	p := WAN3()
+	if p.Regions != 3 || p.RegionOf == nil {
+		t.Fatal("wan3 must describe 3 regions")
+	}
+	for r := 0; r < 3; r++ {
+		if p.RegionOf(wire.NodeID(r)) != r {
+			t.Errorf("replica %d region = %d", r, p.RegionOf(wire.NodeID(r)))
+		}
+		if p.RegionOf(wire.ClientIDBase+wire.NodeID(r)) != r {
+			t.Errorf("client %d region = %d", r, p.RegionOf(wire.ClientIDBase+wire.NodeID(r)))
+		}
+	}
+	m := p.NewModel(1)
+	// Replica 0 (us-east) and its co-located client share a region:
+	// the local link must be far cheaper than the cross-continent one.
+	local := m.MeanLatency(m.ClassOf(wire.ClientIDBase), m.ClassOf(0))
+	far := m.MeanLatency(m.ClassOf(wire.ClientIDBase), m.ClassOf(2))
+	if local >= far/10 {
+		t.Errorf("intra-region %v should be far below cross-continent %v", local, far)
+	}
+	// Asymmetry: us-east→ap-southeast differs from the reverse path.
+	ab := m.MeanLatency(m.ClassOf(0), m.ClassOf(2))
+	ba := m.MeanLatency(m.ClassOf(2), m.ClassOf(0))
+	if ab == ba {
+		t.Error("cross-continent links must be asymmetric")
+	}
+	// Scaling preserves shape.
+	s := WAN3Scaled(0.1)
+	sm := s.NewModel(1)
+	sab := sm.MeanLatency(sm.ClassOf(0), sm.ClassOf(2))
+	if sab <= 0 || sab >= ab {
+		t.Errorf("scaled latency %v should be below unscaled %v", sab, ab)
+	}
+	if s.MaxOneWay >= p.MaxOneWay {
+		t.Error("scaled MaxOneWay must shrink with the geometry")
+	}
+	if w5 := WAN5(); w5.Regions != 5 || w5.MaxOneWay <= p.MaxOneWay {
+		t.Error("wan5 must span 5 regions and a wider spread than wan3")
 	}
 }
 

@@ -1,6 +1,8 @@
 package netem
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"gridrep/internal/wire"
@@ -14,18 +16,41 @@ const (
 	ClassRemoteSite Class = 3
 )
 
-// Profile names one of the evaluation network configurations (§4).
+// ClassRegionBase is the first class used by the modernized geo-spread
+// profiles (wan3/wan5): region r maps to class ClassRegionBase+r, and
+// clients share their region's class — a client and the replica in its
+// region sit in the same data center.
+const ClassRegionBase Class = 4
+
+// Profile names one of the evaluation network configurations (§4), or
+// one of the modernized cross-continent spreads (DESIGN.md §16).
 type Profile struct {
-	// Name identifies the profile ("sysnet", "b2p", "wan").
+	// Name identifies the profile ("sysnet", "b2p", "wan", "wan3",
+	// "wan5", "loopback").
 	Name string
 	// ClassOf maps nodes to link classes; nil means the default
 	// replica/client split.
 	ClassOf func(wire.NodeID) Class
 	// Configure installs the profile's link latencies into a model.
 	Configure func(*Model)
-	// MaxOneWay is an upper bound (excluding tail events) on one-way
-	// delay, used by harnesses to derive heartbeat/retry timeouts.
+	// MaxOneWay is an upper bound on one-way delay — including the
+	// jitter and tail terms, so Ω timeouts derived from it are not
+	// false-triggered by heavy-tail samples (the timeout-derivation
+	// contract is pinned by cluster.TestProfileTimeoutDerivation).
 	MaxOneWay time.Duration
+	// Regions and RegionOf describe the profile's geography when it has
+	// one (wan3/wan5): RegionOf maps any node — replica or client — to
+	// its region index in [0, Regions). Regions is 0 for the classic
+	// single-geometry profiles.
+	Regions  int
+	RegionOf func(wire.NodeID) int
+	// PipelineDepth and CommitFlushDelay are per-profile tuning hints:
+	// long-haul profiles need a deep speculative pipeline to hide the
+	// round trip and a wider commit-flush window to amortize commit
+	// broadcasts. Harnesses apply them when the caller did not override
+	// (0 = no hint, keep the core defaults).
+	PipelineDepth    int
+	CommitFlushDelay time.Duration
 }
 
 // NewModel builds a configured network model for the profile.
@@ -131,19 +156,141 @@ func Loopback() Profile {
 	}
 }
 
+// wanRegions is the one-way base latency matrix (row = source region,
+// column = destination region) for the modernized geo spreads,
+// calibrated from present-day inter-region cloud measurements. The five
+// regions are us-east, eu-west, ap-southeast, us-west, sa-east; wan3
+// uses the first three. The matrix is deliberately asymmetric — routes
+// differ per direction on real backbones — and every cross-region link
+// gets jitter plus a heavy tail (cf. the PlanetLab delivery-time
+// variance of §4.3).
+var wanRegionNames = [5]string{"us-east", "eu-west", "ap-southeast", "us-west", "sa-east"}
+
+var wanOneWayMS = [5][5]float64{
+	{0.3, 37, 105, 30, 58},
+	{40, 0.3, 88, 65, 92},
+	{112, 92, 0.3, 85, 160},
+	{32, 68, 89, 0.3, 90},
+	{62, 95, 168, 93, 0.3},
+}
+
+// wanSpread builds an n-region cross-continent profile. Replica r lives
+// in region r mod n; client c (IDs from wire.ClientIDBase) lives in
+// region c mod n, co-located with that region's replica. scale
+// multiplies every latency — tests compress a 200 ms geography into a
+// few milliseconds without changing its shape.
+func wanSpread(name string, n int, scale float64) Profile {
+	regionOf := func(id wire.NodeID) int {
+		if id.IsClient() {
+			return int(id-wire.ClientIDBase) % n
+		}
+		return int(id) % n
+	}
+	classOf := func(id wire.NodeID) Class {
+		return ClassRegionBase + Class(regionOf(id))
+	}
+	at := func(ms float64) time.Duration {
+		return time.Duration(ms * scale * float64(time.Millisecond))
+	}
+	var maxOneWay time.Duration
+	lat := func(a, b int) Latency {
+		if a == b {
+			return Latency{Base: at(wanOneWayMS[a][b]), Jitter: at(0.2)}
+		}
+		return Latency{
+			Base:     at(wanOneWayMS[a][b]),
+			Jitter:   at(2),
+			Tail:     at(40),
+			TailProb: 0.04,
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			l := lat(a, b)
+			if w := l.Base + l.Jitter + l.Tail; w > maxOneWay {
+				maxOneWay = w
+			}
+		}
+	}
+	return Profile{
+		Name:      name,
+		ClassOf:   classOf,
+		Regions:   n,
+		RegionOf:  regionOf,
+		MaxOneWay: maxOneWay,
+		Configure: func(m *Model) {
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					m.SetLink(ClassRegionBase+Class(a), ClassRegionBase+Class(b), lat(a, b))
+				}
+			}
+		},
+		// Long-haul tuning: enough pipeline depth to keep several waves
+		// in flight across a ~100 ms RTT, and a commit-flush window wide
+		// enough to piggyback commits on the next wave instead of paying
+		// a broadcast per instance. Scaled with the geography, floored
+		// at the core defaults.
+		PipelineDepth:    8,
+		CommitFlushDelay: maxDuration(time.Millisecond, at(5)),
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WAN3 is a modernized three-continent spread (us-east, eu-west,
+// ap-southeast): one replica and one client fleet per region, asymmetric
+// per-link latency, jittery heavy tails.
+func WAN3() Profile { return wanSpread("wan3", 3, 1) }
+
+// WAN5 extends WAN3 with us-west and sa-east for five regions.
+func WAN5() Profile { return wanSpread("wan5", 5, 1) }
+
+// WAN3Scaled / WAN5Scaled return the same topologies with every latency
+// multiplied by scale, so tests can run the real geometry in compressed
+// time.
+func WAN3Scaled(scale float64) Profile { return wanSpread("wan3", 3, scale) }
+
+// WAN5Scaled is WAN3Scaled for the five-region spread.
+func WAN5Scaled(scale float64) Profile { return wanSpread("wan5", 5, scale) }
+
+// RegionName returns a human-readable name for a wan3/wan5 region index.
+func RegionName(r int) string {
+	if r < 0 || r >= len(wanRegionNames) {
+		return fmt.Sprintf("region%d", r)
+	}
+	return wanRegionNames[r]
+}
+
+// ProfileNames lists every name ProfileByName accepts.
+func ProfileNames() []string {
+	return []string{"sysnet", "b2p", "wan", "wan3", "wan5", "loopback"}
+}
+
 // ProfileByName returns the named profile, defaulting the WAN leader site
-// to replica 0. It returns a zero-Name profile when unknown.
-func ProfileByName(name string) Profile {
+// to replica 0. Unknown names are an error listing the valid ones — a
+// typoed -profile flag must fail fast, not run on an unconfigured
+// zero-latency network.
+func ProfileByName(name string) (Profile, error) {
 	switch name {
 	case "sysnet":
-		return Sysnet()
+		return Sysnet(), nil
 	case "b2p":
-		return B2P()
+		return B2P(), nil
 	case "wan":
-		return WAN(0)
+		return WAN(0), nil
+	case "wan3":
+		return WAN3(), nil
+	case "wan5":
+		return WAN5(), nil
 	case "loopback":
-		return Loopback()
+		return Loopback(), nil
 	default:
-		return Profile{}
+		return Profile{}, fmt.Errorf("netem: unknown profile %q (valid: %s)",
+			name, strings.Join(ProfileNames(), ", "))
 	}
 }

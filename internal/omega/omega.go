@@ -16,6 +16,15 @@
 //   - convergence: any two simultaneous claimers order themselves by
 //     (epoch, ID) and one of them deterministically yields.
 //
+// Deployments that express a placement preference (a Rank rotation for
+// sharded groups, or an RTT-derived cost) can additionally enable
+// *rank preemption* (Config.Preempt): the best-ranked live member
+// deposes a worse-ranked incumbent by starting a fresh higher-epoch
+// claim after a holddown. Without it, placement is a boot-order
+// artifact — epoch-priority claims let whichever entitled replica
+// claims first keep the group forever. Preemption is off by default,
+// preserving the classic stability property exactly.
+//
 // The elector owns no goroutine and no clock: the replica's event loop
 // feeds it received heartbeats and periodic ticks with an explicit
 // timestamp, which makes elections deterministic under test.
@@ -46,6 +55,24 @@ type Config struct {
 	// prefers replica g mod n (DESIGN.md §13); all replicas must use the
 	// same Rank for a given group or elections may not converge.
 	Rank func(wire.NodeID) uint64
+	// Preempt lets the best-ranked live member depose a worse-ranked
+	// incumbent (DESIGN.md §16). Rank alone only breaks ties between
+	// simultaneous claims; with epoch-priority claims, whichever entitled
+	// replica claims first otherwise keeps leadership forever, making
+	// placement a boot-order artifact. With Preempt set, a member that
+	// (a) ranks strictly below the incumbent, (b) is the best-ranked
+	// live member overall — so at most one node ever preempts — and
+	// (c) has observed both conditions continuously for PreemptAfter,
+	// starts a fresh claim at maxEpoch+1; the incumbent yields by the
+	// normal convergence rule. Off by default: the classic stability
+	// property (an incumbent survives the recovery of a better-ranked
+	// node) is preserved exactly.
+	Preempt bool
+	// PreemptAfter is the holddown before a rank preemption fires.
+	// Zero means Timeout. It damps flapping when ranks shift (e.g. an
+	// RTT-derived cost settling after boot): conditions must hold for a
+	// full window before leadership moves.
+	PreemptAfter time.Duration
 }
 
 type claim struct {
@@ -69,6 +96,18 @@ type Elector struct {
 	myEpoch  uint64
 	maxEpoch uint64 // highest claim epoch observed anywhere
 
+	// preemptSince is when the rank-preemption conditions (see
+	// Config.Preempt) were first continuously observed; zero when they
+	// do not currently hold.
+	preemptSince time.Time
+
+	// myCost and costs carry the gossiped placement costs (SetCost,
+	// Heartbeat.Cost). A cost prefixes the configured rank
+	// lexicographically: lower cost wins, Rank breaks ties. All zero —
+	// the default when RTT placement is off — degenerates to pure Rank.
+	myCost uint32
+	costs  map[wire.NodeID]uint32
+
 	leader    wire.NodeID
 	hasLeader bool
 	changes   uint64 // leadership transitions observed locally
@@ -82,6 +121,7 @@ func New(cfg Config) *Elector {
 		lastSeen: make(map[wire.NodeID]time.Time),
 		suspend:  make(map[wire.NodeID]time.Time),
 		claims:   make(map[wire.NodeID]claim),
+		costs:    make(map[wire.NodeID]uint32),
 	}
 }
 
@@ -100,6 +140,11 @@ func (e *Elector) SetPeers(peers []wire.NodeID) {
 	for n := range e.claims {
 		if !in[n] {
 			delete(e.claims, n)
+		}
+	}
+	for n := range e.costs {
+		if !in[n] {
+			delete(e.costs, n)
 		}
 	}
 	if !in[e.cfg.Self] {
@@ -143,7 +188,20 @@ func (e *Elector) OnHeartbeat(hb *wire.Heartbeat, now time.Time) {
 			e.maxEpoch = hb.Epoch
 		}
 	}
+	if hb.Cost != e.costs[hb.From] {
+		e.costs[hb.From] = hb.Cost
+	}
 }
+
+// SetCost records this node's self-measured placement cost (an
+// RTT-derived bucket; 0 = none/unknown). It is gossiped on every
+// heartbeat this elector emits, so all observers rank this node the
+// same way: effective rank is (cost, Rank) lexicographic.
+func (e *Elector) SetCost(c uint32) { e.myCost = c }
+
+// Cost returns the node's own placement cost (for heartbeat stamping
+// and introspection).
+func (e *Elector) Cost() uint32 { return e.myCost }
 
 // Observe records liveness evidence from any protocol message: under
 // load, heartbeats queue behind bulk protocol traffic, and without this
@@ -225,12 +283,29 @@ func (e *Elector) Demote() {
 	}
 }
 
-// rank applies the configured leader-preference order.
+// costBits is how much of the effective rank the base Rank occupies;
+// the gossiped cost is shifted above it. Node IDs stay below
+// wire.ClientIDBase (1<<16) and shard.LeaderRank maps into the same
+// range, so 20 bits never clips a real base rank.
+const costBits = 20
+
+// rank applies the configured leader-preference order: the gossiped
+// placement cost is the major key, the configured Rank (or node ID)
+// breaks ties. With no costs gossiped — the default — this is exactly
+// the base rank.
 func (e *Elector) rank(n wire.NodeID) uint64 {
+	base := uint64(n)
 	if e.cfg.Rank != nil {
-		return e.cfg.Rank(n)
+		base = e.cfg.Rank(n)
 	}
-	return uint64(n)
+	if base >= 1<<costBits {
+		base = 1<<costBits - 1
+	}
+	cost := e.costs[n]
+	if n == e.cfg.Self {
+		cost = e.myCost
+	}
+	return uint64(cost)<<costBits | base
 }
 
 // alive reports whether n responded within the timeout. Self is always
@@ -276,9 +351,24 @@ func (e *Elector) Leader(now time.Time) (wire.NodeID, bool) {
 			// A stronger claim exists: yield (convergence).
 			e.myClaim = false
 		}
+		if best != e.cfg.Self && e.shouldPreempt(best, now) {
+			// Rank preemption (Config.Preempt): out-claim the
+			// worse-ranked incumbent; everyone — incumbent included —
+			// converges on the higher epoch.
+			e.preemptSince = time.Time{}
+			e.myClaim = true
+			e.myEpoch = e.maxEpoch + 1
+			e.maxEpoch = e.myEpoch
+			e.setLeader(e.cfg.Self)
+			return e.cfg.Self, true
+		}
+		if best == e.cfg.Self {
+			e.preemptSince = time.Time{}
+		}
 		e.setLeader(best)
 		return best, true
 	}
+	e.preemptSince = time.Time{}
 
 	// No live claim anywhere. During the startup grace period, wait for
 	// one rather than racing to self-elect.
@@ -312,6 +402,39 @@ func (e *Elector) Leader(now time.Time) (wire.NodeID, bool) {
 	return e.cfg.Self, true
 }
 
+// shouldPreempt reports whether this node should depose the incumbent
+// leader right now. All three preemption conditions (enabled+member,
+// strictly better rank than the incumbent, best-ranked live member
+// overall) must hold continuously for the holddown window; any break
+// resets the clock.
+func (e *Elector) shouldPreempt(incumbent wire.NodeID, now time.Time) bool {
+	if !e.cfg.Preempt || !e.isMember() {
+		return false
+	}
+	self := e.rank(e.cfg.Self)
+	if self >= e.rank(incumbent) {
+		e.preemptSince = time.Time{}
+		return false
+	}
+	// Uniqueness: only the best-ranked live member preempts, so two
+	// nodes that both outrank the incumbent never duel.
+	for _, p := range e.cfg.Peers {
+		if p != e.cfg.Self && e.alive(p, now) && e.rank(p) < self {
+			e.preemptSince = time.Time{}
+			return false
+		}
+	}
+	if e.preemptSince.IsZero() {
+		e.preemptSince = now
+		return false
+	}
+	hold := e.cfg.PreemptAfter
+	if hold <= 0 {
+		hold = e.cfg.Timeout
+	}
+	return now.Sub(e.preemptSince) >= hold
+}
+
 func (e *Elector) setLeader(n wire.NodeID) {
 	if !e.hasLeader || e.leader != n {
 		e.leader = n
@@ -343,7 +466,7 @@ func (e *Elector) Tick(now time.Time) *wire.Heartbeat {
 	e.lastSent = now
 	e.sentAny = true
 	leader, ok := e.Leader(now)
-	hb := &wire.Heartbeat{From: e.cfg.Self}
+	hb := &wire.Heartbeat{From: e.cfg.Self, Cost: e.myCost}
 	if ok {
 		hb.Leader = leader
 		if leader == e.cfg.Self && e.myClaim {

@@ -1,0 +1,178 @@
+package omega
+
+import (
+	"testing"
+	"time"
+
+	"gridrep/internal/wire"
+)
+
+// preemptElector builds an elector with rank preemption enabled and a
+// rank function that prefers node `pref`.
+func preemptElector(self, pref wire.NodeID) *Elector {
+	return New(Config{
+		Self:     self,
+		Peers:    []wire.NodeID{0, 1, 2},
+		Interval: 10 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+		Rank: func(n wire.NodeID) uint64 {
+			if n == pref {
+				return 0
+			}
+			return uint64(n) + 1
+		},
+		Preempt:      true,
+		PreemptAfter: 30 * time.Millisecond,
+	})
+}
+
+// TestPreemptReclaimsFromBootOrderWinner is the boot-order regression:
+// node 0 boots first and claims, but the rank prefers node 2. With
+// preemption enabled, node 2 deposes node 0 after the holddown — so
+// placement no longer depends on which replica started first.
+func TestPreemptReclaimsFromBootOrderWinner(t *testing.T) {
+	e := preemptElector(2, 2)
+	// The boot-order winner's claim arrives and keeps refreshing.
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	if l, ok := e.Leader(t0.Add(time.Millisecond)); !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want incumbent 0 before holddown", l, ok)
+	}
+	// Conditions hold continuously; before the holddown elapses the
+	// incumbent must be untouched.
+	e.OnHeartbeat(claimHB(0, 1), t0.Add(20*time.Millisecond))
+	if l, _ := e.Leader(t0.Add(25 * time.Millisecond)); l != 0 {
+		t.Fatal("preemption must not fire before the holddown")
+	}
+	e.OnHeartbeat(claimHB(0, 1), t0.Add(30*time.Millisecond))
+	l, ok := e.Leader(t0.Add(40 * time.Millisecond))
+	if !ok || l != 2 {
+		t.Fatalf("leader = %v,%v; want rank-preferred 2 after holddown", l, ok)
+	}
+	if e.ClaimEpoch() <= 1 {
+		t.Fatalf("preemptor must out-claim the incumbent's epoch, got %d", e.ClaimEpoch())
+	}
+}
+
+// TestNoPreemptWhenDisabled pins that the knob defaults off: without
+// Preempt, a rank-preferred node never disturbs a live incumbent (the
+// classic stability property).
+func TestNoPreemptWhenDisabled(t *testing.T) {
+	e := New(Config{
+		Self:     2,
+		Peers:    []wire.NodeID{0, 1, 2},
+		Interval: 10 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+		Rank: func(n wire.NodeID) uint64 {
+			if n == 2 {
+				return 0
+			}
+			return uint64(n) + 1
+		},
+	})
+	for i := 0; i < 20; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Millisecond)
+		e.OnHeartbeat(claimHB(0, 1), at)
+		if l, ok := e.Leader(at.Add(time.Millisecond)); !ok || l != 0 {
+			t.Fatalf("step %d: leader = %v,%v; want stable incumbent 0", i, l, ok)
+		}
+	}
+}
+
+// TestPreemptUniqueness: only the best-ranked live member may preempt.
+// Node 1 outranks the incumbent 0 but node 2 (alive) ranks even lower,
+// so node 1 must never start a rival claim — no dueling preemptors.
+func TestPreemptUniqueness(t *testing.T) {
+	e := preemptElector(1, 2) // rank prefers 2; self is 1
+	for i := 0; i < 20; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Millisecond)
+		e.OnHeartbeat(claimHB(0, 1), at)
+		e.OnHeartbeat(hb(2), at) // 2 is alive but slow to claim
+		if l, ok := e.Leader(at.Add(time.Millisecond)); !ok || l != 0 {
+			t.Fatalf("step %d: leader = %v,%v; want 0 (node 1 must defer to 2)", i, l, ok)
+		}
+	}
+}
+
+// TestPreemptHolddownResets: a break in the conditions (the incumbent
+// becomes best-ranked again via cost gossip) must restart the holddown.
+func TestPreemptHolddownResets(t *testing.T) {
+	e := preemptElector(2, 2)
+	e.OnHeartbeat(claimHB(0, 1), t0)
+	e.Leader(t0.Add(time.Millisecond)) // conditions first observed
+	// At t=20ms the incumbent gossips a lower cost than ours: break.
+	e.SetCost(5)
+	hbWithCost := claimHB(0, 1)
+	hbWithCost.Cost = 1
+	e.OnHeartbeat(hbWithCost, t0.Add(20*time.Millisecond))
+	if l, _ := e.Leader(t0.Add(21 * time.Millisecond)); l != 0 {
+		t.Fatal("cost-advantaged incumbent must not be preempted")
+	}
+	// Costs level out again at t=25ms; the holddown restarts from here,
+	// so nothing may fire before t=55ms.
+	e.SetCost(0)
+	hbNoCost := claimHB(0, 1)
+	e.OnHeartbeat(hbNoCost, t0.Add(25*time.Millisecond))
+	e.Leader(t0.Add(26 * time.Millisecond))
+	e.OnHeartbeat(claimHB(0, 1), t0.Add(45*time.Millisecond))
+	if l, _ := e.Leader(t0.Add(50 * time.Millisecond)); l != 0 {
+		t.Fatal("holddown must restart after a conditions break")
+	}
+	e.OnHeartbeat(claimHB(0, 1), t0.Add(55*time.Millisecond))
+	if l, _ := e.Leader(t0.Add(60 * time.Millisecond)); l != 2 {
+		t.Fatal("preemption must fire once the restarted holddown elapses")
+	}
+}
+
+// TestCostOverridesBaseRank: gossiped placement costs are the major
+// preference key — a high-ID node with the lowest cost is preferred,
+// and preemption moves leadership onto it.
+func TestCostOverridesBaseRank(t *testing.T) {
+	e := New(Config{
+		Self:         2,
+		Peers:        []wire.NodeID{0, 1, 2},
+		Interval:     10 * time.Millisecond,
+		Timeout:      50 * time.Millisecond,
+		Preempt:      true,
+		PreemptAfter: 30 * time.Millisecond,
+	})
+	e.SetCost(10) // self: 10ms aggregate RTT
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+	costHB := func(from wire.NodeID, epoch uint64, cost uint32) *wire.Heartbeat {
+		h := claimHB(from, epoch)
+		h.Cost = cost
+		return h
+	}
+	// Node 0 leads (boot order) but sits far from everyone: cost 90.
+	// Node 1 is alive at cost 40. Self (cost 10) is globally best and
+	// must take over after the holddown.
+	for ms := 0; ms <= 40; ms += 10 {
+		e.OnHeartbeat(costHB(0, 1, 90), at(ms))
+		h := hb(1)
+		h.Cost = 40
+		e.OnHeartbeat(h, at(ms))
+		e.Leader(at(ms + 1))
+	}
+	l, ok := e.Leader(at(45))
+	if !ok || l != 2 {
+		t.Fatalf("leader = %v,%v; want lowest-cost node 2", l, ok)
+	}
+}
+
+// TestZeroCostsDegenerateToBaseRank pins byte-compat of the composed
+// rank: with no costs gossiped anywhere, rank order is exactly the base
+// rank order (here rank-by-ID).
+func TestZeroCostsDegenerateToBaseRank(t *testing.T) {
+	e := New(Config{
+		Self:     0,
+		Peers:    []wire.NodeID{0, 1, 2},
+		Interval: 10 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+		Preempt:  true,
+	})
+	e.OnHeartbeat(hb(1), t0)
+	e.OnHeartbeat(hb(2), t0)
+	l, ok := e.Leader(t0.Add(time.Millisecond))
+	if !ok || l != 0 {
+		t.Fatalf("leader = %v,%v; want lowest ID with all-zero costs", l, ok)
+	}
+}

@@ -308,6 +308,7 @@ type Endpoint struct {
 var _ Transport = (*Endpoint)(nil)
 var _ Meter = (*Endpoint)(nil)
 var _ Sinker = (*Endpoint)(nil)
+var _ RTTReporter = (*Endpoint)(nil)
 
 // SetSink implements Sinker. Set before traffic starts.
 func (ep *Endpoint) SetSink(fn func(*wire.Envelope)) { ep.sink.Store(&fn) }
@@ -323,6 +324,20 @@ func (ep *Endpoint) Recv() <-chan *wire.Envelope { return ep.recv }
 
 // Drops implements Meter, reporting the fabric-wide drop count.
 func (ep *Endpoint) Drops() uint64 { return ep.net.Drops() }
+
+// PeerRTT implements RTTReporter from the netem model: the round trip
+// is the sum of the two directed links' mean one-way latencies. Where
+// the TCP transport has to measure, the fabric can simply ask the model
+// — the same figure a long-running ping EWMA would converge to.
+func (ep *Endpoint) PeerRTT(peer wire.NodeID) (time.Duration, bool) {
+	m := ep.net.model
+	rtt := m.MeanLatency(m.ClassOf(ep.id), m.ClassOf(peer)) +
+		m.MeanLatency(m.ClassOf(peer), m.ClassOf(ep.id))
+	if rtt <= 0 {
+		return 0, false
+	}
+	return rtt, true
+}
 
 // Close implements Transport. The endpoint stops receiving; the fabric
 // keeps running for other endpoints. The registry slot is released so a

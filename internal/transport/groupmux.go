@@ -3,6 +3,7 @@ package transport
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gridrep/internal/wire"
 )
@@ -181,6 +182,7 @@ var (
 	_ Transport      = (*groupEndpoint)(nil)
 	_ Meter          = (*groupEndpoint)(nil)
 	_ HealthReporter = (*groupEndpoint)(nil)
+	_ RTTReporter    = (*groupEndpoint)(nil)
 )
 
 func (ep *groupEndpoint) Local() wire.NodeID { return ep.mux.under.Local() }
@@ -239,6 +241,15 @@ func (ep *groupEndpoint) Drops() uint64 {
 		d += mt.Drops()
 	}
 	return d
+}
+
+// PeerRTT implements RTTReporter by delegating to the shared link: all
+// groups ride one socket per peer, so they share one RTT estimate.
+func (ep *groupEndpoint) PeerRTT(peer wire.NodeID) (time.Duration, bool) {
+	if rr, ok := ep.mux.under.(RTTReporter); ok {
+		return rr.PeerRTT(peer)
+	}
+	return 0, false
 }
 
 // SetHealth implements HealthReporter by subscribing this group to the

@@ -317,6 +317,24 @@ var _ Transport = (*TCP)(nil)
 var _ HealthReporter = (*TCP)(nil)
 var _ Meter = (*TCP)(nil)
 var _ Sinker = (*TCP)(nil)
+var _ RTTReporter = (*TCP)(nil)
+
+// PeerRTT implements RTTReporter: the smoothed ping round trip to peer
+// from its supervisor's EWMA. Only supervised (book) peers have
+// estimates, and only after the first pong; accept-side routes report
+// no estimate.
+func (t *TCP) PeerRTT(peer wire.NodeID) (time.Duration, bool) {
+	t.mu.Lock()
+	sup := t.sups[peer]
+	t.mu.Unlock()
+	if sup == nil {
+		return 0, false
+	}
+	if v := sup.rtt.Load(); v > 0 {
+		return time.Duration(v), true
+	}
+	return 0, false
+}
 
 // SetSink implements Sinker: inbound envelopes are handed to fn —
 // possibly concurrently, one caller per live connection's decode stage —
@@ -433,6 +451,19 @@ func (t *TCP) RegisterMetrics(reg *metrics.Registry) {
 		"off-loop envelope decode latency per frame", t.stats.decodeLat)
 	reg.RegisterGauge("gridrep_tcp_last_rtt_nanoseconds",
 		"most recent measured ping round trip", &t.stats.lastRTT)
+	reg.RegisterGaugeFunc("gridrep_tcp_rtt_ewma_max_nanoseconds",
+		"largest smoothed per-peer ping RTT (EWMA, gain 1/8)",
+		func() int64 {
+			var max int64
+			t.mu.Lock()
+			for _, sup := range t.sups {
+				if v := sup.rtt.Load(); v > max {
+					max = v
+				}
+			}
+			t.mu.Unlock()
+			return max
+		})
 	reg.RegisterGaugeFunc("gridrep_tcp_queue_depth",
 		"enqueued outbound envelopes across peer supervisors",
 		func() int64 {
@@ -815,9 +846,25 @@ type supervisor struct {
 	q    chan *[]byte // pooled frame buffers; consumer returns them
 	stop chan struct{}
 
+	// rtt is the smoothed ping round trip to this peer in nanoseconds
+	// (0 = no sample yet): a TCP-style EWMA with gain 1/8, so one jittery
+	// tail sample moves the estimate an eighth of the way while the
+	// placement logic reading it through PeerRTT sees a stable figure.
+	rtt atomic.Int64
+
 	mu   sync.Mutex
 	conn *tcpConn // live connection, nil while down
 	down bool     // stop flag, guarded by mu for shutdown idempotence
+}
+
+// noteRTT folds one ping round-trip sample into the peer's EWMA.
+func (s *supervisor) noteRTT(sample int64) {
+	cur := s.rtt.Load()
+	if cur == 0 {
+		s.rtt.Store(sample)
+		return
+	}
+	s.rtt.Store(cur + (sample-cur)/8)
 }
 
 // enqueue adds an encoded envelope (in a pooled buffer whose ownership
@@ -1008,6 +1055,7 @@ func (s *supervisor) pump(conn *tcpConn, readerDone <-chan struct{}, pong <-chan
 			s.t.stats.pongsRecvd.Add(1)
 			if rtt := time.Now().UnixNano() - sentAt; rtt > 0 {
 				s.t.stats.lastRTT.Set(rtt)
+				s.noteRTT(rtt)
 			}
 		case bp := <-s.q:
 			err := conn.writeFrame(frameEnv, *bp)

@@ -8,7 +8,11 @@
 // of raw TCP sockets (§4).
 package transport
 
-import "gridrep/internal/wire"
+import (
+	"time"
+
+	"gridrep/internal/wire"
+)
 
 // Transport sends and receives protocol envelopes for one local node.
 // Sends are asynchronous and best-effort: the system model is an
@@ -48,6 +52,18 @@ type HealthReporter interface {
 // through one pump goroutine (DESIGN.md §14).
 type Sinker interface {
 	SetSink(fn func(*wire.Envelope))
+}
+
+// RTTReporter is implemented by transports that can estimate per-peer
+// round-trip times. The TCP transport smooths its keepalive ping RTTs
+// into a per-peer EWMA; the in-process fabric derives the figure from
+// the netem model's mean link latencies. Replicas fold the estimates
+// into an Ω placement cost and clients use them to pick the nearest
+// replica for X-Paxos reads (DESIGN.md §16).
+type RTTReporter interface {
+	// PeerRTT returns the smoothed round-trip estimate to peer, and
+	// false while no estimate exists (no samples yet, unknown peer).
+	PeerRTT(peer wire.NodeID) (rtt time.Duration, ok bool)
 }
 
 // Meter is implemented by transports that account for dropped messages.

@@ -7,10 +7,23 @@ import "fmt"
 // the decoder. Every slice is bounds-checked through Decoder.SliceLen and
 // every blob through Decoder.Bytes8.
 
+// nearFlag marks a request whose kind byte is followed by a Near target
+// (nearest-replica reads, DESIGN.md §16). Like the envelope's grouped
+// flag (codec.go), it keeps requests without the extension byte-for-byte
+// the original encoding.
+const nearFlag = 0x80
+
 func marshalRequest(enc *Encoder, r *Request) {
 	enc.NodeID(r.Client)
 	enc.Uvarint(r.Seq)
-	enc.Uint8(uint8(r.Kind))
+	k := uint8(r.Kind)
+	if r.NearSet {
+		k |= nearFlag
+	}
+	enc.Uint8(k)
+	if r.NearSet {
+		enc.NodeID(r.Near)
+	}
 	enc.Uvarint(r.Txn)
 	enc.Uvarint(uint64(r.TxnSeq))
 	enc.Bytes8(r.Op)
@@ -20,10 +33,17 @@ func unmarshalRequest(dec *Decoder, r *Request) error {
 	r.Client = dec.NodeID()
 	r.Seq = dec.Uvarint()
 	k := dec.Uint8()
+	r.NearSet = k&nearFlag != 0
+	k &^= nearFlag
 	if k >= uint8(numRequestKinds) && dec.Err() == nil {
 		return fmt.Errorf("wire: invalid request kind %d", k)
 	}
 	r.Kind = RequestKind(k)
+	if r.NearSet {
+		r.Near = dec.NodeID()
+	} else {
+		r.Near = 0
+	}
 	r.Txn = dec.Uvarint()
 	r.TxnSeq = uint32(dec.Uvarint())
 	r.Op = dec.Bytes8()
@@ -303,6 +323,7 @@ func (m *Confirm) MarshalTo(enc *Encoder) {
 		enc.NodeID(k.Client)
 		enc.Uvarint(k.Seq)
 	}
+	enc.Uvarint(m.MaxAcc)
 }
 
 // UnmarshalFrom implements Message.
@@ -320,6 +341,7 @@ func (m *Confirm) UnmarshalFrom(dec *Decoder) error {
 			m.Reads[i].Seq = dec.Uvarint()
 		}
 	}
+	m.MaxAcc = dec.Uvarint()
 	return dec.Err()
 }
 
@@ -330,6 +352,7 @@ func (m *Heartbeat) MarshalTo(enc *Encoder) {
 	enc.NodeID(m.Leader)
 	enc.Uvarint(m.Chosen)
 	enc.Uvarint(m.Applied)
+	enc.Uvarint(uint64(m.Cost))
 }
 
 // UnmarshalFrom implements Message.
@@ -339,6 +362,7 @@ func (m *Heartbeat) UnmarshalFrom(dec *Decoder) error {
 	m.Leader = dec.NodeID()
 	m.Chosen = dec.Uvarint()
 	m.Applied = dec.Uvarint()
+	m.Cost = uint32(dec.Uvarint())
 	return dec.Err()
 }
 

@@ -133,6 +133,16 @@ type Request struct {
 	Txn    uint64      // transaction ID; 0 when not in a transaction
 	TxnSeq uint32      // 0-based index of this op within its transaction
 	Op     []byte      // service-specific operation payload
+	// Near, when NearSet, asks the named replica to serve this X-Paxos
+	// read from its own confirm quorum instead of the leader (nearest-
+	// replica reads, DESIGN.md §16). Every other replica sends its
+	// Confirm to Near rather than to the leader; Near assembles a
+	// majority, waits for its applied state to cover the quorum's
+	// highest accepted instance, and executes the read locally. Encoded
+	// as a flag bit on the kind byte, so requests without it are
+	// byte-for-byte the pre-§16 format. Only meaningful for KindRead.
+	Near    NodeID
+	NearSet bool
 }
 
 // Key uniquely identifies a request for reply matching and deduplication.
@@ -452,6 +462,13 @@ type Confirm struct {
 	Bal   Ballot // highest ballot the sender has accepted
 	From  NodeID
 	Reads []Key // the read requests being confirmed
+	// MaxAcc is the sender's highest accepted instance at send time. A
+	// nearest-replica read server (DESIGN.md §16) takes the maximum over
+	// its confirm quorum as the read barrier: any acked write is
+	// accepted by a majority, every confirm majority intersects it, so
+	// the barrier covers the write. The leader's confirm path ignores it
+	// (the leader's own log is the barrier there).
+	MaxAcc uint64
 }
 
 func (*Confirm) Type() MsgType { return MsgConfirm }
@@ -468,6 +485,11 @@ type Heartbeat struct {
 	// post-state its service reflects. Replicas gossip it so storage can
 	// prune WAL records below the cluster-wide minimum (DESIGN.md §12).
 	Applied uint64
+	// Cost is the sender's self-measured placement cost (a quantized
+	// aggregate peer RTT, DESIGN.md §16; 0 = unknown/off). Electors fold
+	// it in front of the configured rank, so leadership drifts to the
+	// best-connected replica once costs are gossiped.
+	Cost uint32
 }
 
 func (*Heartbeat) Type() MsgType { return MsgHeartbeat }

@@ -61,6 +61,16 @@ type ServerOptions struct {
 	// flight speculatively while leading (default 1 — the paper's serial
 	// protocol; see DESIGN.md §10).
 	PipelineDepth int
+	// CommitFlushDelay bounds how long a committed wave's client
+	// notifications may wait for batching (default 1ms). WAN deployments
+	// benefit from wider windows — see the profile tuning hints in
+	// EXPERIMENTS.md.
+	CommitFlushDelay time.Duration
+	// RTTPlacement folds measured link RTTs into Ω leader placement
+	// (DESIGN.md §16): each replica gossips its mean peer RTT and the
+	// elector converges on the best-connected replica regardless of boot
+	// order. Heartbeat RTT estimates come from the TCP transport's pings.
+	RTTPlacement bool
 	// Join starts this replica as an online joiner (DESIGN.md §12): a
 	// non-voting learner that announces itself to the peers listed in
 	// Peers, catches up via snapshot streaming, and becomes a voter
@@ -230,6 +240,8 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 			Transport:         trFor(g),
 			HeartbeatInterval: opts.HeartbeatInterval,
 			PipelineDepth:     opts.PipelineDepth,
+			CommitFlushDelay:  opts.CommitFlushDelay,
+			RTTPlacement:      opts.RTTPlacement,
 			Join:              opts.Join,
 			AdvertiseAddr:     opts.Peers[opts.ID],
 			SnapshotEvery:     opts.SnapshotEvery,
@@ -428,6 +440,13 @@ type DialOptions struct {
 	Deadline time.Duration
 	// Transport tunes the TCP transport (zero value = defaults).
 	Transport TransportOptions
+	// NearRead serves X-Paxos reads from the nearest replica's confirm
+	// quorum instead of always the leader (DESIGN.md §16). The nearest
+	// replica is picked from the transport's heartbeat RTT estimates, or
+	// pinned explicitly with NearPin/NearReplica.
+	NearRead    bool
+	NearPin     bool
+	NearReplica NodeID
 }
 
 // Dial connects a client to a TCP-deployed replicated service.
@@ -443,9 +462,12 @@ func Dial(opts DialOptions) (*Client, error) {
 	}
 	tr := transport.DialTCPOpts(wire.ClientIDBase+wire.NodeID(opts.ID), book, opts.Transport)
 	return client.New(client.Config{
-		Transport: tr,
-		Replicas:  ids,
-		Deadline:  opts.Deadline,
+		Transport:   tr,
+		Replicas:    ids,
+		Deadline:    opts.Deadline,
+		NearRead:    opts.NearRead,
+		NearPin:     opts.NearPin,
+		NearReplica: opts.NearReplica,
 	}), nil
 }
 
@@ -458,6 +480,7 @@ type ClientMux struct {
 	mux      *gateway.SessionMux
 	replicas []wire.NodeID
 	deadline time.Duration
+	near     client.Config // NearRead/NearPin/NearReplica template
 }
 
 // DialMux connects the shared transport for a session-multiplexed
@@ -478,6 +501,11 @@ func DialMux(opts DialOptions) (*ClientMux, error) {
 		mux:      gateway.NewSessionMux(tr),
 		replicas: ids,
 		deadline: opts.Deadline,
+		near: client.Config{
+			NearRead:    opts.NearRead,
+			NearPin:     opts.NearPin,
+			NearReplica: opts.NearReplica,
+		},
 	}, nil
 }
 
@@ -490,9 +518,12 @@ func (m *ClientMux) Session(tenant uint8, n uint32) (*Client, error) {
 		return nil, err
 	}
 	return client.New(client.Config{
-		Transport: ep,
-		Replicas:  m.replicas,
-		Deadline:  m.deadline,
+		Transport:   ep,
+		Replicas:    m.replicas,
+		Deadline:    m.deadline,
+		NearRead:    m.near.NearRead,
+		NearPin:     m.near.NearPin,
+		NearReplica: m.near.NearReplica,
 	}), nil
 }
 
