@@ -39,6 +39,7 @@ func main() {
 	pipeline := flag.Int("pipeline", 1, "max accept waves in flight while leading (1 = serial protocol)")
 	commitFlush := flag.Duration("commit-flush", 0, "commit notification batching window (0 = default 1ms; widen on WAN links)")
 	rttPlace := flag.Bool("rtt-placement", false, "fold measured peer RTTs into leader placement: the cluster converges on the best-connected replica regardless of boot order (DESIGN.md 16)")
+	wireCompat := flag.Bool("wire-compat", false, "emit only pre-geo wire encodings so not-yet-upgraded replicas keep decoding this one (rolling upgrades); overrides -rtt-placement, near reads fall back to the leader path")
 	join := flag.Bool("join", false, "join a running cluster as a learner: catch up via snapshot streaming, then get promoted to voter by a committed config entry")
 	snapEvery := flag.Uint64("snapshot-every", 0, "durable service snapshot cadence in applied instances (0 = default 4096)")
 	pruneKeep := flag.Uint64("prune-keep", 0, "WAL instances retained below the cluster-min applied watermark (0 = default 1024)")
@@ -117,6 +118,7 @@ func main() {
 		PipelineDepth:     *pipeline,
 		CommitFlushDelay:  *commitFlush,
 		RTTPlacement:      *rttPlace,
+		WireCompat:        *wireCompat,
 		Join:              *join,
 		SnapshotEvery:     *snapEvery,
 		PruneKeep:         *pruneKeep,

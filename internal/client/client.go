@@ -84,7 +84,10 @@ type Config struct {
 	// NearPin, with NearRead, pins the near replica to NearReplica
 	// instead of consulting transport RTTs — deployments that know
 	// their geography (a client co-located with a specific replica)
-	// skip the estimator warm-up.
+	// skip the estimator warm-up. A pin naming a node outside Replicas
+	// is dropped at construction: stamping a non-member would make
+	// every replica vouch to a serving replica that does not exist, so
+	// no one answers and each first read burns a retry interval.
 	NearPin     bool
 	NearReplica wire.NodeID
 }
@@ -128,6 +131,12 @@ func New(cfg Config) *Client {
 	}
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 30 * time.Second
+	}
+	if cfg.NearPin && !contains(cfg.Replicas, cfg.NearReplica) {
+		// See the NearPin doc: an invalid pin turns every first read
+		// into a guaranteed retry. Fall back to the RTT estimator (or
+		// the plain leader path when the transport has no estimates).
+		cfg.NearPin = false
 	}
 	id := cfg.Transport.Local()
 	return &Client{
@@ -308,6 +317,15 @@ func (c *Client) nearestReplica() (wire.NodeID, bool) {
 		}
 	}
 	return best, bestRTT >= 0
+}
+
+func contains(ids []wire.NodeID, id wire.NodeID) bool {
+	for _, n := range ids {
+		if n == id {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Client) broadcast(req *wire.Request) {

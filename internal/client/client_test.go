@@ -355,6 +355,62 @@ func TestRetryBackoffNonPositiveWindow(t *testing.T) {
 	}
 }
 
+// Regression: a NearPin naming a node outside Replicas stamped every
+// first read with a serving replica that does not exist — all replicas
+// queue vouches for it, nobody serves, and each read burns a retry
+// interval before the unstamped rebroadcast reaches the leader path.
+// New must drop such a pin at construction; a valid pin must survive.
+func TestClientDropsInvalidNearPin(t *testing.T) {
+	net := newClientNet(t)
+	var got []wire.Request
+	startFake(t, net, 0, func(req wire.Request, send func(wire.Reply)) {
+		got = append(got, req)
+		send(wire.Reply{Status: wire.StatusOK})
+	})
+	mk := func(pin wire.NodeID) *Client {
+		ep, err := net.Endpoint(wire.ClientIDBase + 2 + pin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := New(Config{
+			Transport:   ep,
+			Replicas:    []wire.NodeID{0},
+			RetryEvery:  30 * time.Millisecond,
+			Deadline:    500 * time.Millisecond,
+			NearRead:    true,
+			NearPin:     true,
+			NearReplica: pin,
+		})
+		t.Cleanup(cli.Close)
+		return cli
+	}
+
+	bad := mk(7) // not a member
+	if bad.cfg.NearPin {
+		t.Fatal("pin to a non-member survived construction")
+	}
+	if _, err := bad.Read([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	// With the pin dropped the client falls back to the RTT estimator,
+	// which may legitimately stamp a member — but never the non-member.
+	if len(got) == 0 || (got[0].NearSet && got[0].Near != 0) {
+		t.Fatalf("first read stamped Near=%d, not a member: %+v", got[0].Near, got[0])
+	}
+
+	got = nil
+	good := mk(0)
+	if !good.cfg.NearPin {
+		t.Fatal("valid pin dropped at construction")
+	}
+	if _, err := good.Read([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || !got[0].NearSet || got[0].Near != 0 {
+		t.Fatalf("valid pin did not stamp the first read: %+v", got)
+	}
+}
+
 // Regression: clients constructed in the same nanosecond seeded their
 // jitter RNGs identically (seed was UnixNano ^ id), so a fleet spawned in
 // a tight loop backed off in lockstep. The construction counter mixed

@@ -103,6 +103,12 @@ type Config struct {
 	// from its local state after a voter-quorum confirm round (DESIGN.md
 	// §16) — cross-continent clients skip the hop to a far leader.
 	NearReads bool
+	// WireCompat forwards the core rolling-upgrade knob: replicas emit
+	// only pre-§16 wire encodings (no Confirm.MaxAcc stamp, no
+	// heartbeat cost gossip), so a mixed-version cluster keeps
+	// decoding every message. Overrides RTTPlacement; near reads fall
+	// back to the leader path while set.
+	WireCompat bool
 	// NoBatch forwards the core ablation knob: one request per accept
 	// wave.
 	NoBatch bool
@@ -336,6 +342,7 @@ func (c *Cluster) startReplica(id wire.NodeID) error {
 			CommitFlushDelay:  c.cfg.CommitFlushDelay,
 			PipelineDepth:     c.cfg.PipelineDepth,
 			RTTPlacement:      c.cfg.RTTPlacement,
+			WireCompat:        c.cfg.WireCompat,
 			NoBatch:           c.cfg.NoBatch,
 			NoPersist:         c.cfg.NoPersist,
 			StateMode:         c.cfg.StateMode,

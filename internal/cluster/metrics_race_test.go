@@ -48,6 +48,15 @@ func TestMetricsConcurrentReaders(t *testing.T) {
 					_ = rep.Health()
 					_ = rep.Metrics().Snapshot()
 					_ = rep.Metrics().WritePrometheus(io.Discard)
+					// A breath between scrape rounds: the racing reads
+					// only need to overlap the commits, not saturate the
+					// scheduler. Nine hard-spinning scrapers starve the
+					// event loops on a small host until each write takes
+					// seconds and this one test blows the package's
+					// default -timeout (observed at 647s while the rest
+					// of the package summed to ~3s; worse under -race,
+					// where the instrumented scrape itself is the spin).
+					time.Sleep(time.Millisecond)
 				}
 			}()
 		}

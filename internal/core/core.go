@@ -218,6 +218,18 @@ type Config struct {
 	// RTTs.
 	RTTPlacement bool
 
+	// WireCompat keeps every message this replica emits decodable by
+	// pre-§16 binaries, for rolling a mixed-version cluster through an
+	// upgrade: confirms are not stamped with MaxAcc and RTT placement
+	// costs are not measured or gossiped (WireCompat overrides
+	// RTTPlacement). The cost is features, not safety — without the
+	// stamp this replica's confirms cannot vouch for nearest-replica
+	// reads, so near-stamped reads fall back to the leader path on
+	// their first retry. Run the upgraded binaries with WireCompat until
+	// every replica is new, then drop it (and only then enable
+	// RTTPlacement or near reads).
+	WireCompat bool
+
 	// Logger, if set, receives role transitions and anomalies.
 	Logger *log.Logger
 }
@@ -913,7 +925,7 @@ func (r *Replica) onPeerHealth(ph peerHealth) {
 
 // tick drives heartbeats, leadership transitions, and retransmissions.
 func (r *Replica) tick(now time.Time) {
-	if r.cfg.RTTPlacement {
+	if r.cfg.RTTPlacement && !r.cfg.WireCompat {
 		r.updatePlacementCost()
 	}
 	r.sweepNearReads(now)
@@ -974,19 +986,26 @@ func (r *Replica) tick(now time.Time) {
 	}
 }
 
-// placementCostUnknown ranks a replica with no RTT estimates behind
-// every replica that has them: at boot all replicas share it (cost ties
-// degenerate to the base rank), and a freshly restarted replica cannot
-// out-rank warmed incumbents just because its estimator is empty.
-const placementCostUnknown = ^uint32(0)
+// placementCostUnknown is the wire sentinel (0, matching the
+// Heartbeat.Cost default gossiped by replicas that never measure) for a
+// replica with no RTT estimates; the elector maps it behind every
+// measured cost (omega.costUnknown). At boot all replicas share it
+// (cost ties degenerate to the base rank), a freshly restarted replica
+// cannot out-rank warmed incumbents just because its estimator is
+// empty, and a replica running with RTTPlacement disabled can never
+// out-rank the replicas that measure.
+const placementCostUnknown uint32 = 0
 
 // updatePlacementCost smooths the transport's per-peer RTT estimates
 // into one placement cost and hands it to the elector, which gossips it
 // on heartbeats and folds it in front of the base rank (lowest
-// aggregate RTT leads). Quantized to 1ms buckets with 2ms hysteresis:
-// placement only cares about differences of tens of milliseconds, and
-// the hysteresis keeps EWMA noise from flapping the cluster-wide rank
-// order.
+// aggregate RTT leads). Quantized to 1ms buckets, offset by one so a
+// genuine sub-millisecond measurement never collides with the unknown
+// sentinel, with 2ms hysteresis between measured values: placement only
+// cares about differences of tens of milliseconds, and the hysteresis
+// keeps EWMA noise from flapping the cluster-wide rank order. The
+// known/unknown transition always propagates — holding it back would
+// leave a newly warmed replica ranked last forever.
 func (r *Replica) updatePlacementCost() {
 	rr, ok := r.tr.(transport.RTTReporter)
 	if !ok {
@@ -1002,9 +1021,13 @@ func (r *Replica) updatePlacementCost() {
 	}
 	cost := placementCostUnknown
 	if n > 0 {
-		cost = uint32(sum / time.Duration(n) / time.Millisecond)
+		bucket := uint64(sum/time.Duration(n)/time.Millisecond) + 1
+		if bucket > uint64(^uint32(0)) {
+			bucket = uint64(^uint32(0))
+		}
+		cost = uint32(bucket)
 	}
-	if r.lastCostSet {
+	if r.lastCostSet && cost != placementCostUnknown && r.lastCost != placementCostUnknown {
 		diff := int64(cost) - int64(r.lastCost)
 		if diff > -2 && diff < 2 {
 			return

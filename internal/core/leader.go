@@ -536,17 +536,29 @@ func (r *Replica) sendConfirm(req wire.Request) {
 // max over their confirm quorum, so the stamp must be on every confirm
 // a quorum might count, not just the near-targeted ones.
 func (r *Replica) flushConfirms() {
-	maxAcc := r.acc.MaxInstance()
+	maxAcc, stamp := r.acc.MaxInstance(), !r.cfg.WireCompat
+	if !stamp {
+		// Compat mode: the stamp is a post-v1 trailing wire field old
+		// peers cannot decode; an unstamped confirm still carries §3.4
+		// leadership evidence, it just cannot vouch for near reads.
+		maxAcc = 0
+	}
 	if r.nearQN > 0 {
-		// Near-targeted confirms skip the durability gate (r.send, not
-		// sendDurable): the serving replica ignores their ballot, and
-		// MaxAcc only ever raises its barrier — a claim backed by
-		// staged-but-unflushed accepts merely overshoots, so safety
-		// never depends on this replica remembering the horizon it
-		// reported.
+		// Near-targeted confirms are durability-gated exactly like
+		// leader-path ones. A near-serving backup ignores their ballot,
+		// but when the client's Near target is the active leader the
+		// read lands on the §3.4 path there (onRequest), and the
+		// leader's onConfirm counts any matching-ballot voter confirm as
+		// leadership evidence — so the ballot this message carries must
+		// be backed by a flushed promise, or a crash that forgets the
+		// staged record could let a new leader commit writes while the
+		// old one still assembles read majorities from pre-crash
+		// confirms. (The MaxAcc stamp alone would not need the gate: it
+		// only ever raises the near-read barrier, so an overshooting
+		// claim is harmless.)
 		bal := r.acc.Promised()
 		for target, keys := range r.nearQ {
-			r.send(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys, MaxAcc: maxAcc})
+			r.sendDurable(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys, MaxAcc: maxAcc, MaxAccSet: stamp})
 			delete(r.nearQ, target)
 		}
 		r.nearQN = 0
@@ -572,7 +584,7 @@ func (r *Replica) flushConfirms() {
 	// A confirm asserts this replica's promise/accept horizon; if that
 	// ballot's promise is still staged, sending now would let a §3.4 read
 	// majority count a vote the disk could forget. Durable-gate it.
-	r.sendDurable(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys, MaxAcc: maxAcc})
+	r.sendDurable(target, &wire.Confirm{Bal: bal, From: r.cfg.ID, Reads: keys, MaxAcc: maxAcc, MaxAccSet: stamp})
 }
 
 // registerRead starts X-Paxos coordination for a read at the leader: the
@@ -622,9 +634,14 @@ func (r *Replica) onConfirm(m *wire.Confirm) {
 	for _, key := range m.Reads {
 		if pnr, ok := r.nearReads[key]; ok {
 			// Registered before this replica took leadership; the
-			// confirm still serves it on the near path.
-			r.foldNearConfirm(pnr, m.From, m.MaxAcc)
-			r.tryFinishNearRead(pnr)
+			// confirm still serves it on the near path — but only a
+			// stamped one: without MaxAcc there is no barrier claim to
+			// fold, and counting it could serve a read below an
+			// acknowledged write.
+			if m.MaxAccSet {
+				r.foldNearConfirm(pnr, m.From, m.MaxAcc)
+				r.tryFinishNearRead(pnr)
+			}
 			continue
 		}
 		pr, ok := r.reads[key]
@@ -681,9 +698,12 @@ func (r *Replica) registerNearRead(req wire.Request) {
 }
 
 // onNearConfirm folds a confirm into the near reads it vouches for; a
-// confirm that outran its read is buffered, mirroring confirmBuf.
+// confirm that outran its read is buffered, mirroring confirmBuf. Only
+// stamped confirms count: one without MaxAcc (a pre-§16 peer, or
+// WireCompat mode) makes no barrier claim, and folding it as "barrier
+// zero" could serve a read that misses an acknowledged write.
 func (r *Replica) onNearConfirm(m *wire.Confirm) {
-	if !r.isVoter(m.From) {
+	if !r.isVoter(m.From) || !m.MaxAccSet {
 		return
 	}
 	for _, key := range m.Reads {

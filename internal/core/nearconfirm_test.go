@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"gridrep/internal/paxos"
+	"gridrep/internal/storage"
+	"gridrep/internal/wire"
+)
+
+// sendRecorder is a Transport stub that records direct sends; anything
+// landing here bypassed the durability gate.
+type sendRecorder struct{ sent []*wire.Envelope }
+
+func (s *sendRecorder) Local() wire.NodeID          { return 1 }
+func (s *sendRecorder) Send(env *wire.Envelope)     { s.sent = append(s.sent, env) }
+func (s *sendRecorder) Recv() <-chan *wire.Envelope { return nil }
+func (s *sendRecorder) Close() error                { return nil }
+
+// TestNearConfirmsAreDurabilityGated pins the fix for the near-confirm
+// durability hole: a near-targeted confirm carries this replica's
+// promised ballot, and when the client's Near target is the active
+// leader that ballot is counted as §3.4 leadership evidence by
+// onConfirm. The message must therefore be deferred through the
+// persister (sendDurable) like every other confirm — a direct send
+// could let a read majority count a promise still staged in the WAL,
+// which a crash would forget.
+func TestNearConfirmsAreDurabilityGated(t *testing.T) {
+	acc, err := paxos.NewAcceptor(storage.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &sendRecorder{}
+	r := &Replica{
+		acc:     acc,
+		tr:      tr,
+		nearQ:   make(map[wire.NodeID][]wire.Key),
+		persist: &persister{}, // non-nil: sendDurable must defer, not send
+	}
+	r.cfg.ID = 1
+
+	req := wire.Request{Client: wire.ClientIDBase, Seq: 7, Kind: wire.KindRead, Near: 2, NearSet: true}
+	r.queueNearConfirm(req)
+	r.flushConfirms()
+
+	if len(tr.sent) != 0 {
+		t.Fatalf("near confirm sent directly (%d envelopes) — it bypassed the durability gate", len(tr.sent))
+	}
+	if len(r.deferEnvs) != 1 {
+		t.Fatalf("deferred envelopes = %d, want exactly 1 near confirm", len(r.deferEnvs))
+	}
+	env := r.deferEnvs[0]
+	if env.To != 2 {
+		t.Fatalf("confirm addressed to %d, want near target 2", env.To)
+	}
+	c, ok := env.Msg.(*wire.Confirm)
+	if !ok {
+		t.Fatalf("deferred message is %T, want *wire.Confirm", env.Msg)
+	}
+	if len(c.Reads) != 1 || c.Reads[0] != req.Key() {
+		t.Fatalf("confirm reads = %v, want [%v]", c.Reads, req.Key())
+	}
+	if !c.MaxAccSet {
+		t.Fatal("near confirm not stamped with MaxAcc — it cannot vouch for the read's barrier")
+	}
+	if r.nearQN != 0 || len(r.nearQ) != 0 {
+		t.Fatal("near queue not drained by flushConfirms")
+	}
+}
+
+// TestWireCompatSuppressesMaxAccStamp: in rolling-upgrade compat mode
+// the confirm must omit the MaxAcc stamp (a post-v1 trailing wire field
+// pre-geo peers reject) while still carrying the §3.4 ballot evidence.
+func TestWireCompatSuppressesMaxAccStamp(t *testing.T) {
+	acc, err := paxos.NewAcceptor(storage.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Replica{
+		acc:     acc,
+		tr:      &sendRecorder{},
+		nearQ:   make(map[wire.NodeID][]wire.Key),
+		persist: &persister{},
+	}
+	r.cfg.ID = 1
+	r.cfg.WireCompat = true
+	r.queueNearConfirm(wire.Request{Client: wire.ClientIDBase, Seq: 3, Kind: wire.KindRead, Near: 2, NearSet: true})
+	r.flushConfirms()
+	if len(r.deferEnvs) != 1 {
+		t.Fatalf("deferred envelopes = %d, want 1", len(r.deferEnvs))
+	}
+	c := r.deferEnvs[0].Msg.(*wire.Confirm)
+	if c.MaxAccSet || c.MaxAcc != 0 {
+		t.Fatalf("WireCompat confirm still stamped: MaxAccSet=%v MaxAcc=%d", c.MaxAccSet, c.MaxAcc)
+	}
+}
+
+// TestUnstampedConfirmDoesNotVouchForNearReads: a confirm without the
+// MaxAcc stamp (an old peer, or a WireCompat replica) makes no barrier
+// claim; counting it toward a near read's quorum as "barrier zero"
+// could serve state below an acknowledged write. It must be ignored.
+func TestUnstampedConfirmDoesNotVouchForNearReads(t *testing.T) {
+	req := wire.Request{Client: wire.ClientIDBase, Seq: 5, Kind: wire.KindRead, Near: 1, NearSet: true}
+	pnr := &pendingNearRead{req: req, froms: make(map[wire.NodeID]bool)}
+	r := &Replica{
+		voters:         []wire.NodeID{0, 1, 2},
+		nearReads:      map[wire.Key]*pendingNearRead{req.Key(): pnr},
+		nearConfirmBuf: make(map[wire.Key][]nearConfirm),
+	}
+	r.cfg.ID = 1
+	r.onNearConfirm(&wire.Confirm{From: 2, Reads: []wire.Key{req.Key()}}) // no MaxAccSet
+	if len(pnr.froms) != 0 {
+		t.Fatalf("unstamped confirm counted toward the near quorum: froms=%v", pnr.froms)
+	}
+	if len(r.nearConfirmBuf) != 0 {
+		t.Fatal("unstamped confirm buffered as future near evidence")
+	}
+	r.onNearConfirm(&wire.Confirm{From: 2, Reads: []wire.Key{req.Key()}, MaxAcc: 7, MaxAccSet: true})
+	if !pnr.froms[2] || pnr.maxAcc != 7 {
+		t.Fatalf("stamped confirm not folded: froms=%v maxAcc=%d", pnr.froms, pnr.maxAcc)
+	}
+}

@@ -103,8 +103,10 @@ type Elector struct {
 
 	// myCost and costs carry the gossiped placement costs (SetCost,
 	// Heartbeat.Cost). A cost prefixes the configured rank
-	// lexicographically: lower cost wins, Rank breaks ties. All zero —
-	// the default when RTT placement is off — degenerates to pure Rank.
+	// lexicographically: lower cost wins, Rank breaks ties. Zero is the
+	// "unknown / placement off" sentinel and ranks behind every measured
+	// cost (see costUnknown); all zero — the default when RTT placement
+	// is off — degenerates to pure Rank.
 	myCost uint32
 	costs  map[wire.NodeID]uint32
 
@@ -194,9 +196,10 @@ func (e *Elector) OnHeartbeat(hb *wire.Heartbeat, now time.Time) {
 }
 
 // SetCost records this node's self-measured placement cost (an
-// RTT-derived bucket; 0 = none/unknown). It is gossiped on every
-// heartbeat this elector emits, so all observers rank this node the
-// same way: effective rank is (cost, Rank) lexicographic.
+// RTT-derived bucket; 0 = none/unknown, which ranks behind every
+// measured cost). It is gossiped on every heartbeat this elector
+// emits, so all observers rank this node the same way: effective rank
+// is (cost, Rank) lexicographic.
 func (e *Elector) SetCost(c uint32) { e.myCost = c }
 
 // Cost returns the node's own placement cost (for heartbeat stamping
@@ -289,10 +292,22 @@ func (e *Elector) Demote() {
 // range, so 20 bits never clips a real base rank.
 const costBits = 20
 
+// costUnknown is the effective cost of a node gossiping cost 0 — the
+// wire sentinel for "unknown / RTT placement off" (wire.Heartbeat.Cost).
+// It sits strictly above every expressible measured cost, so a replica
+// with no RTT data ranks behind every replica that has some: in a mixed
+// deployment (placement enabled on some replicas only) leadership
+// converges onto a measuring replica, never onto the one flying blind.
+// This mirrors core's own convention (placementCostUnknown) that
+// unknown ranks last; core never emits 0 for a genuine measurement
+// (buckets are offset by one), so the sentinel cannot collide with a
+// sub-millisecond RTT.
+const costUnknown = uint64(1) << 32
+
 // rank applies the configured leader-preference order: the gossiped
 // placement cost is the major key, the configured Rank (or node ID)
-// breaks ties. With no costs gossiped — the default — this is exactly
-// the base rank.
+// breaks ties. With no costs gossiped — the default — every node sits
+// at costUnknown, and the order is exactly the base rank.
 func (e *Elector) rank(n wire.NodeID) uint64 {
 	base := uint64(n)
 	if e.cfg.Rank != nil {
@@ -301,11 +316,14 @@ func (e *Elector) rank(n wire.NodeID) uint64 {
 	if base >= 1<<costBits {
 		base = 1<<costBits - 1
 	}
-	cost := e.costs[n]
+	cost := uint64(e.costs[n])
 	if n == e.cfg.Self {
-		cost = e.myCost
+		cost = uint64(e.myCost)
 	}
-	return uint64(cost)<<costBits | base
+	if cost == 0 {
+		cost = costUnknown
+	}
+	return cost<<costBits | base
 }
 
 // alive reports whether n responded within the timeout. Self is always

@@ -158,6 +158,39 @@ func TestCostOverridesBaseRank(t *testing.T) {
 	}
 }
 
+// TestUnknownCostRanksLast: a replica gossiping no cost (0 — RTT
+// placement disabled, or an empty estimator) must never out-rank the
+// replicas with measured costs. Regression for the inverted default:
+// an absent cost used to be the *best* possible rank, so in a mixed
+// deployment preemption converged leadership onto the one replica with
+// no RTT data — the opposite of the feature's intent.
+func TestUnknownCostRanksLast(t *testing.T) {
+	e := New(Config{
+		Self:         2,
+		Peers:        []wire.NodeID{0, 1, 2},
+		Interval:     10 * time.Millisecond,
+		Timeout:      50 * time.Millisecond,
+		Preempt:      true,
+		PreemptAfter: 30 * time.Millisecond,
+	})
+	e.SetCost(10) // self measures: 10ms aggregate RTT bucket
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+	// Node 0 leads from boot order but gossips no cost (placement off);
+	// node 1 measures 40. The best-measured member — self — must
+	// preempt the non-measuring incumbent after the holddown.
+	for ms := 0; ms <= 40; ms += 10 {
+		e.OnHeartbeat(claimHB(0, 1), at(ms)) // Cost zero: unknown
+		h := hb(1)
+		h.Cost = 40
+		e.OnHeartbeat(h, at(ms))
+		e.Leader(at(ms + 1))
+	}
+	l, ok := e.Leader(at(45))
+	if !ok || l != 2 {
+		t.Fatalf("leader = %v,%v; want measuring node 2, not the cost-blind incumbent", l, ok)
+	}
+}
+
 // TestZeroCostsDegenerateToBaseRank pins byte-compat of the composed
 // rank: with no costs gossiped anywhere, rank order is exactly the base
 // rank order (here rank-by-ID).

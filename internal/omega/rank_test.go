@@ -62,10 +62,17 @@ func TestRankTieBreakInClaimWar(t *testing.T) {
 }
 
 // TestNilRankIsByID: the default rank must reproduce the classic
-// lowest-ID-leads elector exactly.
+// lowest-ID-leads order exactly — with no costs gossiped every node
+// sits at the same (unknown) cost and the ID is the deciding key.
 func TestNilRankIsByID(t *testing.T) {
 	e := newElector(0)
-	if got := e.rank(7); got != 7 {
-		t.Fatalf("nil Rank: rank(7) = %d, want identity", got)
+	if got := e.rank(7) & (1<<costBits - 1); got != 7 {
+		t.Fatalf("nil Rank: base of rank(7) = %d, want identity", got)
+	}
+	for id := wire.NodeID(1); id < 8; id++ {
+		if e.rank(id-1) >= e.rank(id) {
+			t.Fatalf("nil Rank: rank(%d)=%d !< rank(%d)=%d — lowest ID must lead",
+				id-1, e.rank(id-1), id, e.rank(id))
+		}
 	}
 }

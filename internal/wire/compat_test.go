@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The §16 geo fields — Confirm.MaxAcc and Heartbeat.Cost — are
+// presence-gated trailing extensions, mirroring Request's nearFlag:
+// messages that do not carry them must encode byte-for-byte as the
+// pre-§16 format (what an old binary emits and the only thing it can
+// decode), and a new decoder must accept both forms. These tests pin
+// the rolling-upgrade contract the core WireCompat knob relies on.
+
+// legacyConfirmBytes hand-builds the pre-§16 encoding of a Confirm
+// envelope: ballot, sender, reads — and no trailing MaxAcc.
+func legacyConfirmBytes(from, to NodeID, m *Confirm) []byte {
+	enc := NewEncoder(nil)
+	enc.NodeID(from)
+	enc.NodeID(to)
+	enc.Uint8(uint8(MsgConfirm))
+	enc.Ballot(m.Bal)
+	enc.NodeID(m.From)
+	enc.Uvarint(uint64(len(m.Reads)))
+	for _, k := range m.Reads {
+		enc.NodeID(k.Client)
+		enc.Uvarint(k.Seq)
+	}
+	return enc.Bytes()
+}
+
+// legacyHeartbeatBytes hand-builds the pre-§16 encoding of a Heartbeat
+// envelope: no trailing Cost.
+func legacyHeartbeatBytes(from, to NodeID, m *Heartbeat) []byte {
+	enc := NewEncoder(nil)
+	enc.NodeID(from)
+	enc.NodeID(to)
+	enc.Uint8(uint8(MsgHeartbeat))
+	enc.NodeID(m.From)
+	enc.Uvarint(m.Epoch)
+	enc.NodeID(m.Leader)
+	enc.Uvarint(m.Chosen)
+	enc.Uvarint(m.Applied)
+	return enc.Bytes()
+}
+
+func TestConfirmWithoutStampIsLegacyFormat(t *testing.T) {
+	m := &Confirm{Bal: Ballot{5, 2}, From: 1, Reads: []Key{{ClientIDBase + 3, 17}}}
+	got := EncodeEnvelope(nil, &Envelope{From: 1, To: 2, Msg: m})
+	want := legacyConfirmBytes(1, 2, m)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("unstamped confirm encoding diverged from the pre-geo format:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestConfirmDecodesLegacyFormat(t *testing.T) {
+	m := &Confirm{Bal: Ballot{9, 1}, From: 2, Reads: []Key{{ClientIDBase, 4}, {ClientIDBase + 1, 8}}}
+	env, err := DecodeEnvelope(legacyConfirmBytes(2, 0, m))
+	if err != nil {
+		t.Fatalf("legacy confirm rejected: %v", err)
+	}
+	got := env.Msg.(*Confirm)
+	if got.MaxAccSet {
+		t.Fatal("legacy confirm decoded with MaxAccSet — an absent barrier claim must not be invented")
+	}
+	if got.MaxAcc != 0 || !got.Bal.Equal(m.Bal) || len(got.Reads) != 2 {
+		t.Fatalf("legacy confirm decoded as %+v", got)
+	}
+}
+
+func TestConfirmStampRoundTrips(t *testing.T) {
+	m := &Confirm{Bal: Ballot{5, 2}, From: 1, Reads: []Key{{ClientIDBase + 3, 17}}, MaxAcc: 91, MaxAccSet: true}
+	buf := EncodeEnvelope(nil, &Envelope{From: 1, To: 2, Msg: m})
+	env, err := DecodeEnvelope(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := env.Msg.(*Confirm)
+	if !got.MaxAccSet || got.MaxAcc != 91 {
+		t.Fatalf("stamp lost in round trip: MaxAccSet=%v MaxAcc=%d", got.MaxAccSet, got.MaxAcc)
+	}
+}
+
+func TestHeartbeatWithoutCostIsLegacyFormat(t *testing.T) {
+	m := &Heartbeat{From: 0, Epoch: 3, Leader: 0, Chosen: 99, Applied: 98}
+	got := EncodeEnvelope(nil, &Envelope{From: 0, To: 1, Msg: m})
+	want := legacyHeartbeatBytes(0, 1, m)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("costless heartbeat encoding diverged from the pre-geo format:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestHeartbeatDecodesLegacyFormat(t *testing.T) {
+	m := &Heartbeat{From: 1, Epoch: 12, Leader: 1, Chosen: 7, Applied: 7}
+	env, err := DecodeEnvelope(legacyHeartbeatBytes(1, 2, m))
+	if err != nil {
+		t.Fatalf("legacy heartbeat rejected: %v", err)
+	}
+	got := env.Msg.(*Heartbeat)
+	if got.Cost != 0 {
+		t.Fatalf("legacy heartbeat decoded with cost %d, want the unknown sentinel 0", got.Cost)
+	}
+	if got.Epoch != 12 || got.Chosen != 7 {
+		t.Fatalf("legacy heartbeat decoded as %+v", got)
+	}
+}

@@ -314,7 +314,12 @@ func (m *Commit) UnmarshalFrom(dec *Decoder) error {
 	return dec.Err()
 }
 
-// MarshalTo implements Message.
+// MarshalTo implements Message. MaxAcc is a presence-gated trailing
+// field (like Request's nearFlag, but keyed on position: the envelope
+// holds exactly one message, so "bytes remain" is the presence bit):
+// confirms without the stamp encode byte-for-byte as the pre-§16
+// format, which is what lets a mixed-version cluster roll through an
+// upgrade with core.Config.WireCompat set on the new binaries.
 func (m *Confirm) MarshalTo(enc *Encoder) {
 	enc.Ballot(m.Bal)
 	enc.NodeID(m.From)
@@ -323,10 +328,15 @@ func (m *Confirm) MarshalTo(enc *Encoder) {
 		enc.NodeID(k.Client)
 		enc.Uvarint(k.Seq)
 	}
-	enc.Uvarint(m.MaxAcc)
+	if m.MaxAccSet {
+		enc.Uvarint(m.MaxAcc)
+	}
 }
 
-// UnmarshalFrom implements Message.
+// UnmarshalFrom implements Message. A confirm from a peer that does not
+// stamp MaxAcc (pre-§16 binary, or WireCompat mode) decodes with
+// MaxAccSet false — the receiver must not treat the absent barrier
+// claim as "barrier zero".
 func (m *Confirm) UnmarshalFrom(dec *Decoder) error {
 	m.Bal = dec.Ballot()
 	m.From = dec.NodeID()
@@ -341,28 +351,44 @@ func (m *Confirm) UnmarshalFrom(dec *Decoder) error {
 			m.Reads[i].Seq = dec.Uvarint()
 		}
 	}
-	m.MaxAcc = dec.Uvarint()
+	if m.MaxAccSet = dec.Remaining() > 0 && dec.Err() == nil; m.MaxAccSet {
+		m.MaxAcc = dec.Uvarint()
+	} else {
+		m.MaxAcc = 0
+	}
 	return dec.Err()
 }
 
-// MarshalTo implements Message.
+// MarshalTo implements Message. Cost is a presence-gated trailing
+// field: zero means unknown/off (the pre-§16 meaning of "no cost") and
+// is simply not encoded, so heartbeats from clusters not running RTT
+// placement stay byte-for-byte the prior format and decode on
+// pre-§16 peers.
 func (m *Heartbeat) MarshalTo(enc *Encoder) {
 	enc.NodeID(m.From)
 	enc.Uvarint(m.Epoch)
 	enc.NodeID(m.Leader)
 	enc.Uvarint(m.Chosen)
 	enc.Uvarint(m.Applied)
-	enc.Uvarint(uint64(m.Cost))
+	if m.Cost != 0 {
+		enc.Uvarint(uint64(m.Cost))
+	}
 }
 
-// UnmarshalFrom implements Message.
+// UnmarshalFrom implements Message. An absent trailing Cost decodes as
+// 0 — exactly the unknown/off sentinel, so old-format heartbeats mean
+// what they always meant.
 func (m *Heartbeat) UnmarshalFrom(dec *Decoder) error {
 	m.From = dec.NodeID()
 	m.Epoch = dec.Uvarint()
 	m.Leader = dec.NodeID()
 	m.Chosen = dec.Uvarint()
 	m.Applied = dec.Uvarint()
-	m.Cost = uint32(dec.Uvarint())
+	if dec.Remaining() > 0 && dec.Err() == nil {
+		m.Cost = uint32(dec.Uvarint())
+	} else {
+		m.Cost = 0
+	}
 	return dec.Err()
 }
 

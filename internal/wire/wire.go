@@ -467,8 +467,13 @@ type Confirm struct {
 	// its confirm quorum as the read barrier: any acked write is
 	// accepted by a majority, every confirm majority intersects it, so
 	// the barrier covers the write. The leader's confirm path ignores it
-	// (the leader's own log is the barrier there).
-	MaxAcc uint64
+	// (the leader's own log is the barrier there). Encoded as a trailing
+	// field only when MaxAccSet, so confirms without the stamp are
+	// byte-for-byte the pre-§16 format; a confirm without the stamp
+	// (an old peer, or WireCompat mode) never vouches for near reads —
+	// there is no barrier claim to fold.
+	MaxAcc    uint64
+	MaxAccSet bool
 }
 
 func (*Confirm) Type() MsgType { return MsgConfirm }
@@ -486,9 +491,12 @@ type Heartbeat struct {
 	// prune WAL records below the cluster-wide minimum (DESIGN.md §12).
 	Applied uint64
 	// Cost is the sender's self-measured placement cost (a quantized
-	// aggregate peer RTT, DESIGN.md §16; 0 = unknown/off). Electors fold
-	// it in front of the configured rank, so leadership drifts to the
-	// best-connected replica once costs are gossiped.
+	// aggregate peer RTT offset by one, DESIGN.md §16; 0 = unknown/off,
+	// ranked behind every measured cost). Electors fold it in front of
+	// the configured rank, so leadership drifts to the best-connected
+	// replica once costs are gossiped. Encoded as a trailing field only
+	// when nonzero, so heartbeats from clusters not using RTT placement
+	// stay byte-for-byte the pre-§16 format.
 	Cost uint32
 }
 

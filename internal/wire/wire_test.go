@@ -160,7 +160,10 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&Confirm{Bal: Ballot{5, 2}, From: 1, Reads: []Key{
 			{ClientIDBase + 3, 17}, {ClientIDBase + 4, 2}, {ClientIDBase + 9, 1}}},
 		&Confirm{Bal: Ballot{5, 2}, From: 1},
+		&Confirm{Bal: Ballot{5, 2}, From: 1, Reads: []Key{{ClientIDBase + 3, 17}}, MaxAcc: 91, MaxAccSet: true},
+		&Confirm{Bal: Ballot{5, 2}, From: 1, MaxAccSet: true}, // stamped barrier 0 stays stamped
 		&Heartbeat{From: 0, Epoch: 123, Leader: 0},
+		&Heartbeat{From: 2, Epoch: 7, Leader: 2, Chosen: 40, Applied: 40, Cost: 42},
 		&CatchUpReq{From: 2, HaveChosen: 80},
 		&CatchUpResp{From: 0, Entries: []Entry{sampleEntry()}, Chosen: 91},
 		&Heartbeat{From: 1, Epoch: 124, Leader: 0, Chosen: 91, Applied: 88},

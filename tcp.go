@@ -71,6 +71,14 @@ type ServerOptions struct {
 	// elector converges on the best-connected replica regardless of boot
 	// order. Heartbeat RTT estimates come from the TCP transport's pings.
 	RTTPlacement bool
+	// WireCompat keeps every emitted message decodable by pre-§16
+	// binaries for rolling upgrades of a mixed-version cluster: the
+	// Confirm.MaxAcc barrier stamp and heartbeat cost gossip — trailing
+	// wire fields old peers reject — are suppressed. Overrides
+	// RTTPlacement; nearest-replica reads fall back to the leader path
+	// while set. Roll the new binaries with WireCompat, drop it once
+	// every replica is upgraded, then enable the §16 features.
+	WireCompat bool
 	// Join starts this replica as an online joiner (DESIGN.md §12): a
 	// non-voting learner that announces itself to the peers listed in
 	// Peers, catches up via snapshot streaming, and becomes a voter
@@ -242,6 +250,7 @@ func ListenAndServe(opts ServerOptions) (*Server, error) {
 			PipelineDepth:     opts.PipelineDepth,
 			CommitFlushDelay:  opts.CommitFlushDelay,
 			RTTPlacement:      opts.RTTPlacement,
+			WireCompat:        opts.WireCompat,
 			Join:              opts.Join,
 			AdvertiseAddr:     opts.Peers[opts.ID],
 			SnapshotEvery:     opts.SnapshotEvery,
